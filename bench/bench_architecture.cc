@@ -1,0 +1,135 @@
+// F1 — Figure 1: the layered architecture with caching at every level.
+//
+// "It provides caching at each level to avoid descending to a lower level
+// to satisfy each request from the client" (§2.2). Each benchmark reads the
+// same 32 KiB through the stack with a different set of layers warm, and
+// reports where the request was satisfied: messages on the bus, file-
+// service cache hits, disk-cache hits, platter references, and simulated
+// latency per read.
+//
+// Expected shape, descending the stack:
+//   agent hit:         0 messages, 0 disk refs, ~0 simulated cost
+//   service-cache hit: messages > 0, service hits > 0, 0 disk refs
+//   disk-cache hit:    messages > 0, service misses, disk-cache hits,
+//                      0 platter refs
+//   cold:              messages > 0, platter refs > 0, highest latency
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+constexpr std::size_t kReadBytes = 32 * 1024;
+
+struct Stack {
+  core::DistributedFileFacility facility{DefaultFacility()};
+  core::Machine* machine = nullptr;
+  ObjectDescriptor od = 0;
+  FileId fid{};
+
+  Stack() {
+    machine = &facility.AddMachine();
+    od = *machine->file_agent->Create(naming::ByName("hot"),
+                                      file::ServiceType::kBasic);
+    fid = *facility.naming().ResolveFile(naming::ByName("hot"));
+    (void)machine->file_agent->Write(od, Pattern(kReadBytes));
+    (void)machine->file_agent->Flush(od);
+    (void)facility.files().FlushAll();
+  }
+  virtual ~Stack() = default;
+
+  std::uint64_t DiskCacheHits() {
+    std::uint64_t n = 0;
+    for (const auto& d : facility.disks().disks()) {
+      n += d->cache_stats().hits;
+    }
+    return n;
+  }
+
+  void MeasuredRead(benchmark::State& state) {
+    std::vector<std::uint8_t> out(kReadBytes);
+    std::uint64_t reads = 0, messages = 0, refs = 0;
+    std::uint64_t service_hits = 0, disk_hits = 0;
+    SimTime sim_total = 0;
+    for (auto _ : state) {
+      Recondition();
+      facility.ResetStats();
+      const std::uint64_t disk_hits0 = DiskCacheHits();
+      const SimTime t0 = facility.clock().Now();
+      auto n = machine->file_agent->Pread(od, 0, out);
+      if (!n.ok() || *n != kReadBytes) state.SkipWithError("read failed");
+      sim_total += facility.clock().Now() - t0;
+      messages += facility.bus().stats().calls;
+      refs += TotalReadRefs(facility);
+      service_hits += facility.files().stats().cache_hits;
+      disk_hits += DiskCacheHits() - disk_hits0;
+      ++reads;
+    }
+    state.counters["sim_us_per_read"] =
+        static_cast<double>(sim_total) / kSimMicrosecond / reads;
+    state.counters["messages"] = static_cast<double>(messages) / reads;
+    state.counters["platter_refs"] = static_cast<double>(refs) / reads;
+    state.counters["service_cache_hits"] =
+        static_cast<double>(service_hits) / reads;
+    state.counters["disk_cache_hits"] =
+        static_cast<double>(disk_hits) / reads;
+  }
+
+  virtual void Recondition() = 0;
+};
+
+void BM_L1_HitAgentCache(benchmark::State& state) {
+  struct S : Stack {
+    void Recondition() override {
+      std::vector<std::uint8_t> warm(kReadBytes);
+      (void)machine->file_agent->Pread(od, 0, warm);  // agent cache warm
+    }
+  } s;
+  s.MeasuredRead(state);
+}
+BENCHMARK(BM_L1_HitAgentCache)->Iterations(20);
+
+void BM_L2_HitFileServiceCache(benchmark::State& state) {
+  struct S : Stack {
+    void Recondition() override {
+      machine->file_agent->Crash();  // agent cold
+      std::vector<std::uint8_t> warm(kReadBytes);
+      (void)facility.files().Read(fid, 0, warm);  // service cache warm
+      od = *machine->file_agent->OpenById(fid);
+    }
+  } s;
+  s.MeasuredRead(state);
+}
+BENCHMARK(BM_L2_HitFileServiceCache)->Iterations(20);
+
+void BM_L3_HitDiskTrackCache(benchmark::State& state) {
+  struct S : Stack {
+    void Recondition() override {
+      machine->file_agent->Crash();
+      std::vector<std::uint8_t> warm(kReadBytes);
+      (void)facility.files().Read(fid, 0, warm);  // warms disk cache too
+      facility.files().Crash();  // ...then drop the service level only
+      od = *machine->file_agent->OpenById(fid);
+      // Opening reloads the index table; drop the service BLOCK cache it
+      // may have repopulated, keeping the disk track cache warm.
+    }
+  } s;
+  s.MeasuredRead(state);
+}
+BENCHMARK(BM_L3_HitDiskTrackCache)->Iterations(20);
+
+void BM_L4_ColdFromPlatter(benchmark::State& state) {
+  struct S : Stack {
+    void Recondition() override {
+      machine->file_agent->Crash();
+      od = *machine->file_agent->OpenById(fid);  // open first...
+      ColdCaches(facility);  // ...then chill EVERY layer below the agent
+    }
+  } s;
+  s.MeasuredRead(state);
+}
+BENCHMARK(BM_L4_ColdFromPlatter)->Iterations(20);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// E3 — two logical storage units (§4): 2 KiB fragments for structural
+// (control) information, 8 KiB blocks for file data.
+//
+// "For the storage of structural information of fairly small size the use
+// of fragments can substantially reduce communication overheads"; "a large
+// block reduces the effect of latency" for data. The benchmark stores the
+// same payloads under both unit choices, straight through the disk
+// service, and reports bytes moved, internal waste, and simulated time.
+//
+// Expected shape: control structures (~600 B, like a file index table) in
+// fragments move 4x fewer bytes than in blocks; bulk data in blocks needs
+// no more references but amortizes seek+rotation over 4x more bytes per
+// unit than fragments would.
+#include "bench/bench_util.h"
+
+#include "disk/disk_server.h"
+
+namespace rhodos::bench {
+namespace {
+
+disk::DiskServerConfig ServerConfig() {
+  disk::DiskServerConfig c;
+  c.geometry.total_fragments = 64 * 1024;
+  c.geometry.fragments_per_track = 32;
+  c.cache_capacity_tracks = 0;  // measure the raw device economics
+  c.track_readahead = false;
+  return c;
+}
+
+// Writes `count` control structures of `payload` bytes each, one per unit.
+void RunControlStructures(benchmark::State& state, std::uint32_t unit_frags) {
+  const std::uint32_t kStructures = 200;
+  const std::uint64_t payload = 600;  // a file index table-sized structure
+  SimClock clock;
+  disk::DiskServer server(DiskId{0}, ServerConfig(), &clock);
+  std::vector<FragmentIndex> homes;
+  for (std::uint32_t i = 0; i < kStructures; ++i) {
+    homes.push_back(*server.AllocateFragments(unit_frags));
+  }
+  const auto data = Pattern(unit_frags * kFragmentSize);
+
+  std::uint64_t rounds = 0;
+  for (auto _ : state) {
+    server.ResetStats();
+    const SimTime t0 = clock.Now();
+    for (FragmentIndex home : homes) {
+      (void)server.PutBlock(home, unit_frags, data);
+    }
+    state.counters["sim_ms_write_all"] = SimMillis(clock.Now() - t0);
+    state.counters["bytes_moved"] = static_cast<double>(
+        server.main_stats().fragments_written * kFragmentSize);
+    ++rounds;
+  }
+  (void)rounds;
+  state.counters["bytes_useful"] =
+      static_cast<double>(kStructures * payload);
+  state.counters["internal_waste_pct"] =
+      100.0 * (1.0 - static_cast<double>(payload) /
+                         (unit_frags * kFragmentSize));
+}
+
+void BM_ControlData_Fragments(benchmark::State& state) {
+  RunControlStructures(state, 1);  // one 2 KiB fragment each
+}
+void BM_ControlData_Blocks(benchmark::State& state) {
+  RunControlStructures(state, kFragmentsPerBlock);  // one 8 KiB block each
+}
+BENCHMARK(BM_ControlData_Fragments)->Iterations(3);
+BENCHMARK(BM_ControlData_Blocks)->Iterations(3);
+
+// Bulk file data: sequential 1 MiB stream, read back unit by unit. Blocks
+// amortize the per-reference mechanical cost over 4x the bytes.
+void RunBulkData(benchmark::State& state, std::uint32_t unit_frags) {
+  const std::uint64_t total_frags = 512;  // 1 MiB
+  SimClock clock;
+  disk::DiskServer server(DiskId{0}, ServerConfig(), &clock);
+  const FragmentIndex base = *server.AllocateFragments(
+      static_cast<std::uint32_t>(total_frags));
+  const auto data = Pattern(total_frags * kFragmentSize);
+  (void)server.PutBlock(base, static_cast<std::uint32_t>(total_frags), data);
+
+  std::vector<std::uint8_t> out(unit_frags * kFragmentSize);
+  for (auto _ : state) {
+    server.ResetStats();
+    const SimTime t0 = clock.Now();
+    for (FragmentIndex f = 0; f < total_frags; f += unit_frags) {
+      (void)server.GetBlock(base + f, unit_frags, out);
+    }
+    state.counters["sim_ms_read_1MiB"] = SimMillis(clock.Now() - t0);
+    state.counters["disk_refs"] =
+        static_cast<double>(server.main_stats().read_references);
+  }
+}
+
+void BM_BulkData_Fragments(benchmark::State& state) { RunBulkData(state, 1); }
+void BM_BulkData_Blocks(benchmark::State& state) {
+  RunBulkData(state, kFragmentsPerBlock);
+}
+BENCHMARK(BM_BulkData_Fragments)->Iterations(3);
+BENCHMARK(BM_BulkData_Blocks)->Iterations(3);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+BENCHMARK_MAIN();

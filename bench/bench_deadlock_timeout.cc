@@ -1,0 +1,164 @@
+// E9 — timeout-based deadlock resolution (§6.4): locks are invulnerable
+// for LT, renewable to at most N*LT; a competitor breaks a lapsed lock and
+// the holder's transaction is aborted.
+//
+// The paper names the scheme's two costs explicitly: "the number of
+// transactions timing out will increase as the load on the RHODOS system
+// increases" and "transactions taking a long time will be penalized."
+// Both are regenerated here.
+//
+// Workload A (load sweep): W workers contend for a handful of file-level
+// locks; abort rate vs W. Workload B (long-txn penalty): one deliberately
+// slow transaction holds a lock while short competitors arrive; the slow
+// one is broken. Workload C (true deadlock): cyclic lock order; resolution
+// time vs LT.
+#include "bench/bench_util.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace rhodos::bench {
+namespace {
+
+core::FacilityConfig TimeoutConfig(int lt_ms) {
+  core::FacilityConfig cfg = DefaultFacility(1, 16 * 1024);
+  cfg.txn.lock_timeout.lt = std::chrono::milliseconds(lt_ms);
+  cfg.txn.lock_timeout.n = 3;
+  return cfg;
+}
+
+// A: abort rate versus load, at fixed LT.
+void BM_AbortRateVsLoad(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  std::uint64_t committed = 0, aborted = 0;
+  for (auto _ : state) {
+    core::DistributedFileFacility facility(TimeoutConfig(5));
+    auto& txns = facility.transactions();
+    // Two hot file-level-locked files: every transaction needs both, in a
+    // worker-dependent order, so waits and deadlocks are common.
+    auto setup = txns.Begin(ProcessId{0});
+    auto a = txns.TCreate(*setup, file::LockLevel::kFile, kBlockSize);
+    auto b = txns.TCreate(*setup, file::LockLevel::kFile, kBlockSize);
+    (void)txns.TWrite(*setup, *a, 0, Pattern(64));
+    (void)txns.TWrite(*setup, *b, 0, Pattern(64));
+    (void)txns.End(*setup);
+
+    std::atomic<std::uint64_t> ok{0}, bad{0};
+    auto worker = [&](int id) {
+      Rng rng(500 + id);
+      for (int i = 0; i < 30; ++i) {
+        auto t = txns.Begin(ProcessId{static_cast<std::uint64_t>(id)});
+        // Mostly a consistent lock order; occasionally reversed, so the
+        // deadlock probability grows with concurrency instead of being
+        // certain for every overlapping pair.
+        const bool reversed = rng.Chance(0.2);
+        const FileId first = reversed ? *b : *a;
+        const FileId second = reversed ? *a : *b;
+        const auto data = Pattern(32, static_cast<std::uint8_t>(id));
+        bool ok2 = txns.TWrite(*t, first, 0, data).ok();
+        // Compute while holding the first lock: this is what makes waits
+        // (and lock breaks) happen under load.
+        if (ok2) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ok2 = ok2 && txns.TWrite(*t, second, 0, data).ok();
+        if (ok2 && txns.End(*t).ok()) {
+          ++ok;
+        } else {
+          if (txns.IsActive(*t)) (void)txns.Abort(*t);
+          ++bad;
+        }
+      }
+    };
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) threads.emplace_back(worker, w);
+    for (auto& th : threads) th.join();
+    committed += ok.load();
+    aborted += bad.load();
+  }
+  state.counters["committed"] = static_cast<double>(committed);
+  state.counters["aborted"] = static_cast<double>(aborted);
+  state.counters["abort_rate_pct"] =
+      100.0 * static_cast<double>(aborted) /
+      static_cast<double>(committed + aborted);
+}
+BENCHMARK(BM_AbortRateVsLoad)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// B: the long-transaction penalty. A slow holder (sleeping past N*LT) is
+// suspected deadlocked and broken even though it was merely slow.
+void BM_LongTransactionPenalty(benchmark::State& state) {
+  const int lt_ms = static_cast<int>(state.range(0));
+  std::uint64_t slow_broken = 0, rounds = 0;
+  for (auto _ : state) {
+    core::DistributedFileFacility facility(TimeoutConfig(lt_ms));
+    auto& txns = facility.transactions();
+    auto setup = txns.Begin(ProcessId{0});
+    auto file = txns.TCreate(*setup, file::LockLevel::kFile, kBlockSize);
+    (void)txns.TWrite(*setup, *file, 0, Pattern(64));
+    (void)txns.End(*setup);
+
+    auto slow = txns.Begin(ProcessId{1});
+    (void)txns.TWrite(*slow, *file, 0, Pattern(32, 1));
+    std::thread competitor([&] {
+      auto t = txns.Begin(ProcessId{2});
+      (void)txns.TWrite(*t, *file, 0, Pattern(32, 2));
+      (void)txns.End(*t);
+    });
+    // The slow transaction "computes" well past its lock's lifetime.
+    std::this_thread::sleep_for(std::chrono::milliseconds(4 * lt_ms));
+    const bool broken = !txns.End(*slow).ok();
+    competitor.join();
+    slow_broken += broken ? 1 : 0;
+    ++rounds;
+  }
+  state.counters["slow_txn_aborted"] =
+      static_cast<double>(slow_broken) / rounds;
+  state.counters["LT_ms"] = static_cast<double>(lt_ms);
+}
+BENCHMARK(BM_LongTransactionPenalty)->Arg(5)->Arg(20)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+// C: a genuine two-transaction deadlock; the timeout rule bounds how long
+// the system stays stuck, proportional to LT.
+void BM_DeadlockResolutionTime(benchmark::State& state) {
+  const int lt_ms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    core::DistributedFileFacility facility(TimeoutConfig(lt_ms));
+    auto& txns = facility.transactions();
+    auto setup = txns.Begin(ProcessId{0});
+    auto a = txns.TCreate(*setup, file::LockLevel::kFile, kBlockSize);
+    auto b = txns.TCreate(*setup, file::LockLevel::kFile, kBlockSize);
+    (void)txns.TWrite(*setup, *a, 0, Pattern(8));
+    (void)txns.TWrite(*setup, *b, 0, Pattern(8));
+    (void)txns.End(*setup);
+
+    // Deadlock: t1 holds a wants b; t2 holds b wants a.
+    auto t1 = txns.Begin(ProcessId{1});
+    auto t2 = txns.Begin(ProcessId{2});
+    (void)txns.TWrite(*t1, *a, 0, Pattern(8, 1));
+    (void)txns.TWrite(*t2, *b, 0, Pattern(8, 2));
+    std::atomic<int> done{0};
+    std::thread u([&] {
+      (void)txns.TWrite(*t1, *b, 0, Pattern(8, 1));
+      if (txns.IsActive(*t1)) (void)(txns.End(*t1).ok() || txns.Abort(*t1).ok());
+      ++done;
+    });
+    std::thread v([&] {
+      (void)txns.TWrite(*t2, *a, 0, Pattern(8, 2));
+      if (txns.IsActive(*t2)) (void)(txns.End(*t2).ok() || txns.Abort(*t2).ok());
+      ++done;
+    });
+    u.join();
+    v.join();
+    state.counters["breaks"] =
+        static_cast<double>(txns.locks().stats().breaks);
+  }
+  state.counters["LT_ms"] = static_cast<double>(lt_ms);
+}
+BENCHMARK(BM_DeadlockResolutionTime)->Arg(5)->Arg(20)->Arg(80)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+BENCHMARK_MAIN();

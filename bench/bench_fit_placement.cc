@@ -1,0 +1,150 @@
+// E14 (ablation) — dynamic creation of file index tables (§5, §7).
+//
+// The paper claims two benefits of creating each index table on demand,
+// next to its file's first data block, instead of accumulating them in a
+// reserved area (the classic inode-region design):
+//   * "the file index table and at least the first data block are always
+//     contiguous thus eliminating the seek time to retrieve the first
+//     data block";
+//   * "the file index tables are distributed throughout the disk and hence
+//     the file facility does not run the risk of loosing all of them
+//     together."
+//
+// Layout A (RHODOS): tables created adjacent to their data. Layout B
+// (ablation): all tables clustered at the front of the disk, data far
+// away. Metrics: arm movement + simulated time for an open-and-read sweep
+// over many files, and the number of files whose table survives a
+// two-track media burn at the hottest table location.
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+constexpr int kFiles = 48;
+constexpr std::uint64_t kFileBytes = 4 * kBlockSize;
+
+struct Layout {
+  core::DistributedFileFacility facility{DefaultFacility(1, 128 * 1024)};
+  std::vector<FileId> files;
+};
+
+// Layout A: the facility's native behaviour.
+void BuildAdjacent(Layout& l) {
+  for (int i = 0; i < kFiles; ++i) {
+    auto file = l.facility.files().Create(file::ServiceType::kBasic,
+                                          kFileBytes);
+    (void)l.facility.files().Write(*file, 0,
+                                   Pattern(kFileBytes,
+                                           static_cast<std::uint8_t>(i)));
+    l.files.push_back(*file);
+  }
+  (void)l.facility.files().FlushAll();
+}
+
+// Layout B: the ablation. All index tables first (they cluster at the
+// front of the disk), then a large spacer, then every file's data — the
+// table and the data end up thousands of tracks apart.
+void BuildClustered(Layout& l) {
+  for (int i = 0; i < kFiles; ++i) {
+    auto file = l.facility.files().Create(file::ServiceType::kBasic, 0);
+    l.files.push_back(*file);
+  }
+  auto disk = l.facility.disks().Get(DiskId{0});
+  const auto spacer = static_cast<std::uint32_t>(
+      (*disk)->FreeFragmentCount() / 2);
+  const FragmentIndex spacer_at = *(*disk)->AllocateFragments(spacer);
+  for (int i = 0; i < kFiles; ++i) {
+    (void)l.facility.files().Write(l.files[static_cast<std::size_t>(i)], 0,
+                                   Pattern(kFileBytes,
+                                           static_cast<std::uint8_t>(i)));
+  }
+  (void)l.facility.files().FlushAll();
+  (void)(*disk)->FreeFragments(spacer_at, spacer);
+}
+
+void MeasureOpenReadSweep(benchmark::State& state, bool clustered) {
+  Layout l;
+  if (clustered) {
+    BuildClustered(l);
+  } else {
+    BuildAdjacent(l);
+  }
+  std::vector<std::uint8_t> out(kBlockSize);
+  std::uint64_t seeks = 0, rounds = 0;
+  SimTime sim_total = 0;
+  for (auto _ : state) {
+    ColdCaches(l.facility);
+    l.facility.disks().ResetStats();
+    const SimTime t0 = l.facility.clock().Now();
+    // The classic metadata workload: visit every file, read its table and
+    // first block (open + first access).
+    for (FileId f : l.files) {
+      (void)l.facility.files().Read(f, 0, out);
+    }
+    sim_total += l.facility.clock().Now() - t0;
+    seeks += TotalSeekTracks(l.facility);
+    ++rounds;
+  }
+  state.counters["seek_tracks"] = static_cast<double>(seeks) / rounds;
+  state.counters["sim_ms"] = SimMillis(sim_total) / rounds;
+  state.counters["files"] = kFiles;
+}
+
+void BM_AdjacentTables_OpenSweep(benchmark::State& state) {
+  MeasureOpenReadSweep(state, false);
+}
+void BM_ClusteredTables_OpenSweep(benchmark::State& state) {
+  MeasureOpenReadSweep(state, true);
+}
+BENCHMARK(BM_AdjacentTables_OpenSweep)->Iterations(3);
+BENCHMARK(BM_ClusteredTables_OpenSweep)->Iterations(3);
+
+// The reliability half of the claim: burn two tracks at the location of
+// file 0's table (both main and stable copies — a localized media
+// catastrophe) and count surviving files.
+void MeasureBurn(benchmark::State& state, bool clustered) {
+  std::uint64_t survivors_total = 0, rounds = 0;
+  for (auto _ : state) {
+    Layout l;
+    if (clustered) {
+      BuildClustered(l);
+    } else {
+      BuildAdjacent(l);
+    }
+    auto disk = l.facility.disks().Get(DiskId{0});
+    const auto per_track = (*disk)->config().geometry.fragments_per_track;
+    const FragmentIndex burn_start =
+        (file::FileFitFragment(l.files[0]) / per_track) * per_track;
+    std::vector<std::uint8_t> junk(kFragmentSize, 0xFF);
+    for (FragmentIndex f = burn_start; f < burn_start + 2 * per_track;
+         ++f) {
+      (*disk)->main_device().RawOverwrite(f, junk);
+      (*disk)->stable_device().RawOverwrite(f, junk);
+    }
+    ColdCaches(l.facility);
+    std::uint64_t survivors = 0;
+    std::vector<std::uint8_t> out(16);
+    for (FileId f : l.files) {
+      if (l.facility.files().Read(f, 0, out).ok()) ++survivors;
+    }
+    survivors_total += survivors;
+    ++rounds;
+  }
+  state.counters["files"] = kFiles;
+  state.counters["survivors_after_burn"] =
+      static_cast<double>(survivors_total) / rounds;
+}
+
+void BM_AdjacentTables_TrackBurn(benchmark::State& state) {
+  MeasureBurn(state, false);
+}
+void BM_ClusteredTables_TrackBurn(benchmark::State& state) {
+  MeasureBurn(state, true);
+}
+BENCHMARK(BM_AdjacentTables_TrackBurn)->Iterations(1);
+BENCHMARK(BM_ClusteredTables_TrackBurn)->Iterations(1);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+// E1 — "for files up to half a megabyte, the maximum number of disk
+// references is two: one for the file index table and the other for file
+// data" (§7), enabled by 64 direct descriptors and by creating the index
+// table contiguous with the first data block.
+//
+// Sweep: cold-read whole files from 4 KiB to 4 MiB and report the number of
+// disk references, seeks and simulated latency. Expected shape: refs <= 2
+// up to 512 KiB; beyond the direct reach, a handful more (indirect blocks);
+// never O(blocks).
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+void BM_ColdWholeFileRead(benchmark::State& state) {
+  const auto file_bytes = static_cast<std::uint64_t>(state.range(0));
+  core::DistributedFileFacility facility(
+      DefaultFacility(1, 128 * 1024));  // 256 MiB disk
+  auto file = facility.files().Create(file::ServiceType::kBasic,
+                                      file_bytes);
+  if (!file.ok()) {
+    state.SkipWithError("create failed");
+    return;
+  }
+  (void)facility.files().Write(*file, 0, Pattern(file_bytes));
+  (void)facility.files().FlushAll();
+
+  std::vector<std::uint8_t> out(file_bytes);
+  std::uint64_t refs = 0, seeks = 0, reads = 0;
+  SimTime sim_total = 0;
+  for (auto _ : state) {
+    ColdCaches(facility);
+    facility.disks().ResetStats();
+    const SimTime t0 = facility.clock().Now();
+    auto n = facility.files().Read(*file, 0, out);
+    if (!n.ok() || *n != file_bytes) {
+      state.SkipWithError("read failed");
+      return;
+    }
+    sim_total += facility.clock().Now() - t0;
+    refs += TotalReadRefs(facility);
+    seeks += TotalSeekTracks(facility);
+    ++reads;
+  }
+  state.counters["disk_refs"] = static_cast<double>(refs) / reads;
+  state.counters["seek_tracks"] = static_cast<double>(seeks) / reads;
+  state.counters["sim_ms"] =
+      SimMillis(sim_total) / static_cast<double>(reads);
+  state.counters["within_paper_bound"] =
+      (file_bytes <= 512 * 1024 && refs / reads <= 2) ? 1 : 0;
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(file_bytes * reads));
+}
+BENCHMARK(BM_ColdWholeFileRead)
+    ->Arg(4 * 1024)
+    ->Arg(64 * 1024)
+    ->Arg(256 * 1024)
+    ->Arg(512 * 1024)      // the paper's boundary
+    ->Arg(1024 * 1024)
+    ->Arg(4 * 1024 * 1024)
+    ->Iterations(3);
+
+// The layout trick behind the bound: the table and the first data block are
+// allocated contiguously, so reading table+first block is ONE reference.
+void BM_TableAndFirstBlockTogether(benchmark::State& state) {
+  core::DistributedFileFacility facility(DefaultFacility());
+  auto file = facility.files().Create(file::ServiceType::kBasic,
+                                      kBlockSize);
+  (void)facility.files().Write(*file, 0, Pattern(kBlockSize));
+  (void)facility.files().FlushAll();
+  std::vector<std::uint8_t> out(kBlockSize);
+  std::uint64_t refs = 0, reads = 0;
+  for (auto _ : state) {
+    ColdCaches(facility);
+    facility.disks().ResetStats();
+    (void)facility.files().Read(*file, 0, out);
+    refs += TotalReadRefs(facility);
+    ++reads;
+  }
+  // Track readahead sweeps the first data block in under the index table's
+  // head pass: a one-block file costs ONE reference cold.
+  state.counters["disk_refs"] = static_cast<double>(refs) / reads;
+}
+BENCHMARK(BM_TableAndFirstBlockTogether)->Iterations(5);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+BENCHMARK_MAIN();

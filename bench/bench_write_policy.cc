@@ -1,0 +1,96 @@
+// E6 — modification policies (§5): "we decided to implement the
+// delayed-write policy to save modifications made to data cached by the
+// file agent. However ... the delayed-write together with write-through
+// policies are adapted to save modifications made to data cached by the
+// file service."
+//
+// Workload: a burst of small sequential writes followed by a re-read.
+// Columns: messages to the file service, disk write references, simulated
+// time. Expected shape: the agent's delayed write collapses many small
+// client writes into a few block-sized messages at close; at the file
+// service, delayed write collapses disk traffic for basic files while
+// write-through (the transaction-file policy) pays per write for
+// durability.
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+constexpr int kWrites = 256;
+constexpr std::size_t kWriteBytes = 512;  // small client writes
+
+void RunAgentPolicy(benchmark::State& state, bool delayed) {
+  core::FacilityConfig cfg = DefaultFacility();
+  cfg.agent.delayed_write = delayed;
+  std::uint64_t messages = 0, disk_writes = 0, rounds = 0;
+  SimTime sim_total = 0;
+  for (auto _ : state) {
+    core::DistributedFileFacility facility(cfg);
+    core::Machine& m = facility.AddMachine();
+    auto od = m.file_agent->Create(naming::ByName("burst"),
+                                   file::ServiceType::kBasic);
+    const auto chunk = Pattern(kWriteBytes);
+    facility.ResetStats();
+    const SimTime t0 = facility.clock().Now();
+    for (int i = 0; i < kWrites; ++i) {
+      (void)m.file_agent->Write(*od, chunk);
+    }
+    (void)m.file_agent->Close(*od);  // delayed data reaches the server here
+    sim_total += facility.clock().Now() - t0;
+    messages += facility.bus().stats().calls;
+    disk_writes += TotalWriteRefs(facility);
+    ++rounds;
+  }
+  state.counters["messages"] = static_cast<double>(messages) / rounds;
+  state.counters["disk_write_refs"] =
+      static_cast<double>(disk_writes) / rounds;
+  state.counters["sim_ms"] = SimMillis(sim_total) / rounds;
+  state.counters["client_writes"] = kWrites;
+}
+
+void BM_AgentDelayedWrite(benchmark::State& state) {
+  RunAgentPolicy(state, true);
+}
+void BM_AgentWriteThrough(benchmark::State& state) {
+  RunAgentPolicy(state, false);
+}
+BENCHMARK(BM_AgentDelayedWrite)->Iterations(3);
+BENCHMARK(BM_AgentWriteThrough)->Iterations(3);
+
+// File-service policy: the same server-side burst against a basic file
+// (delayed write) versus a transaction-typed file (write-through).
+void RunServicePolicy(benchmark::State& state, file::ServiceType type) {
+  std::uint64_t disk_writes = 0, rounds = 0;
+  SimTime sim_total = 0;
+  for (auto _ : state) {
+    core::DistributedFileFacility facility(DefaultFacility());
+    auto file = facility.files().Create(type, 64 * kBlockSize);
+    const auto chunk = Pattern(kWriteBytes);
+    facility.ResetStats();
+    const SimTime t0 = facility.clock().Now();
+    for (int i = 0; i < kWrites; ++i) {
+      (void)facility.files().Write(*file, i * kWriteBytes, chunk);
+    }
+    (void)facility.files().Flush(*file);
+    sim_total += facility.clock().Now() - t0;
+    disk_writes += TotalWriteRefs(facility);
+    ++rounds;
+  }
+  state.counters["disk_write_refs"] =
+      static_cast<double>(disk_writes) / rounds;
+  state.counters["sim_ms"] = SimMillis(sim_total) / rounds;
+}
+
+void BM_ServiceDelayedWrite_BasicFile(benchmark::State& state) {
+  RunServicePolicy(state, file::ServiceType::kBasic);
+}
+void BM_ServiceWriteThrough_TxnFile(benchmark::State& state) {
+  RunServicePolicy(state, file::ServiceType::kTransaction);
+}
+BENCHMARK(BM_ServiceDelayedWrite_BasicFile)->Iterations(3);
+BENCHMARK(BM_ServiceWriteThrough_TxnFile)->Iterations(3);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+#include "agent/device_agent.h"
+
+#include <algorithm>
+
+namespace rhodos::agent {
+
+Status DeviceAgent::CreateDevice(const std::string& system_name) {
+  if (devices_.count(system_name) != 0) {
+    return {ErrorCode::kAlreadyExists, "device exists: " + system_name};
+  }
+  devices_.emplace(system_name, Device{});
+  return naming_->RegisterDevice(
+      naming::AttributedName{{"device", system_name}}, system_name);
+}
+
+Result<DeviceAgent::Device*> DeviceAgent::DeviceOf(
+    const std::string& system_name) {
+  auto it = devices_.find(system_name);
+  if (it == devices_.end()) {
+    return Error{ErrorCode::kNotFound, "no device " + system_name};
+  }
+  return &it->second;
+}
+
+Result<ObjectDescriptor> DeviceAgent::Open(
+    const naming::AttributedName& name) {
+  RHODOS_ASSIGN_OR_RETURN(std::string system_name,
+                          naming_->ResolveDevice(name));
+  RHODOS_ASSIGN_OR_RETURN(Device * dev, DeviceOf(system_name));
+  (void)dev;
+  const ObjectDescriptor od = next_descriptor_++;
+  if (od >= kDeviceDescriptorBound) {
+    return Error{ErrorCode::kInternal, "device descriptor space exhausted"};
+  }
+  open_.emplace(od, system_name);
+  return od;
+}
+
+Status DeviceAgent::Close(ObjectDescriptor od) {
+  if (open_.erase(od) == 0) {
+    return {ErrorCode::kBadDescriptor, "device descriptor not open"};
+  }
+  return OkStatus();
+}
+
+Result<std::uint64_t> DeviceAgent::Read(ObjectDescriptor od,
+                                        std::span<std::uint8_t> out) {
+  auto it = open_.find(od);
+  if (it == open_.end()) {
+    return Error{ErrorCode::kBadDescriptor, "device descriptor not open"};
+  }
+  RHODOS_ASSIGN_OR_RETURN(Device * dev, DeviceOf(it->second));
+  const std::uint64_t n =
+      std::min<std::uint64_t>(out.size(), dev->input.size());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out[i] = dev->input.front();
+    dev->input.pop_front();
+  }
+  return n;
+}
+
+Result<std::uint64_t> DeviceAgent::Write(ObjectDescriptor od,
+                                         std::span<const std::uint8_t> in) {
+  auto it = open_.find(od);
+  if (it == open_.end()) {
+    return Error{ErrorCode::kBadDescriptor, "device descriptor not open"};
+  }
+  RHODOS_ASSIGN_OR_RETURN(Device * dev, DeviceOf(it->second));
+  dev->output.insert(dev->output.end(), in.begin(), in.end());
+  return in.size();
+}
+
+Result<std::uint64_t> DeviceAgent::ReadStandard(std::span<std::uint8_t> out) {
+  RHODOS_ASSIGN_OR_RETURN(Device * dev, DeviceOf("console"));
+  const std::uint64_t n =
+      std::min<std::uint64_t>(out.size(), dev->input.size());
+  for (std::uint64_t i = 0; i < n; ++i) {
+    out[i] = dev->input.front();
+    dev->input.pop_front();
+  }
+  return n;
+}
+
+Result<std::uint64_t> DeviceAgent::WriteStandard(
+    ObjectDescriptor std_fd, std::span<const std::uint8_t> in) {
+  if (std_fd != kStdoutDescriptor && std_fd != kStderrDescriptor) {
+    return Error{ErrorCode::kBadDescriptor,
+                 "not a standard output descriptor"};
+  }
+  RHODOS_ASSIGN_OR_RETURN(Device * dev, DeviceOf("console"));
+  dev->output.insert(dev->output.end(), in.begin(), in.end());
+  return in.size();
+}
+
+Status DeviceAgent::FeedInput(const std::string& system_name,
+                              std::span<const std::uint8_t> data) {
+  RHODOS_ASSIGN_OR_RETURN(Device * dev, DeviceOf(system_name));
+  dev->input.insert(dev->input.end(), data.begin(), data.end());
+  return OkStatus();
+}
+
+Result<std::vector<std::uint8_t>> DeviceAgent::OutputOf(
+    const std::string& system_name) const {
+  auto it = devices_.find(system_name);
+  if (it == devices_.end()) {
+    return Error{ErrorCode::kNotFound, "no device " + system_name};
+  }
+  return it->second.output;
+}
+
+}  // namespace rhodos::agent

@@ -1,0 +1,397 @@
+#include "agent/file_agent.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rhodos::agent {
+
+namespace {
+// Agent descriptors start above the reserved redirection values
+// (100001..100003) so every descriptor the agent issues is > 100000 and
+// never collides with the fixed stream constants.
+constexpr ObjectDescriptor kFirstAgentDescriptor = 100'010;
+}  // namespace
+
+FileAgent::FileAgent(MachineId machine, sim::MessageBus* bus,
+                     std::string fs_address, naming::NamingService* naming,
+                     FileAgentConfig config)
+    : machine_(machine),
+      rpc_(bus, std::move(fs_address), config.rpc_attempts),
+      naming_(naming),
+      config_(config),
+      next_descriptor_(kFirstAgentDescriptor) {}
+
+std::uint64_t FileAgent::NextToken() {
+  // Unique across machines: machine id in the top bits.
+  return (static_cast<std::uint64_t>(machine_.value) << 48) | next_token_++;
+}
+
+Result<FileAgent::OpenHandle*> FileAgent::Handle(ObjectDescriptor od) {
+  auto it = handles_.find(od);
+  if (it == handles_.end()) {
+    return Error{ErrorCode::kBadDescriptor,
+                 "descriptor " + std::to_string(od) + " is not open"};
+  }
+  return &it->second;
+}
+
+Result<sim::Payload> FileAgent::Call(FsOp op,
+                                     std::span<const std::uint8_t> body) {
+  auto reply = rpc_.Call(static_cast<std::uint32_t>(op), body);
+  if (!reply.ok()) return reply;
+  return reply;
+}
+
+// --- open / create / close / delete ---------------------------------------------
+
+Result<ObjectDescriptor> FileAgent::Create(const naming::AttributedName& name,
+                                           file::ServiceType type,
+                                           std::uint64_t size_hint) {
+  CreateRequest req{NextToken(), type, size_hint};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kCreate, body));
+  Deserializer in{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  const FileId file{in.U64()};
+  if (!in.ok()) return Error{ErrorCode::kInternal, "bad create reply"};
+  RHODOS_RETURN_IF_ERROR(naming_->RegisterFile(name, file));
+  return OpenById(file);
+}
+
+Result<ObjectDescriptor> FileAgent::Open(const naming::AttributedName& name) {
+  RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
+  return OpenById(file);
+}
+
+Result<ObjectDescriptor> FileAgent::OpenById(FileId file) {
+  FileRequest req{0, file};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kOpen, body));
+  Deserializer in{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+
+  // Learn the size for cursor/EOF handling.
+  FileRequest attr_req{0, file};
+  const auto attr_body = attr_req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload attr_reply,
+                          Call(FsOp::kGetAttr, attr_body));
+  Deserializer attr_in{attr_reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(attr_in));
+  const file::FileAttributes attrs = DecodeAttributes(attr_in);
+
+  const ObjectDescriptor od = next_descriptor_++;
+  handles_.emplace(od, OpenHandle{file, 0, attrs.size});
+  ++stats_.descriptors_issued;
+  return od;
+}
+
+Status FileAgent::Close(ObjectDescriptor od) {
+  RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  RHODOS_RETURN_IF_ERROR(Flush(od));
+  FileRequest req{0, h->file};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kClose, body));
+  Deserializer in{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  handles_.erase(od);
+  return OkStatus();
+}
+
+Status FileAgent::Delete(const naming::AttributedName& name) {
+  RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
+  FileRequest req{NextToken(), file};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kDelete, body));
+  Deserializer in{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  (void)naming_->UnregisterFile(file);
+  // Drop cached blocks of the dead file.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.file == file) {
+      lru_.erase(it->second.lru_pos);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return OkStatus();
+}
+
+// --- cache -------------------------------------------------------------------------
+
+FileAgent::CacheEntry* FileAgent::Lookup(FileId file, std::uint64_t block) {
+  auto it = cache_.find(CacheKey{file, block});
+  if (it == cache_.end()) return nullptr;
+  if (it->second.lru_pos != lru_.begin()) {
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(it->first);
+    it->second.lru_pos = lru_.begin();
+  }
+  return &it->second;
+}
+
+Status FileAgent::WritebackEntry(const CacheKey& key, CacheEntry& entry) {
+  if (!entry.dirty) return OkStatus();
+  PwriteRequest req{key.file, key.block * kBlockSize,
+                    std::vector<std::uint8_t>(
+                        entry.data.begin(),
+                        entry.data.begin() +
+                            static_cast<std::ptrdiff_t>(entry.valid_bytes))};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPwrite, body));
+  Deserializer in{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  entry.dirty = false;
+  ++stats_.writebacks;
+  return OkStatus();
+}
+
+Status FileAgent::EvictOne() {
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    auto it = cache_.find(*rit);
+    if (it != cache_.end() && !it->second.dirty) {
+      lru_.erase(it->second.lru_pos);
+      cache_.erase(it);
+      return OkStatus();
+    }
+  }
+  if (lru_.empty()) return {ErrorCode::kInternal, "empty cache"};
+  const CacheKey victim = lru_.back();
+  auto it = cache_.find(victim);
+  RHODOS_RETURN_IF_ERROR(WritebackEntry(victim, it->second));
+  lru_.erase(it->second.lru_pos);
+  cache_.erase(it);
+  return OkStatus();
+}
+
+Status FileAgent::InsertBlock(FileId file, std::uint64_t block,
+                              std::span<const std::uint8_t> data,
+                              std::uint64_t valid_bytes, bool dirty) {
+  if (config_.cache_blocks == 0) return OkStatus();
+  if (CacheEntry* existing = Lookup(file, block)) {
+    std::memcpy(existing->data.data(), data.data(),
+                std::min<std::size_t>(data.size(), kBlockSize));
+    existing->valid_bytes = std::max(existing->valid_bytes, valid_bytes);
+    existing->dirty = existing->dirty || dirty;
+    return OkStatus();
+  }
+  while (cache_.size() >= config_.cache_blocks) {
+    RHODOS_RETURN_IF_ERROR(EvictOne());
+  }
+  CacheEntry entry;
+  entry.data.assign(kBlockSize, 0);
+  std::memcpy(entry.data.data(), data.data(),
+              std::min<std::size_t>(data.size(), kBlockSize));
+  entry.valid_bytes = valid_bytes;
+  entry.dirty = dirty;
+  const CacheKey key{file, block};
+  lru_.push_front(key);
+  entry.lru_pos = lru_.begin();
+  cache_.emplace(key, std::move(entry));
+  return OkStatus();
+}
+
+// --- positional I/O ------------------------------------------------------------------
+
+Result<std::uint64_t> FileAgent::ServerPread(FileId file,
+                                             std::uint64_t offset,
+                                             std::span<std::uint8_t> out) {
+  PreadRequest req{file, offset, out.size()};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPread, body));
+  Deserializer in{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  const std::vector<std::uint8_t> data = in.Bytes();
+  if (!in.ok()) return Error{ErrorCode::kInternal, "bad pread reply"};
+  std::memcpy(out.data(), data.data(),
+              std::min<std::size_t>(data.size(), out.size()));
+  return static_cast<std::uint64_t>(data.size());
+}
+
+Result<std::uint64_t> FileAgent::ServerPwrite(
+    FileId file, std::uint64_t offset, std::span<const std::uint8_t> in) {
+  PwriteRequest req{file, offset,
+                    std::vector<std::uint8_t>(in.begin(), in.end())};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPwrite, body));
+  Deserializer din{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(din));
+  const std::uint64_t n = din.U64();
+  if (!din.ok()) return Error{ErrorCode::kInternal, "bad pwrite reply"};
+  return n;
+}
+
+Result<std::uint64_t> FileAgent::CachedRead(OpenHandle& h,
+                                            std::uint64_t offset,
+                                            std::span<std::uint8_t> out) {
+  if (offset >= h.size) return std::uint64_t{0};
+  const std::uint64_t len =
+      std::min<std::uint64_t>(out.size(), h.size - offset);
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t block = pos / kBlockSize;
+    const std::uint64_t in_block = pos % kBlockSize;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(len - done, kBlockSize - in_block);
+    CacheEntry* entry = Lookup(h.file, block);
+    if (entry != nullptr && entry->valid_bytes >= in_block + n) {
+      ++stats_.cache_hits;
+      std::memcpy(out.data() + done, entry->data.data() + in_block, n);
+      done += n;
+      continue;
+    }
+    ++stats_.cache_misses;
+    // Fetch the whole enclosing block so nearby reads hit locally.
+    std::vector<std::uint8_t> blockbuf(kBlockSize, 0);
+    RHODOS_ASSIGN_OR_RETURN(
+        std::uint64_t got,
+        ServerPread(h.file, block * kBlockSize, blockbuf));
+    RHODOS_RETURN_IF_ERROR(
+        InsertBlock(h.file, block, blockbuf, got, /*dirty=*/false));
+    const std::uint64_t usable = got > in_block ? got - in_block : 0;
+    const std::uint64_t take = std::min(n, usable);
+    std::memcpy(out.data() + done, blockbuf.data() + in_block, take);
+    done += take;
+    if (take < n) break;  // short read from the server: stop at its EOF
+  }
+  return done;
+}
+
+Result<std::uint64_t> FileAgent::CachedWrite(OpenHandle& h,
+                                             std::uint64_t offset,
+                                             std::span<const std::uint8_t> in) {
+  if (!config_.delayed_write || config_.cache_blocks == 0) {
+    RHODOS_ASSIGN_OR_RETURN(std::uint64_t n,
+                            ServerPwrite(h.file, offset, in));
+    h.size = std::max(h.size, offset + n);
+    return n;
+  }
+  std::uint64_t done = 0;
+  while (done < in.size()) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t block = pos / kBlockSize;
+    const std::uint64_t in_block = pos % kBlockSize;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(in.size() - done, kBlockSize - in_block);
+    CacheEntry* entry = Lookup(h.file, block);
+    if (entry == nullptr) {
+      // Populate the block (read-modify-write) unless we overwrite it all.
+      std::vector<std::uint8_t> blockbuf(kBlockSize, 0);
+      std::uint64_t valid = 0;
+      const bool whole = in_block == 0 && n == kBlockSize;
+      if (!whole && block * kBlockSize < h.size) {
+        auto got = ServerPread(h.file, block * kBlockSize, blockbuf);
+        if (!got.ok()) return got;
+        valid = *got;
+        ++stats_.cache_misses;
+      }
+      RHODOS_RETURN_IF_ERROR(
+          InsertBlock(h.file, block, blockbuf, valid, /*dirty=*/false));
+      entry = Lookup(h.file, block);
+    } else {
+      ++stats_.cache_hits;
+    }
+    std::memcpy(entry->data.data() + in_block, in.data() + done, n);
+    entry->valid_bytes = std::max(entry->valid_bytes, in_block + n);
+    entry->dirty = true;
+    done += n;
+  }
+  h.size = std::max(h.size, offset + done);
+  return done;
+}
+
+Result<std::uint64_t> FileAgent::Pread(ObjectDescriptor od,
+                                       std::uint64_t offset,
+                                       std::span<std::uint8_t> out) {
+  RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  return CachedRead(*h, offset, out);
+}
+
+Result<std::uint64_t> FileAgent::Pwrite(ObjectDescriptor od,
+                                        std::uint64_t offset,
+                                        std::span<const std::uint8_t> in) {
+  RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  return CachedWrite(*h, offset, in);
+}
+
+Result<std::uint64_t> FileAgent::Read(ObjectDescriptor od,
+                                      std::span<std::uint8_t> out) {
+  RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  RHODOS_ASSIGN_OR_RETURN(std::uint64_t n, CachedRead(*h, h->cursor, out));
+  h->cursor += n;
+  return n;
+}
+
+Result<std::uint64_t> FileAgent::Write(ObjectDescriptor od,
+                                       std::span<const std::uint8_t> in) {
+  RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  RHODOS_ASSIGN_OR_RETURN(std::uint64_t n, CachedWrite(*h, h->cursor, in));
+  h->cursor += n;
+  return n;
+}
+
+Result<std::int64_t> FileAgent::Lseek(ObjectDescriptor od,
+                                      std::int64_t offset,
+                                      SeekWhence whence) {
+  RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  std::int64_t base = 0;
+  switch (whence) {
+    case SeekWhence::kSet: base = 0; break;
+    case SeekWhence::kCurrent: base = static_cast<std::int64_t>(h->cursor);
+      break;
+    case SeekWhence::kEnd: base = static_cast<std::int64_t>(h->size); break;
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) {
+    return Error{ErrorCode::kInvalidArgument, "seek before start of file"};
+  }
+  h->cursor = static_cast<std::uint64_t>(target);
+  return target;
+}
+
+Result<file::FileAttributes> FileAgent::GetAttribute(ObjectDescriptor od) {
+  RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  FileRequest req{0, h->file};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kGetAttr, body));
+  Deserializer in{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  file::FileAttributes attrs = DecodeAttributes(in);
+  // The agent may hold dirty data the server has not seen yet.
+  attrs.size = std::max(attrs.size, h->size);
+  return attrs;
+}
+
+Status FileAgent::Flush(ObjectDescriptor od) {
+  RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  for (auto& [key, entry] : cache_) {
+    if (key.file == h->file && entry.dirty) {
+      RHODOS_RETURN_IF_ERROR(WritebackEntry(key, entry));
+    }
+  }
+  return OkStatus();
+}
+
+Status FileAgent::FlushAll() {
+  for (auto& [key, entry] : cache_) {
+    if (entry.dirty) RHODOS_RETURN_IF_ERROR(WritebackEntry(key, entry));
+  }
+  return OkStatus();
+}
+
+Result<FileId> FileAgent::FileOf(ObjectDescriptor od) const {
+  auto it = handles_.find(od);
+  if (it == handles_.end()) {
+    return Error{ErrorCode::kBadDescriptor, "descriptor not open"};
+  }
+  return it->second.file;
+}
+
+void FileAgent::Crash() {
+  handles_.clear();
+  cache_.clear();
+  lru_.clear();
+}
+
+}  // namespace rhodos::agent

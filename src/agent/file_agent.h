@@ -1,0 +1,161 @@
+// The file agent (paper §3, §5) — the client machine's doorway to the
+// basic file service.
+//
+// "On each machine, all client processes acquire the services of the
+// distributed file facility through special processes known as a file
+// agent and a transaction agent." The file agent:
+//
+//  * resolves attributed names through the naming service and returns
+//    object descriptors strictly greater than 100 000;
+//  * keeps the per-descriptor cursor, so read/write/lseek are agent-side
+//    and every message to the server is positional — which is what makes
+//    the operations idempotent and the file service "nearly stateless";
+//  * caches "a substantial amount of file data to avoid trying to access
+//    the file service for each request from a client", block-grained with
+//    a delayed-write policy (dirty blocks are pushed at close/flush);
+//  * retries lost messages over the at-least-once RPC client, counting on
+//    idempotence for safety.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "agent/fs_protocol.h"
+#include "common/result.h"
+#include "common/types.h"
+#include "naming/naming_service.h"
+#include "sim/message_bus.h"
+
+namespace rhodos::agent {
+
+enum class SeekWhence : std::uint8_t { kSet = 0, kCurrent = 1, kEnd = 2 };
+
+struct FileAgentConfig {
+  std::size_t cache_blocks = 64;  // client block cache capacity
+  bool delayed_write = true;      // false: write through to the server
+  int rpc_attempts = 8;
+};
+
+struct FileAgentStats {
+  std::uint64_t cache_hits = 0;    // blocks served locally
+  std::uint64_t cache_misses = 0;
+  std::uint64_t descriptors_issued = 0;
+  std::uint64_t writebacks = 0;    // dirty blocks pushed to the server
+};
+
+class FileAgent {
+ public:
+  FileAgent(MachineId machine, sim::MessageBus* bus, std::string fs_address,
+            naming::NamingService* naming, FileAgentConfig config = {});
+
+  // --- The paper's client operations ---------------------------------------
+
+  // create: makes the file, registers its attributed name, opens it.
+  Result<ObjectDescriptor> Create(const naming::AttributedName& name,
+                                  file::ServiceType type,
+                                  std::uint64_t size_hint = 0);
+
+  // open: resolves the attributed name to a system name, opens, returns a
+  // descriptor > 100000.
+  Result<ObjectDescriptor> Open(const naming::AttributedName& name);
+  Result<ObjectDescriptor> OpenById(FileId file);
+
+  Status Close(ObjectDescriptor od);
+
+  // delete: by name (resolves first).
+  Status Delete(const naming::AttributedName& name);
+
+  // Sequential read/write at the descriptor's cursor.
+  Result<std::uint64_t> Read(ObjectDescriptor od, std::span<std::uint8_t> out);
+  Result<std::uint64_t> Write(ObjectDescriptor od,
+                              std::span<const std::uint8_t> in);
+
+  // Positional pread/pwrite (do not move the cursor).
+  Result<std::uint64_t> Pread(ObjectDescriptor od, std::uint64_t offset,
+                              std::span<std::uint8_t> out);
+  Result<std::uint64_t> Pwrite(ObjectDescriptor od, std::uint64_t offset,
+                               std::span<const std::uint8_t> in);
+
+  Result<std::int64_t> Lseek(ObjectDescriptor od, std::int64_t offset,
+                             SeekWhence whence);
+
+  Result<file::FileAttributes> GetAttribute(ObjectDescriptor od);
+
+  // Pushes this descriptor's dirty cached blocks to the server.
+  Status Flush(ObjectDescriptor od);
+  Status FlushAll();
+
+  // File id behind a descriptor (introspection/tests).
+  Result<FileId> FileOf(ObjectDescriptor od) const;
+
+  // Client machine crash: all agent state (cursors, cache) is lost.
+  void Crash();
+
+  const FileAgentStats& stats() const { return stats_; }
+  std::uint64_t rpc_retries() const { return rpc_.retries(); }
+  MachineId machine() const { return machine_; }
+
+ private:
+  struct OpenHandle {
+    FileId file{};
+    std::uint64_t cursor = 0;
+    std::uint64_t size = 0;  // agent's view; refreshed on open/getattr
+  };
+
+  struct CacheKey {
+    FileId file;
+    std::uint64_t block;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return std::hash<std::uint64_t>{}(k.file.value * 912871ULL ^ k.block);
+    }
+  };
+  struct CacheEntry {
+    std::vector<std::uint8_t> data;  // kBlockSize
+    std::uint64_t valid_bytes = 0;   // bytes of the block that are meaningful
+    bool dirty = false;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  Result<OpenHandle*> Handle(ObjectDescriptor od);
+
+  // RPC plumbing.
+  Result<sim::Payload> Call(FsOp op, std::span<const std::uint8_t> body);
+
+  // Cache plumbing.
+  CacheEntry* Lookup(FileId file, std::uint64_t block);
+  Status InsertBlock(FileId file, std::uint64_t block,
+                     std::span<const std::uint8_t> data,
+                     std::uint64_t valid_bytes, bool dirty);
+  Status WritebackEntry(const CacheKey& key, CacheEntry& entry);
+  Status EvictOne();
+
+  // Uncached positional ops against the server.
+  Result<std::uint64_t> ServerPread(FileId file, std::uint64_t offset,
+                                    std::span<std::uint8_t> out);
+  Result<std::uint64_t> ServerPwrite(FileId file, std::uint64_t offset,
+                                     std::span<const std::uint8_t> in);
+
+  Result<std::uint64_t> CachedRead(OpenHandle& h, std::uint64_t offset,
+                                   std::span<std::uint8_t> out);
+  Result<std::uint64_t> CachedWrite(OpenHandle& h, std::uint64_t offset,
+                                    std::span<const std::uint8_t> in);
+
+  std::uint64_t NextToken();
+
+  MachineId machine_;
+  sim::RpcClient rpc_;
+  naming::NamingService* naming_;
+  FileAgentConfig config_;
+  std::unordered_map<ObjectDescriptor, OpenHandle> handles_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::list<CacheKey> lru_;
+  ObjectDescriptor next_descriptor_;
+  std::uint64_t next_token_{1};
+  FileAgentStats stats_;
+};
+
+}  // namespace rhodos::agent

@@ -1,0 +1,181 @@
+#include "agent/file_service_server.h"
+
+namespace rhodos::agent {
+
+namespace {
+
+sim::Payload ErrorReply(const Error& error) {
+  Serializer out;
+  EncodeError(out, error);
+  return std::move(out).Take();
+}
+
+}  // namespace
+
+FileServiceServer::FileServiceServer(file::FileService* service,
+                                     sim::MessageBus* bus, std::string address,
+                                     std::size_t token_capacity)
+    : service_(service),
+      bus_(bus),
+      address_(std::move(address)),
+      token_capacity_(token_capacity) {
+  bus_->RegisterService(
+      address_, [this](std::uint32_t opcode,
+                       std::span<const std::uint8_t> request) {
+        return Handle(opcode, request);
+      });
+}
+
+FileServiceServer::~FileServiceServer() { bus_->UnregisterService(address_); }
+
+const sim::Payload* FileServiceServer::FindToken(std::uint64_t token) const {
+  auto it = token_replies_.find(token);
+  return it == token_replies_.end() ? nullptr : &it->second;
+}
+
+void FileServiceServer::RememberToken(std::uint64_t token,
+                                      sim::Payload reply) {
+  if (token_replies_.count(token) != 0) return;
+  token_replies_.emplace(token, std::move(reply));
+  token_order_.push_back(token);
+  while (token_order_.size() > token_capacity_) {
+    token_replies_.erase(token_order_.front());
+    token_order_.pop_front();
+  }
+}
+
+sim::Payload FileServiceServer::Handle(std::uint32_t opcode,
+                                       std::span<const std::uint8_t> request) {
+  ++stats_.requests;
+  switch (static_cast<FsOp>(opcode)) {
+    case FsOp::kCreate: return HandleCreate(request);
+    case FsOp::kDelete: return HandleDelete(request);
+    case FsOp::kOpen:
+    case FsOp::kClose: return HandleOpenClose(static_cast<FsOp>(opcode),
+                                              request);
+    case FsOp::kPread: return HandlePread(request);
+    case FsOp::kPwrite: return HandlePwrite(request);
+    case FsOp::kGetAttr: return HandleGetAttr(request);
+    case FsOp::kResize: return HandleResize(request);
+    case FsOp::kFlush: return HandleFlush(request);
+  }
+  return ErrorReply({ErrorCode::kNotSupported, "unknown opcode"});
+}
+
+sim::Payload FileServiceServer::HandleCreate(
+    std::span<const std::uint8_t> body) {
+  auto req = CreateRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  if (const sim::Payload* replay = FindToken(req->token)) {
+    ++stats_.duplicate_replays;
+    return *replay;
+  }
+  auto file = service_->Create(req->type, req->size_hint);
+  Serializer out;
+  if (!file.ok()) {
+    EncodeError(out, file.error());
+    return std::move(out).Take();
+  }
+  EncodeStatus(out, OkStatus());
+  out.U64(file->value);
+  sim::Payload reply = std::move(out).Take();
+  RememberToken(req->token, reply);
+  return reply;
+}
+
+sim::Payload FileServiceServer::HandleDelete(
+    std::span<const std::uint8_t> body) {
+  auto req = FileRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  if (const sim::Payload* replay = FindToken(req->token)) {
+    ++stats_.duplicate_replays;
+    return *replay;
+  }
+  Serializer out;
+  EncodeStatus(out, service_->Delete(req->file));
+  sim::Payload reply = std::move(out).Take();
+  RememberToken(req->token, reply);
+  return reply;
+}
+
+sim::Payload FileServiceServer::HandleOpenClose(
+    FsOp op, std::span<const std::uint8_t> body) {
+  auto req = FileRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  Serializer out;
+  EncodeStatus(out, op == FsOp::kOpen ? service_->Open(req->file)
+                                      : service_->Close(req->file));
+  return std::move(out).Take();
+}
+
+sim::Payload FileServiceServer::HandlePread(
+    std::span<const std::uint8_t> body) {
+  auto req = PreadRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  std::vector<std::uint8_t> buf(req->length);
+  auto n = service_->Read(req->file, req->offset, buf);
+  Serializer out;
+  if (!n.ok()) {
+    EncodeError(out, n.error());
+    return std::move(out).Take();
+  }
+  EncodeStatus(out, OkStatus());
+  out.Bytes({buf.data(), static_cast<std::size_t>(*n)});
+  return std::move(out).Take();
+}
+
+sim::Payload FileServiceServer::HandlePwrite(
+    std::span<const std::uint8_t> body) {
+  auto req = PwriteRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  auto n = service_->Write(req->file, req->offset, req->data);
+  Serializer out;
+  if (!n.ok()) {
+    EncodeError(out, n.error());
+    return std::move(out).Take();
+  }
+  EncodeStatus(out, OkStatus());
+  out.U64(*n);
+  return std::move(out).Take();
+}
+
+sim::Payload FileServiceServer::HandleGetAttr(
+    std::span<const std::uint8_t> body) {
+  auto req = FileRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  auto attrs = service_->GetAttributes(req->file);
+  Serializer out;
+  if (!attrs.ok()) {
+    EncodeError(out, attrs.error());
+    return std::move(out).Take();
+  }
+  EncodeStatus(out, OkStatus());
+  EncodeAttributes(out, *attrs);
+  return std::move(out).Take();
+}
+
+sim::Payload FileServiceServer::HandleResize(
+    std::span<const std::uint8_t> body) {
+  auto req = ResizeRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  if (const sim::Payload* replay = FindToken(req->token)) {
+    ++stats_.duplicate_replays;
+    return *replay;
+  }
+  Serializer out;
+  EncodeStatus(out, service_->Resize(req->file, req->size));
+  sim::Payload reply = std::move(out).Take();
+  RememberToken(req->token, reply);
+  return reply;
+}
+
+sim::Payload FileServiceServer::HandleFlush(
+    std::span<const std::uint8_t> body) {
+  auto req = FileRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  Serializer out;
+  EncodeStatus(out, service_->Flush(req->file));
+  return std::move(out).Take();
+}
+
+}  // namespace rhodos::agent

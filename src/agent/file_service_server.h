@@ -1,0 +1,67 @@
+// Server-side adapter exposing a FileService on the message bus.
+//
+// The adapter is what makes the file service "nearly stateless" (§3): the
+// only per-client state it keeps is a bounded table of recently executed
+// non-idempotent requests (create/delete/resize tokens) so that an
+// at-least-once retransmission replays the original reply instead of
+// re-executing. Positional reads and writes need no such memory — they are
+// idempotent by construction.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "agent/fs_protocol.h"
+#include "file/file_service.h"
+#include "sim/message_bus.h"
+
+namespace rhodos::agent {
+
+struct FsServerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t duplicate_replays = 0;  // served from the token table
+};
+
+class FileServiceServer {
+ public:
+  // Registers the handler under `address` on the bus.
+  FileServiceServer(file::FileService* service, sim::MessageBus* bus,
+                    std::string address, std::size_t token_capacity = 1024);
+  ~FileServiceServer();
+
+  FileServiceServer(const FileServiceServer&) = delete;
+  FileServiceServer& operator=(const FileServiceServer&) = delete;
+
+  const std::string& address() const { return address_; }
+  const FsServerStats& stats() const { return stats_; }
+
+ private:
+  sim::Payload Handle(std::uint32_t opcode,
+                      std::span<const std::uint8_t> request);
+
+  sim::Payload HandleCreate(std::span<const std::uint8_t> body);
+  sim::Payload HandleDelete(std::span<const std::uint8_t> body);
+  sim::Payload HandleOpenClose(FsOp op, std::span<const std::uint8_t> body);
+  sim::Payload HandlePread(std::span<const std::uint8_t> body);
+  sim::Payload HandlePwrite(std::span<const std::uint8_t> body);
+  sim::Payload HandleGetAttr(std::span<const std::uint8_t> body);
+  sim::Payload HandleResize(std::span<const std::uint8_t> body);
+  sim::Payload HandleFlush(std::span<const std::uint8_t> body);
+
+  // Token table: replay memory for non-idempotent requests.
+  const sim::Payload* FindToken(std::uint64_t token) const;
+  void RememberToken(std::uint64_t token, sim::Payload reply);
+
+  file::FileService* service_;
+  sim::MessageBus* bus_;
+  std::string address_;
+  std::size_t token_capacity_;
+  std::unordered_map<std::uint64_t, sim::Payload> token_replies_;
+  std::deque<std::uint64_t> token_order_;
+  FsServerStats stats_;
+};
+
+}  // namespace rhodos::agent

@@ -1,0 +1,145 @@
+#include "agent/fs_protocol.h"
+
+namespace rhodos::agent {
+
+void EncodeStatus(Serializer& out, const Status& status) {
+  if (status.ok()) {
+    out.U16(static_cast<std::uint16_t>(ErrorCode::kOk));
+    out.String("");
+  } else {
+    EncodeError(out, status.error());
+  }
+}
+
+void EncodeError(Serializer& out, const Error& error) {
+  out.U16(static_cast<std::uint16_t>(error.code));
+  out.String(error.message);
+}
+
+Status DecodeStatus(Deserializer& in) {
+  const auto code = static_cast<ErrorCode>(in.U16());
+  std::string message = in.String();
+  if (!in.ok()) {
+    return {ErrorCode::kInternal, "malformed reply status"};
+  }
+  if (code == ErrorCode::kOk) return OkStatus();
+  return {code, std::move(message)};
+}
+
+void EncodeAttributes(Serializer& out, const file::FileAttributes& a) {
+  out.U64(a.size);
+  out.I64(a.created_time);
+  out.I64(a.last_read_time);
+  out.U32(a.ref_count);
+  out.U64(a.access_count);
+  out.U8(static_cast<std::uint8_t>(a.service_type));
+  out.U8(static_cast<std::uint8_t>(a.locking_level));
+  out.U32(a.extra_space);
+}
+
+file::FileAttributes DecodeAttributes(Deserializer& in) {
+  file::FileAttributes a;
+  a.size = in.U64();
+  a.created_time = in.I64();
+  a.last_read_time = in.I64();
+  a.ref_count = in.U32();
+  a.access_count = in.U64();
+  a.service_type = static_cast<file::ServiceType>(in.U8());
+  a.locking_level = static_cast<file::LockLevel>(in.U8());
+  a.extra_space = in.U32();
+  return a;
+}
+
+std::vector<std::uint8_t> CreateRequest::Encode() const {
+  Serializer out;
+  out.U64(token);
+  out.U8(static_cast<std::uint8_t>(type));
+  out.U64(size_hint);
+  return std::move(out).Take();
+}
+
+Result<CreateRequest> CreateRequest::Decode(
+    std::span<const std::uint8_t> data) {
+  Deserializer in{data};
+  CreateRequest r;
+  r.token = in.U64();
+  r.type = static_cast<file::ServiceType>(in.U8());
+  r.size_hint = in.U64();
+  if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad create req"};
+  return r;
+}
+
+std::vector<std::uint8_t> FileRequest::Encode() const {
+  Serializer out;
+  out.U64(token);
+  out.U64(file.value);
+  return std::move(out).Take();
+}
+
+Result<FileRequest> FileRequest::Decode(std::span<const std::uint8_t> data) {
+  Deserializer in{data};
+  FileRequest r;
+  r.token = in.U64();
+  r.file = FileId{in.U64()};
+  if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad file req"};
+  return r;
+}
+
+std::vector<std::uint8_t> PreadRequest::Encode() const {
+  Serializer out;
+  out.U64(file.value);
+  out.U64(offset);
+  out.U64(length);
+  return std::move(out).Take();
+}
+
+Result<PreadRequest> PreadRequest::Decode(
+    std::span<const std::uint8_t> data) {
+  Deserializer in{data};
+  PreadRequest r;
+  r.file = FileId{in.U64()};
+  r.offset = in.U64();
+  r.length = in.U64();
+  if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad pread req"};
+  return r;
+}
+
+std::vector<std::uint8_t> PwriteRequest::Encode() const {
+  Serializer out;
+  out.U64(file.value);
+  out.U64(offset);
+  out.Bytes(data);
+  return std::move(out).Take();
+}
+
+Result<PwriteRequest> PwriteRequest::Decode(
+    std::span<const std::uint8_t> bytes) {
+  Deserializer in{bytes};
+  PwriteRequest r;
+  r.file = FileId{in.U64()};
+  r.offset = in.U64();
+  r.data = in.Bytes();
+  if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad pwrite req"};
+  return r;
+}
+
+std::vector<std::uint8_t> ResizeRequest::Encode() const {
+  Serializer out;
+  out.U64(token);
+  out.U64(file.value);
+  out.U64(size);
+  return std::move(out).Take();
+}
+
+Result<ResizeRequest> ResizeRequest::Decode(
+    std::span<const std::uint8_t> data) {
+  Deserializer in{data};
+  ResizeRequest r;
+  r.token = in.U64();
+  r.file = FileId{in.U64()};
+  r.size = in.U64();
+  if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad resize req"};
+  return r;
+}
+
+}  // namespace rhodos::agent

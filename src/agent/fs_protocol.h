@@ -1,0 +1,90 @@
+// Wire protocol between the file agent and the file service (paper §3).
+//
+// "The semantics of the messages exchanged among the file agent,
+// transaction agent, file service, and naming service constitute idempotent
+// operations." The protocol is built to honour that: data operations are
+// positional (pread/pwrite), which are naturally idempotent — replaying a
+// lost-reply retransmission re-produces the same state and the same answer.
+// The few operations that are not naturally idempotent (create, delete,
+// resize) carry a client-generated token; the server remembers recent
+// tokens and replays the original reply instead of re-executing.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serializer.h"
+#include "common/types.h"
+#include "file/file_types.h"
+
+namespace rhodos::agent {
+
+enum class FsOp : std::uint32_t {
+  kCreate = 1,
+  kDelete = 2,
+  kOpen = 3,
+  kClose = 4,
+  kPread = 5,
+  kPwrite = 6,
+  kGetAttr = 7,
+  kResize = 8,
+  kFlush = 9,
+};
+
+// Every reply starts with a status frame.
+void EncodeStatus(Serializer& out, const Status& status);
+void EncodeError(Serializer& out, const Error& error);
+Status DecodeStatus(Deserializer& in);
+
+void EncodeAttributes(Serializer& out, const file::FileAttributes& attrs);
+file::FileAttributes DecodeAttributes(Deserializer& in);
+
+// Request bodies. Each struct has Encode/Decode mirrors used by both sides.
+struct CreateRequest {
+  std::uint64_t token = 0;  // idempotency token
+  file::ServiceType type = file::ServiceType::kBasic;
+  std::uint64_t size_hint = 0;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<CreateRequest> Decode(std::span<const std::uint8_t> data);
+};
+
+struct FileRequest {  // delete/open/close/getattr/flush
+  std::uint64_t token = 0;
+  FileId file{};
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<FileRequest> Decode(std::span<const std::uint8_t> data);
+};
+
+struct PreadRequest {
+  FileId file{};
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<PreadRequest> Decode(std::span<const std::uint8_t> data);
+};
+
+struct PwriteRequest {
+  FileId file{};
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> data;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<PwriteRequest> Decode(std::span<const std::uint8_t> bytes);
+};
+
+struct ResizeRequest {
+  std::uint64_t token = 0;
+  FileId file{};
+  std::uint64_t size = 0;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<ResizeRequest> Decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace rhodos::agent

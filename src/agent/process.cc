@@ -1,0 +1,69 @@
+#include "agent/process.h"
+
+#include <algorithm>
+
+namespace rhodos::agent {
+
+Status ProcessContext::RedirectStdout(ObjectDescriptor file_descriptor) {
+  if (!IsFileDescriptor(file_descriptor)) {
+    return {ErrorCode::kBadDescriptor, "stdout must redirect to a file"};
+  }
+  stdout_ = kRedirectedStdout;
+  state_->redirects[kRedirectedStdout] = file_descriptor;
+  return OkStatus();
+}
+
+Status ProcessContext::RedirectStdin(ObjectDescriptor file_descriptor) {
+  if (!IsFileDescriptor(file_descriptor)) {
+    return {ErrorCode::kBadDescriptor, "stdin must redirect to a file"};
+  }
+  stdin_ = kRedirectedStdin;
+  state_->redirects[kRedirectedStdin] = file_descriptor;
+  return OkStatus();
+}
+
+Status ProcessContext::RedirectStderr(ObjectDescriptor file_descriptor) {
+  if (!IsFileDescriptor(file_descriptor)) {
+    return {ErrorCode::kBadDescriptor, "stderr must redirect to a file"};
+  }
+  stderr_ = kRedirectedStderr;
+  state_->redirects[kRedirectedStderr] = file_descriptor;
+  return OkStatus();
+}
+
+Result<ObjectDescriptor> ProcessContext::ResolveStream(
+    ObjectDescriptor stream) const {
+  if (stream == kRedirectedStdout || stream == kRedirectedStdin ||
+      stream == kRedirectedStderr) {
+    auto it = state_->redirects.find(stream);
+    if (it == state_->redirects.end()) {
+      return Error{ErrorCode::kBadDescriptor, "stream not redirected"};
+    }
+    return it->second;
+  }
+  return stream;
+}
+
+void ProcessContext::RemoveTransaction(TxnId txn) {
+  auto& v = state_->transactions;
+  v.erase(std::remove(v.begin(), v.end(), txn), v.end());
+}
+
+Result<ProcessContext> ProcessContext::Twin(ProcessId child_pid) const {
+  if (!state_->transactions.empty()) {
+    // "processes which perform I/O on devices and files using the semantics
+    // of the basic file service can only invoke the process-twin operation"
+    // — live transaction descriptors would be inherited and break
+    // serializability.
+    return Error{ErrorCode::kPermissionDenied,
+                 "process-twin denied: transaction descriptors are live"};
+  }
+  ProcessContext child(child_pid);
+  child.stdin_ = stdin_;
+  child.stdout_ = stdout_;
+  child.stderr_ = stderr_;
+  child.state_ = state_;  // mediumweight: shared data space
+  return child;
+}
+
+}  // namespace rhodos::agent

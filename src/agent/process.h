@@ -1,0 +1,87 @@
+// RHODOS process model as seen by the file facility (paper §3).
+//
+// Processes carry three global environment variables — stdin, stdout,
+// stderr — defaulting to 0, 1, 2 (the console). Requesting redirection of a
+// standard stream re-initializes the variable with the fixed values 100001
+// (stdout), 100002 (stdin) or 100003 (stderr); values above 100 000 route
+// the stream to the file facility through a redirect table.
+//
+// A *mediumweight* process shares text and data with its parent but has its
+// own stack; its child "will inherit all the object descriptors of the
+// devices and files opened by the parent process and also the transaction
+// descriptors". Because inheriting transaction descriptors "poses a serious
+// threat to the serializability property", only processes doing basic-file
+// I/O may invoke the process-twin operation — Twin() refuses while any
+// transaction descriptor is live.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace rhodos::agent {
+
+// Descriptor state shared between mediumweight twins (they share their data
+// space, hence the shared_ptr).
+struct SharedProcessState {
+  // Object descriptors this process family holds (devices and files).
+  std::vector<ObjectDescriptor> descriptors;
+  // Transaction descriptors of transactions initiated by the family.
+  std::vector<TxnId> transactions;
+  // Redirect table: the fixed stream constants (100001..100003) map to a
+  // real file-agent descriptor.
+  std::unordered_map<ObjectDescriptor, ObjectDescriptor> redirects;
+};
+
+class ProcessContext {
+ public:
+  explicit ProcessContext(ProcessId pid)
+      : pid_(pid), state_(std::make_shared<SharedProcessState>()) {}
+
+  ProcessId pid() const { return pid_; }
+
+  // Environment variables (§3 defaults: 0, 1, 2).
+  ObjectDescriptor stdin_fd() const { return stdin_; }
+  ObjectDescriptor stdout_fd() const { return stdout_; }
+  ObjectDescriptor stderr_fd() const { return stderr_; }
+
+  // Redirection: points the stream at a file-agent descriptor; the
+  // environment variable takes the fixed constant for that stream.
+  Status RedirectStdout(ObjectDescriptor file_descriptor);
+  Status RedirectStdin(ObjectDescriptor file_descriptor);
+  Status RedirectStderr(ObjectDescriptor file_descriptor);
+
+  // Resolves a (possibly redirected) stream variable to the descriptor that
+  // should receive the I/O.
+  Result<ObjectDescriptor> ResolveStream(ObjectDescriptor stream) const;
+
+  // Descriptor bookkeeping (the agents call these).
+  void AddDescriptor(ObjectDescriptor od) {
+    state_->descriptors.push_back(od);
+  }
+  void AddTransaction(TxnId txn) { state_->transactions.push_back(txn); }
+  void RemoveTransaction(TxnId txn);
+  const std::vector<ObjectDescriptor>& descriptors() const {
+    return state_->descriptors;
+  }
+  const std::vector<TxnId>& transactions() const {
+    return state_->transactions;
+  }
+
+  // process-twin: creates a mediumweight child sharing this process's
+  // descriptor state. Refused while transactions are live (§3).
+  Result<ProcessContext> Twin(ProcessId child_pid) const;
+
+ private:
+  ProcessId pid_;
+  ObjectDescriptor stdin_{kStdinDescriptor};
+  ObjectDescriptor stdout_{kStdoutDescriptor};
+  ObjectDescriptor stderr_{kStderrDescriptor};
+  std::shared_ptr<SharedProcessState> state_;
+};
+
+}  // namespace rhodos::agent

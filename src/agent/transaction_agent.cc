@@ -1,0 +1,254 @@
+#include "agent/transaction_agent.h"
+
+#include <cstring>
+
+namespace rhodos::agent {
+
+Result<TransactionAgentHost::Agent*> TransactionAgentHost::Alive() {
+  if (agent_ == nullptr) {
+    return Error{ErrorCode::kTxnNotActive,
+                 "no transaction agent running on this machine"};
+  }
+  return agent_.get();
+}
+
+Result<TransactionAgentHost::Handle*> TransactionAgentHost::HandleOf(
+    ObjectDescriptor od) {
+  RHODOS_ASSIGN_OR_RETURN(Agent * agent, Alive());
+  auto it = agent->handles.find(od);
+  if (it == agent->handles.end()) {
+    return Error{ErrorCode::kBadDescriptor,
+                 "descriptor " + std::to_string(od) + " is not open"};
+  }
+  return &it->second;
+}
+
+Result<TxnId> TransactionAgentHost::TBegin(ProcessContext& process) {
+  if (agent_ == nullptr) {
+    // "The first request to initiate a transaction in a client's machine
+    // brings this process into existence."
+    agent_ = std::make_unique<Agent>();
+    ++stats_.spawns;
+  }
+  RHODOS_ASSIGN_OR_RETURN(TxnId txn, service_->Begin(process.pid()));
+  agent_->local_txns.insert(txn);
+  process.AddTransaction(txn);
+  return txn;
+}
+
+void TransactionAgentHost::RetireIfIdle(TxnId txn, ProcessContext& process) {
+  process.RemoveTransaction(txn);
+  if (agent_ != nullptr) {
+    agent_->read_caches.erase(txn);
+    agent_->local_txns.erase(txn);
+    if (agent_->local_txns.empty()) {
+      // "...and it ceases to exist as soon as the last transaction in the
+      // client's machine either completes successfully or aborts."
+      agent_.reset();
+      ++stats_.retirements;
+    }
+  }
+}
+
+Result<ObjectDescriptor> TransactionAgentHost::TCreate(
+    TxnId txn, const naming::AttributedName& name, file::LockLevel level,
+    std::uint64_t size_hint) {
+  RHODOS_ASSIGN_OR_RETURN(Agent * agent, Alive());
+  RHODOS_ASSIGN_OR_RETURN(FileId file,
+                          service_->TCreate(txn, level, size_hint));
+  RHODOS_RETURN_IF_ERROR(naming_->RegisterFile(name, file));
+  const ObjectDescriptor od = agent->next_descriptor++;
+  agent->handles.emplace(od, Handle{file, 0});
+  ++stats_.descriptors_issued;
+  return od;
+}
+
+Result<ObjectDescriptor> TransactionAgentHost::TOpen(
+    TxnId txn, const naming::AttributedName& name) {
+  RHODOS_ASSIGN_OR_RETURN(Agent * agent, Alive());
+  RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
+  RHODOS_RETURN_IF_ERROR(service_->TOpen(txn, file));
+  const ObjectDescriptor od = agent->next_descriptor++;
+  agent->handles.emplace(od, Handle{file, 0});
+  ++stats_.descriptors_issued;
+  return od;
+}
+
+Status TransactionAgentHost::TClose(TxnId txn, ObjectDescriptor od) {
+  RHODOS_ASSIGN_OR_RETURN(Agent * agent, Alive());
+  auto it = agent->handles.find(od);
+  if (it == agent->handles.end()) {
+    return {ErrorCode::kBadDescriptor, "descriptor not open"};
+  }
+  RHODOS_RETURN_IF_ERROR(service_->TClose(txn, it->second.file));
+  agent->handles.erase(it);
+  return OkStatus();
+}
+
+Status TransactionAgentHost::TDelete(TxnId txn,
+                                     const naming::AttributedName& name) {
+  RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
+  RHODOS_RETURN_IF_ERROR(service_->TDelete(txn, file));
+  // The name disappears when the delete commits; unregister optimistically
+  // (an abort would re-register — tracked as future work, the paper gives
+  // no naming-vs-abort semantics).
+  (void)naming_->UnregisterFile(file);
+  return OkStatus();
+}
+
+Result<std::uint64_t> TransactionAgentHost::CachedRead(
+    TxnId txn, FileId file, std::uint64_t offset,
+    std::span<std::uint8_t> out, txn::ReadIntent intent) {
+  RHODOS_ASSIGN_OR_RETURN(file::FileAttributes attrs,
+                          service_->TGetAttribute(txn, file));
+  // The cache is page-grained, so it is only sound when the lock
+  // granularity covers whole pages. Record-locked files pass through —
+  // caching a full page would read bytes the transaction never locked.
+  if (attrs.locking_level == file::LockLevel::kRecord) {
+    return service_->TRead(txn, file, offset, out, intent);
+  }
+  if (offset >= attrs.size) return std::uint64_t{0};
+  const std::uint64_t len =
+      std::min<std::uint64_t>(out.size(), attrs.size - offset);
+  RHODOS_ASSIGN_OR_RETURN(Agent * agent, Alive());
+  TxnPageCache& cache = agent->read_caches[txn];
+
+  std::uint64_t done = 0;
+  while (done < len) {
+    const std::uint64_t pos = offset + done;
+    const std::uint64_t page = pos / kBlockSize;
+    const std::uint64_t in_page = pos % kBlockSize;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(len - done, kBlockSize - in_page);
+    auto it = cache.find(PageKey{file.value, page});
+    // On a ForUpdate request the service must see the read (it takes the
+    // IR lock); a cached page only short-circuits plain queries, or
+    // updates whose page is already known to be IR/IW locked (a prior
+    // write went through the service). Keep it simple and sound: cache
+    // hits serve only kQuery; kForUpdate always goes to the service.
+    if (it != cache.end() && intent == txn::ReadIntent::kQuery) {
+      ++cache_stats_.page_hits;
+      std::memcpy(out.data() + done, it->second.data() + in_page, n);
+      done += n;
+      continue;
+    }
+    ++cache_stats_.page_misses;
+    const std::uint64_t page_begin = page * kBlockSize;
+    const std::uint64_t page_span =
+        std::min<std::uint64_t>(kBlockSize, attrs.size - page_begin);
+    std::vector<std::uint8_t> buf(kBlockSize, 0);
+    auto got = service_->TRead(txn, file, page_begin,
+                               {buf.data(), page_span}, intent);
+    if (!got.ok()) return got;
+    cache[PageKey{file.value, page}] = buf;
+    std::memcpy(out.data() + done, buf.data() + in_page, n);
+    done += n;
+  }
+  return done;
+}
+
+Result<std::uint64_t> TransactionAgentHost::CachedWrite(
+    TxnId txn, FileId file, std::uint64_t offset,
+    std::span<const std::uint8_t> in) {
+  RHODOS_ASSIGN_OR_RETURN(std::uint64_t n,
+                          service_->TWrite(txn, file, offset, in));
+  // Keep cached pages coherent with the transaction's own writes.
+  if (agent_ != nullptr) {
+    auto cache_it = agent_->read_caches.find(txn);
+    if (cache_it != agent_->read_caches.end()) {
+      std::uint64_t done = 0;
+      while (done < n) {
+        const std::uint64_t pos = offset + done;
+        const std::uint64_t page = pos / kBlockSize;
+        const std::uint64_t in_page = pos % kBlockSize;
+        const std::uint64_t chunk =
+            std::min<std::uint64_t>(n - done, kBlockSize - in_page);
+        auto it = cache_it->second.find(PageKey{file.value, page});
+        if (it != cache_it->second.end()) {
+          std::memcpy(it->second.data() + in_page, in.data() + done, chunk);
+        }
+        done += chunk;
+      }
+    }
+  }
+  return n;
+}
+
+Result<std::uint64_t> TransactionAgentHost::TPread(
+    TxnId txn, ObjectDescriptor od, std::uint64_t offset,
+    std::span<std::uint8_t> out, txn::ReadIntent intent) {
+  RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
+  return CachedRead(txn, h->file, offset, out, intent);
+}
+
+Result<std::uint64_t> TransactionAgentHost::TPwrite(
+    TxnId txn, ObjectDescriptor od, std::uint64_t offset,
+    std::span<const std::uint8_t> in) {
+  RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
+  return CachedWrite(txn, h->file, offset, in);
+}
+
+Result<std::uint64_t> TransactionAgentHost::TRead(TxnId txn,
+                                                  ObjectDescriptor od,
+                                                  std::span<std::uint8_t> out,
+                                                  txn::ReadIntent intent) {
+  RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
+  RHODOS_ASSIGN_OR_RETURN(std::uint64_t n,
+                          CachedRead(txn, h->file, h->cursor, out, intent));
+  h->cursor += n;
+  return n;
+}
+
+Result<std::uint64_t> TransactionAgentHost::TWrite(
+    TxnId txn, ObjectDescriptor od, std::span<const std::uint8_t> in) {
+  RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
+  RHODOS_ASSIGN_OR_RETURN(std::uint64_t n,
+                          CachedWrite(txn, h->file, h->cursor, in));
+  h->cursor += n;
+  return n;
+}
+
+Result<std::int64_t> TransactionAgentHost::TLseek(TxnId txn,
+                                                  ObjectDescriptor od,
+                                                  std::int64_t offset,
+                                                  SeekWhence whence) {
+  RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
+  std::int64_t base = 0;
+  switch (whence) {
+    case SeekWhence::kSet: base = 0; break;
+    case SeekWhence::kCurrent: base = static_cast<std::int64_t>(h->cursor);
+      break;
+    case SeekWhence::kEnd: {
+      RHODOS_ASSIGN_OR_RETURN(file::FileAttributes attrs,
+                              service_->TGetAttribute(txn, h->file));
+      base = static_cast<std::int64_t>(attrs.size);
+      break;
+    }
+  }
+  const std::int64_t target = base + offset;
+  if (target < 0) {
+    return Error{ErrorCode::kInvalidArgument, "seek before start of file"};
+  }
+  h->cursor = static_cast<std::uint64_t>(target);
+  return target;
+}
+
+Result<file::FileAttributes> TransactionAgentHost::TGetAttribute(
+    TxnId txn, ObjectDescriptor od) {
+  RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
+  return service_->TGetAttribute(txn, h->file);
+}
+
+Status TransactionAgentHost::TEnd(TxnId txn, ProcessContext& process) {
+  Status result = service_->End(txn);
+  RetireIfIdle(txn, process);
+  return result;
+}
+
+Status TransactionAgentHost::TAbort(TxnId txn, ProcessContext& process) {
+  Status result = service_->Abort(txn);
+  RetireIfIdle(txn, process);
+  return result;
+}
+
+}  // namespace rhodos::agent

@@ -1,0 +1,64 @@
+// Minimal leveled logging. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate what the facility is doing.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string_view>
+
+namespace rhodos {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3,
+                            kOff = 4 };
+
+class Log {
+ public:
+  static LogLevel& Threshold() {
+    static LogLevel level = LogLevel::kOff;
+    return level;
+  }
+
+  static void Emit(LogLevel level, std::string_view component,
+                   std::string_view message) {
+    if (level < Threshold()) return;
+    static std::mutex mu;
+    std::scoped_lock lock(mu);
+    std::clog << "[" << Name(level) << "] " << component << ": " << message
+              << '\n';
+  }
+
+ private:
+  static std::string_view Name(LogLevel level) {
+    switch (level) {
+      case LogLevel::kDebug: return "DEBUG";
+      case LogLevel::kInfo: return "INFO ";
+      case LogLevel::kWarn: return "WARN ";
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kOff: return "OFF  ";
+    }
+    return "?";
+  }
+};
+
+// Streams a message lazily: the ostringstream is only built when the level
+// passes the threshold.
+#define RHODOS_LOG(level, component, expr)                              \
+  do {                                                                  \
+    if ((level) >= ::rhodos::Log::Threshold()) {                        \
+      std::ostringstream _oss;                                          \
+      _oss << expr;                                                     \
+      ::rhodos::Log::Emit((level), (component), _oss.str());            \
+    }                                                                   \
+  } while (0)
+
+#define RHODOS_DEBUG(component, expr) \
+  RHODOS_LOG(::rhodos::LogLevel::kDebug, component, expr)
+#define RHODOS_INFO(component, expr) \
+  RHODOS_LOG(::rhodos::LogLevel::kInfo, component, expr)
+#define RHODOS_WARN(component, expr) \
+  RHODOS_LOG(::rhodos::LogLevel::kWarn, component, expr)
+#define RHODOS_ERROR(component, expr) \
+  RHODOS_LOG(::rhodos::LogLevel::kError, component, expr)
+
+}  // namespace rhodos

@@ -1,0 +1,44 @@
+// Simulated time base shared by the hardware models.
+//
+// The paper's performance arguments are about latencies that accumulate from
+// mechanical disk movement and network hops. A SimClock lets every component
+// charge costs deterministically, so benchmark rows are exactly reproducible
+// run to run.
+#pragma once
+
+#include <cstdint>
+
+namespace rhodos {
+
+// Simulated nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimMicrosecond = 1'000;
+inline constexpr SimTime kSimMillisecond = 1'000'000;
+inline constexpr SimTime kSimSecond = 1'000'000'000;
+
+// A monotonically advancing simulated clock. Components that model physical
+// latency (disk arms, network links) call Advance(); observers call Now().
+// Not thread safe by design: the simulated-hardware paths are single
+// threaded, while the concurrency experiments (lock manager) run on real
+// threads against the real clock.
+class SimClock {
+ public:
+  SimTime Now() const { return now_; }
+
+  void Advance(SimTime delta) {
+    if (delta > 0) now_ += delta;
+  }
+
+  // Moves the clock to at least `t` (models waiting until an event).
+  void AdvanceTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  void Reset() { now_ = 0; }
+
+ private:
+  SimTime now_{0};
+};
+
+}  // namespace rhodos

@@ -1,0 +1,89 @@
+#include "core/facility.h"
+
+namespace rhodos::core {
+
+DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
+    : config_(config), bus_(&clock_, config.network), disks_(config.placement) {
+  for (std::uint32_t i = 0; i < config_.disk_count; ++i) {
+    disk::DiskServerConfig dc;
+    dc.geometry = config_.geometry;
+    dc.cache_capacity_tracks = config_.disk_cache_tracks;
+    dc.track_readahead = config_.track_readahead;
+    dc.fault_seed = 100 + i;
+    disks_.AddDisk(dc, &clock_);
+  }
+  files_ = std::make_unique<file::FileService>(&disks_, &clock_,
+                                               config_.file);
+  // The transaction service reserves its log region on disk 0 before any
+  // file allocation touches it.
+  auto disk0 = disks_.Get(DiskId{0});
+  txns_ = std::make_unique<txn::TransactionService>(files_.get(), *disk0,
+                                                    config_.txn);
+  replication_ =
+      std::make_unique<replication::ReplicationService>(files_.get());
+  file_server_ = std::make_unique<agent::FileServiceServer>(
+      files_.get(), &bus_, kFileServiceAddress);
+}
+
+Machine& DistributedFileFacility::AddMachine() {
+  auto m = std::make_unique<Machine>();
+  m->id = MachineId{static_cast<std::uint32_t>(machines_.size())};
+  m->file_agent = std::make_unique<agent::FileAgent>(
+      m->id, &bus_, kFileServiceAddress, &naming_, config_.agent);
+  m->device_agent = std::make_unique<agent::DeviceAgent>(&naming_);
+  m->txn_agent = std::make_unique<agent::TransactionAgentHost>(
+      m->id, txns_.get(), &naming_);
+  machines_.push_back(std::move(m));
+  return *machines_.back();
+}
+
+agent::ProcessContext DistributedFileFacility::CreateProcess() {
+  return agent::ProcessContext{ProcessId{next_pid_++}};
+}
+
+Result<std::uint64_t> DistributedFileFacility::WriteStream(
+    Machine& m, const agent::ProcessContext& process, ObjectDescriptor stream,
+    std::span<const std::uint8_t> data) {
+  RHODOS_ASSIGN_OR_RETURN(ObjectDescriptor target,
+                          process.ResolveStream(stream));
+  if (IsDeviceDescriptor(target)) {
+    if (target == kStdoutDescriptor || target == kStderrDescriptor) {
+      return m.device_agent->WriteStandard(target, data);
+    }
+    return m.device_agent->Write(target, data);
+  }
+  return m.file_agent->Write(target, data);
+}
+
+Result<std::uint64_t> DistributedFileFacility::ReadStream(
+    Machine& m, const agent::ProcessContext& process, ObjectDescriptor stream,
+    std::span<std::uint8_t> out) {
+  RHODOS_ASSIGN_OR_RETURN(ObjectDescriptor target,
+                          process.ResolveStream(stream));
+  if (IsDeviceDescriptor(target)) {
+    if (target == kStdinDescriptor) {
+      return m.device_agent->ReadStandard(out);
+    }
+    return m.device_agent->Read(target, out);
+  }
+  return m.file_agent->Read(target, out);
+}
+
+void DistributedFileFacility::CrashServers() {
+  files_->Crash();
+  disks_.CrashAll();
+}
+
+Status DistributedFileFacility::RecoverServers() {
+  RHODOS_RETURN_IF_ERROR(disks_.RecoverAll());
+  return txns_->Recover();
+}
+
+void DistributedFileFacility::ResetStats() {
+  disks_.ResetStats();
+  files_->ResetStats();
+  txns_->ResetStats();
+  bus_.ResetStats();
+}
+
+}  // namespace rhodos::core

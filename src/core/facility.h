@@ -1,0 +1,127 @@
+// The RHODOS distributed file facility — the assembled architecture of
+// Figure 1 (paper §2.2).
+//
+//   client process
+//     -> file agent / transaction agent / device agent   (per machine)
+//       -> naming service, replication service
+//       -> transaction-oriented file service + basic file service
+//         -> block (disk) service                         (per disk)
+//
+// "Each of these services has been implemented as a separate layer and
+// provides a clean interface to its users"; caching exists at each level so
+// a request rarely descends all the way. The facade constructs the layers,
+// wires the message bus between client machines and the file service, and
+// offers the whole-system failure controls (crash / recover) the
+// reliability experiments exercise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "agent/device_agent.h"
+#include "agent/file_agent.h"
+#include "agent/file_service_server.h"
+#include "agent/process.h"
+#include "agent/transaction_agent.h"
+#include "common/sim_clock.h"
+#include "disk/disk_registry.h"
+#include "file/file_service.h"
+#include "naming/naming_service.h"
+#include "replication/replication_service.h"
+#include "sim/message_bus.h"
+#include "txn/transaction_service.h"
+
+namespace rhodos::core {
+
+struct FacilityConfig {
+  std::uint32_t disk_count = 1;
+  sim::DiskGeometry geometry{};
+  std::size_t disk_cache_tracks = 16;
+  bool track_readahead = true;
+  disk::PlacementPolicy placement = disk::PlacementPolicy::kRoundRobin;
+  file::FileServiceConfig file{};
+  txn::TxnServiceConfig txn{};
+  sim::NetworkConfig network{};
+  agent::FileAgentConfig agent{};
+};
+
+// One client workstation: its agents (paper §3: "on each machine, all
+// client processes acquire the services ... through ... a file agent and a
+// transaction agent"; "on each machine, there is one process called a
+// device agent").
+struct Machine {
+  MachineId id;
+  std::unique_ptr<agent::FileAgent> file_agent;
+  std::unique_ptr<agent::DeviceAgent> device_agent;
+  std::unique_ptr<agent::TransactionAgentHost> txn_agent;
+};
+
+class DistributedFileFacility {
+ public:
+  explicit DistributedFileFacility(FacilityConfig config = {});
+
+  DistributedFileFacility(const DistributedFileFacility&) = delete;
+  DistributedFileFacility& operator=(const DistributedFileFacility&) = delete;
+
+  // --- Layers ----------------------------------------------------------------
+
+  SimClock& clock() { return clock_; }
+  disk::DiskRegistry& disks() { return disks_; }
+  file::FileService& files() { return *files_; }
+  txn::TransactionService& transactions() { return *txns_; }
+  naming::NamingService& naming() { return naming_; }
+  replication::ReplicationService& replication() { return *replication_; }
+  sim::MessageBus& bus() { return bus_; }
+  agent::FileServiceServer& file_server() { return *file_server_; }
+  const FacilityConfig& config() const { return config_; }
+
+  // --- Client machines and processes ------------------------------------------
+
+  Machine& AddMachine();
+  Machine& machine(std::size_t i) { return *machines_.at(i); }
+  std::size_t MachineCount() const { return machines_.size(); }
+
+  agent::ProcessContext CreateProcess();
+
+  // Stream I/O that honours the redirection rules of §3: descriptors below
+  // 100 000 go to the machine's device agent, above to its file agent.
+  Result<std::uint64_t> WriteStream(Machine& m,
+                                    const agent::ProcessContext& process,
+                                    ObjectDescriptor stream,
+                                    std::span<const std::uint8_t> data);
+  Result<std::uint64_t> ReadStream(Machine& m,
+                                   const agent::ProcessContext& process,
+                                   ObjectDescriptor stream,
+                                   std::span<std::uint8_t> out);
+
+  // --- Whole-system failure model -----------------------------------------------
+
+  // Server-side crash: the file service machine and every disk server lose
+  // volatile state (caches, delayed writes, async stable queues).
+  void CrashServers();
+
+  // Brings disks and services back and runs transaction recovery.
+  Status RecoverServers();
+
+  void ResetStats();
+
+ private:
+  FacilityConfig config_;
+  SimClock clock_;
+  sim::MessageBus bus_;
+  disk::DiskRegistry disks_;
+  std::unique_ptr<file::FileService> files_;
+  std::unique_ptr<txn::TransactionService> txns_;
+  naming::NamingService naming_;
+  std::unique_ptr<replication::ReplicationService> replication_;
+  std::unique_ptr<agent::FileServiceServer> file_server_;
+  std::vector<std::unique_ptr<Machine>> machines_;
+  std::uint64_t next_pid_{1};
+};
+
+// Address under which the facility's file service listens on the bus.
+inline constexpr const char* kFileServiceAddress = "file-service";
+
+}  // namespace rhodos::core

@@ -1,0 +1,81 @@
+// Free-space bitmap of one disk (paper §4).
+//
+// "Each disk server maintains a bitmap of the disk to which it is
+// associated. A bitmap is updated when block(s) or fragment(s) are freed."
+//
+// One bit per fragment; set = allocated. The bitmap is the ground truth for
+// free space; the 64x64 run array (free_space_array.h) is a fast index
+// rebuilt from it by scanning.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/serializer.h"
+#include "common/types.h"
+
+namespace rhodos::disk {
+
+class Bitmap {
+ public:
+  explicit Bitmap(std::uint64_t fragment_count)
+      : fragment_count_(fragment_count),
+        words_((fragment_count + 63) / 64, 0) {}
+
+  std::uint64_t size() const { return fragment_count_; }
+
+  bool IsAllocated(FragmentIndex i) const {
+    return (words_[i / 64] >> (i % 64)) & 1ULL;
+  }
+  bool IsFree(FragmentIndex i) const { return !IsAllocated(i); }
+
+  // True iff every fragment in [first, first+count) is free.
+  bool IsRangeFree(FragmentIndex first, std::uint64_t count) const;
+
+  void AllocateRange(FragmentIndex first, std::uint64_t count);
+  void FreeRange(FragmentIndex first, std::uint64_t count);
+
+  std::uint64_t CountFree() const;
+  std::uint64_t CountAllocated() const { return fragment_count_ - CountFree(); }
+
+  // Linear scan for a run of `count` free fragments starting at or after
+  // `start_hint`, wrapping once. O(size); the run array exists to avoid
+  // calling this on the hot path.
+  std::optional<FragmentIndex> FindFreeRun(std::uint64_t count,
+                                           FragmentIndex start_hint = 0) const;
+
+  // Enumerates maximal free runs, invoking fn(start, length) for each.
+  template <typename Fn>
+  void ForEachFreeRun(Fn&& fn) const {
+    std::uint64_t i = 0;
+    while (i < fragment_count_) {
+      if (IsAllocated(i)) {
+        ++i;
+        continue;
+      }
+      const std::uint64_t start = i;
+      while (i < fragment_count_ && IsFree(i)) ++i;
+      fn(static_cast<FragmentIndex>(start), i - start);
+    }
+  }
+
+  // Persistence: the bitmap is vital structural information, kept on stable
+  // storage (§4). Serialized form carries a checksum so a torn write is
+  // detected at recovery.
+  void SerializeTo(Serializer& out) const;
+  static std::optional<Bitmap> Deserialize(Deserializer& in);
+
+  friend bool operator==(const Bitmap& a, const Bitmap& b) {
+    return a.fragment_count_ == b.fragment_count_ && a.words_ == b.words_;
+  }
+
+ private:
+  std::uint64_t Checksum() const;
+
+  std::uint64_t fragment_count_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rhodos::disk

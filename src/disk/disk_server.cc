@@ -1,0 +1,330 @@
+#include "disk/disk_server.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rhodos::disk {
+
+namespace {
+
+// Size of the serialized bitmap for a disk of `fragments` fragments:
+// u64 size + u32 word count + words + u64 checksum.
+std::uint64_t SerializedBitmapBytes(std::uint64_t fragments) {
+  const std::uint64_t words = (fragments + 63) / 64;
+  return 8 + 4 + words * 8 + 8;
+}
+
+}  // namespace
+
+DiskServer::DiskServer(DiskId id, DiskServerConfig config, SimClock* clock)
+    : id_(id),
+      config_(config),
+      clock_(clock),
+      main_(config.geometry, clock, config.fault_seed),
+      // The stable mirror charges no simulated time directly; synchronous
+      // stable writes bill their cost onto the caller's clock explicitly so
+      // asynchronous ones can stay off the critical path (E11).
+      stable_(config.provide_stable_storage
+                  ? std::make_unique<sim::DiskModel>(config.geometry, nullptr,
+                                                     config.fault_seed + 17)
+                  : nullptr),
+      bitmap_(config.geometry.total_fragments),
+      cache_(config.geometry.fragments_per_track,
+             config.cache_capacity_tracks),
+      metadata_fragments_(
+          (SerializedBitmapBytes(config.geometry.total_fragments) +
+           kFragmentSize - 1) /
+          kFragmentSize) {
+  // The metadata region at the front of the disk is never handed out.
+  bitmap_.AllocateRange(0, metadata_fragments_);
+  free_space_.RebuildFromBitmap(bitmap_);
+  // "Format" the disk: persist the initial bitmap so recovery always finds
+  // a parsable copy, even if no checkpoint ran before a crash.
+  (void)PersistMetadata(WriteSync::kSynchronous);
+  main_.ResetStats();
+  if (stable_) stable_->ResetStats();
+}
+
+// --- Allocation -------------------------------------------------------------
+
+Result<FragmentIndex> DiskServer::AllocateFragments(std::uint32_t count) {
+  if (count == 0) {
+    return Error{ErrorCode::kInvalidArgument, "allocate of zero fragments"};
+  }
+  if (auto hit = free_space_.TakeRun(count, bitmap_)) {
+    bitmap_.AllocateRange(*hit, count);
+    return *hit;
+  }
+  // The run array went dry or stale: refresh it from the bitmap and retry —
+  // this is the paper's "updation ... carried out by scanning the bitmap".
+  free_space_.RebuildFromBitmap(bitmap_);
+  if (auto hit = free_space_.TakeRun(count, bitmap_)) {
+    bitmap_.AllocateRange(*hit, count);
+    return *hit;
+  }
+  return Error{ErrorCode::kNoSpace,
+               "no contiguous run of " + std::to_string(count) +
+                   " fragments on disk " + std::to_string(id_.value)};
+}
+
+Result<FragmentIndex> DiskServer::AllocateBlocks(std::uint32_t block_count) {
+  return AllocateFragments(block_count * kFragmentsPerBlock);
+}
+
+Status DiskServer::AllocateSpecific(FragmentIndex first,
+                                    std::uint32_t count) {
+  if (count == 0 || first + count > bitmap_.size()) {
+    return {ErrorCode::kBadAddress, "allocate of invalid fragment range"};
+  }
+  if (first < metadata_fragments_) {
+    return {ErrorCode::kPermissionDenied, "metadata region is reserved"};
+  }
+  if (!bitmap_.IsRangeFree(first, count)) {
+    return {ErrorCode::kNoSpace, "requested range is not free"};
+  }
+  bitmap_.AllocateRange(first, count);
+  return OkStatus();
+}
+
+Status DiskServer::FreeFragments(FragmentIndex first, std::uint32_t count) {
+  if (count == 0 || first + count > bitmap_.size()) {
+    return {ErrorCode::kBadAddress, "free of invalid fragment range"};
+  }
+  if (first < metadata_fragments_) {
+    return {ErrorCode::kPermissionDenied, "metadata region is reserved"};
+  }
+  bitmap_.FreeRange(first, count);
+  // File the (possibly coalesced) run for quick reuse. We look left and
+  // right in the bitmap so adjacent frees merge into one indexed run —
+  // "generally, several contiguous blocks and fragments are allocated or
+  // freed simultaneously" (§4). The walk is CAPPED: the array is only a
+  // cache of runs (the bitmap stays ground truth), and an unbounded walk
+  // would make mass frees quadratic in disk size.
+  constexpr FragmentIndex kCoalesceCap = 256;
+  FragmentIndex run_start = first;
+  while (run_start > metadata_fragments_ && bitmap_.IsFree(run_start - 1) &&
+         first - run_start < kCoalesceCap) {
+    --run_start;
+  }
+  FragmentIndex run_end = first + count;
+  while (run_end < bitmap_.size() && bitmap_.IsFree(run_end) &&
+         run_end - (first + count) < kCoalesceCap) {
+    ++run_end;
+  }
+  free_space_.InsertRun(run_start, run_end - run_start);
+  return OkStatus();
+}
+
+std::uint64_t DiskServer::LargestFreeRun() const {
+  std::uint64_t largest = 0;
+  bitmap_.ForEachFreeRun([&largest](FragmentIndex, std::uint64_t len) {
+    largest = std::max(largest, len);
+  });
+  return largest;
+}
+
+// --- I/O ---------------------------------------------------------------------
+
+Status DiskServer::ReadMain(FragmentIndex first, std::uint32_t count,
+                            std::span<std::uint8_t> out) {
+  if (cache_.Lookup(first, count, out)) {
+    return OkStatus();  // served without touching the disk
+  }
+  RHODOS_RETURN_IF_ERROR(main_.ReadFragments(first, count, out));
+  cache_.Install(first, count, out);
+  if (config_.track_readahead) ReadAheadTrack(first, count);
+  return OkStatus();
+}
+
+void DiskServer::ReadAheadTrack(FragmentIndex first, std::uint32_t count) {
+  // Sweep the uncached remainder of every track the request touched, as a
+  // continuation of the same head pass (no seek, no new reference).
+  const auto per_track = config_.geometry.fragments_per_track;
+  const std::uint64_t first_track = first / per_track;
+  const std::uint64_t last_track = (first + count - 1) / per_track;
+  std::vector<std::uint8_t> buf;
+  for (std::uint64_t t = first_track; t <= last_track; ++t) {
+    const FragmentIndex track_begin = t * per_track;
+    const FragmentIndex track_end = std::min<FragmentIndex>(
+        track_begin + per_track, config_.geometry.total_fragments);
+    FragmentIndex f = track_begin;
+    while (f < track_end) {
+      // Find the next run of fragments that are neither part of the request
+      // nor already cached.
+      while (f < track_end &&
+             ((f >= first && f < first + count) || cache_.Contains(f))) {
+        ++f;
+      }
+      const FragmentIndex run_start = f;
+      while (f < track_end && !(f >= first && f < first + count) &&
+             !cache_.Contains(f)) {
+        ++f;
+      }
+      const auto run_len = static_cast<std::uint32_t>(f - run_start);
+      if (run_len == 0) continue;
+      buf.resize(static_cast<std::size_t>(run_len) * kFragmentSize);
+      if (main_.ReadFragments(run_start, run_len, buf,
+                              /*charge_seek=*/false)
+              .ok()) {
+        cache_.Install(run_start, run_len, buf);
+      }
+    }
+  }
+}
+
+Status DiskServer::GetBlock(FragmentIndex first, std::uint32_t count,
+                            std::span<std::uint8_t> out, ReadSource source) {
+  if (out.size() < static_cast<std::size_t>(count) * kFragmentSize) {
+    return {ErrorCode::kInvalidArgument, "get_block buffer too small"};
+  }
+  if (source == ReadSource::kStable) {
+    if (!stable_) {
+      return {ErrorCode::kNotSupported, "disk has no stable storage"};
+    }
+    return stable_->ReadFragments(first, count, out);
+  }
+  return ReadMain(first, count, out);
+}
+
+Status DiskServer::WriteMain(FragmentIndex first, std::uint32_t count,
+                             std::span<const std::uint8_t> in,
+                             WritePolicy policy) {
+  if (policy == WritePolicy::kDelayed && cache_.enabled()) {
+    cache_.Install(first, count, in, /*dirty=*/true);
+    return OkStatus();
+  }
+  RHODOS_RETURN_IF_ERROR(main_.WriteFragments(first, count, in));
+  cache_.Install(first, count, in);
+  return OkStatus();
+}
+
+Status DiskServer::WriteStable(FragmentIndex first, std::uint32_t count,
+                               std::span<const std::uint8_t> in,
+                               WriteSync sync) {
+  if (!stable_) {
+    return {ErrorCode::kNotSupported, "disk has no stable storage"};
+  }
+  if (sync == WriteSync::kAsynchronous) {
+    stable_queue_.push_back(PendingStableWrite{
+        first, count, std::vector<std::uint8_t>(in.begin(), in.end())});
+    return OkStatus();
+  }
+  const SimTime before = stable_->stats().time_charged;
+  RHODOS_RETURN_IF_ERROR(stable_->WriteFragments(first, count, in));
+  // Synchronous stable writes hold the caller until the mirror is safe:
+  // bill their device time onto the simulated clock.
+  if (clock_ != nullptr) {
+    clock_->Advance(stable_->stats().time_charged - before);
+  }
+  return OkStatus();
+}
+
+Status DiskServer::PutBlock(FragmentIndex first, std::uint32_t count,
+                            std::span<const std::uint8_t> in,
+                            StableMode stable, WriteSync sync,
+                            WritePolicy policy) {
+  if (in.size() < static_cast<std::size_t>(count) * kFragmentSize) {
+    return {ErrorCode::kInvalidArgument, "put_block buffer too small"};
+  }
+  switch (stable) {
+    case StableMode::kNone:
+      return WriteMain(first, count, in, policy);
+    case StableMode::kStableOnly:
+      return WriteStable(first, count, in, sync);
+    case StableMode::kOriginalAndStable:
+      RHODOS_RETURN_IF_ERROR(WriteMain(first, count, in, policy));
+      return WriteStable(first, count, in, sync);
+  }
+  return {ErrorCode::kInvalidArgument, "bad stable mode"};
+}
+
+Status DiskServer::FlushBlock(FragmentIndex first, std::uint32_t count) {
+  Status result = OkStatus();
+  cache_.FlushDirtyRange(
+      first, count,
+      [&](FragmentIndex f, std::span<const std::uint8_t> data) {
+        if (auto st = main_.WriteFragments(f, 1, data); !st.ok()) {
+          result = st;
+        }
+      });
+  return result;
+}
+
+Status DiskServer::FlushAll() {
+  Status result = OkStatus();
+  cache_.FlushDirty([&](FragmentIndex f, std::span<const std::uint8_t> data) {
+    if (auto st = main_.WriteFragments(f, 1, data); !st.ok()) result = st;
+  });
+  RHODOS_RETURN_IF_ERROR(result);
+  return DrainStableWrites();
+}
+
+Status DiskServer::DrainStableWrites() {
+  while (!stable_queue_.empty()) {
+    PendingStableWrite w = std::move(stable_queue_.front());
+    stable_queue_.pop_front();
+    if (!stable_) continue;
+    RHODOS_RETURN_IF_ERROR(stable_->WriteFragments(w.first, w.count, w.data));
+  }
+  return OkStatus();
+}
+
+// --- Metadata & recovery -----------------------------------------------------
+
+Status DiskServer::PersistMetadata(WriteSync sync) {
+  Serializer ser;
+  bitmap_.SerializeTo(ser);
+  std::vector<std::uint8_t> region(metadata_fragments_ * kFragmentSize, 0);
+  std::memcpy(region.data(), ser.buffer().data(), ser.size());
+  return PutBlock(0, static_cast<std::uint32_t>(metadata_fragments_), region,
+                  StableMode::kOriginalAndStable, sync);
+}
+
+void DiskServer::Crash() {
+  cache_.InvalidateAll();
+  stable_queue_.clear();
+  main_.Crash();
+  if (stable_) stable_->Crash();
+}
+
+Status DiskServer::Recover() {
+  main_.Recover();
+  if (stable_) stable_->Recover();
+  cache_.InvalidateAll();
+  stable_queue_.clear();
+
+  std::vector<std::uint8_t> region(metadata_fragments_ * kFragmentSize);
+  auto try_load = [&](ReadSource source) -> bool {
+    std::span<std::uint8_t> out{region};
+    Status st = source == ReadSource::kMain
+                    ? main_.ReadFragments(0, static_cast<std::uint32_t>(
+                                                 metadata_fragments_),
+                                          out)
+                    : stable_->ReadFragments(
+                          0, static_cast<std::uint32_t>(metadata_fragments_),
+                          out);
+    if (!st.ok()) return false;
+    Deserializer de{region};
+    auto bm = Bitmap::Deserialize(de);
+    if (!bm.has_value()) return false;  // torn or never persisted
+    bitmap_ = std::move(*bm);
+    return true;
+  };
+
+  if (!try_load(ReadSource::kMain) &&
+      !(stable_ && try_load(ReadSource::kStable))) {
+    return {ErrorCode::kMediaError,
+            "bitmap unrecoverable from both main and stable storage"};
+  }
+  free_space_.RebuildFromBitmap(bitmap_);
+  return OkStatus();
+}
+
+void DiskServer::ResetStats() {
+  main_.ResetStats();
+  if (stable_) stable_->ResetStats();
+  cache_.ResetStats();
+  free_space_.ResetStats();
+}
+
+}  // namespace rhodos::disk

@@ -1,0 +1,63 @@
+#include "disk/free_space_array.h"
+
+#include <algorithm>
+
+namespace rhodos::disk {
+
+void FreeSpaceArray::RebuildFromBitmap(const Bitmap& bitmap) {
+  for (auto& row : rows_) row.clear();
+  ++stats_.rebuilds;
+  bitmap.ForEachFreeRun([this](FragmentIndex start, std::uint64_t length) {
+    InsertRun(start, length);
+  });
+}
+
+void FreeSpaceArray::InsertRun(FragmentIndex start, std::uint64_t length) {
+  if (length == 0) return;
+  auto& row = rows_[RowFor(length)];
+  if (row.size() >= kFreeSpaceCols) return;  // row full; bitmap still knows
+  row.push_back(FreeRun{start, length});
+}
+
+std::optional<FragmentIndex> FreeSpaceArray::TakeRun(std::uint64_t count,
+                                                     const Bitmap& bitmap) {
+  if (count == 0) return std::nullopt;
+  // Exact row first, then progressively longer runs (best fit limits the
+  // fragmentation that splitting long runs creates).
+  for (std::size_t r = RowFor(count); r < kFreeSpaceRows; ++r) {
+    auto& row = rows_[r];
+    while (!row.empty()) {
+      FreeRun run = row.back();
+      row.pop_back();
+      // Entries are hints; the run may have been consumed or split since it
+      // was filed. Re-validate against the ground-truth bitmap.
+      if (run.length < count || !bitmap.IsRangeFree(run.start, run.length)) {
+        ++stats_.stale_discards;
+        continue;
+      }
+      if (run.length > count) {
+        InsertRun(run.start + count, run.length - count);
+      }
+      ++stats_.array_hits;
+      return run.start;
+    }
+  }
+  ++stats_.array_misses;
+  return std::nullopt;
+}
+
+std::size_t FreeSpaceArray::IndexedRuns() const {
+  std::size_t n = 0;
+  for (const auto& row : rows_) n += row.size();
+  return n;
+}
+
+bool FreeSpaceArray::MightSatisfy(std::uint64_t count) const {
+  if (count == 0) return false;
+  for (std::size_t r = RowFor(count); r < kFreeSpaceRows; ++r) {
+    if (!rows_[r].empty()) return true;
+  }
+  return false;
+}
+
+}  // namespace rhodos::disk

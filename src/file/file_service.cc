@@ -1,0 +1,687 @@
+#include "file/file_service.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rhodos::file {
+
+using disk::DiskServer;
+using disk::ReadSource;
+using disk::StableMode;
+using disk::WritePolicy;
+using disk::WriteSync;
+
+FileService::FileService(disk::DiskRegistry* disks, SimClock* clock,
+                         FileServiceConfig config)
+    : disks_(disks),
+      clock_(clock),
+      config_(config),
+      block_pool_(kBlockSize, config.block_pool_capacity),
+      fragment_pool_(kFragmentSize, config.fragment_pool_capacity) {}
+
+WritePolicy FileService::PolicyFor(const OpenFile& of) const {
+  // "The delayed-write together with write-through policies are adapted to
+  // save modifications made to data cached by the file service" (§5): basic
+  // files follow the configured delayed policy; transaction files write
+  // through so commits reach the platter when the transaction says so.
+  return of.table.attributes().service_type == ServiceType::kTransaction
+             ? WritePolicy::kWriteThrough
+             : config_.basic_write_policy;
+}
+
+// --- Index-table load/store ---------------------------------------------------
+
+Result<FileService::OpenFile*> FileService::LoadTable(FileId id) {
+  if (auto it = open_files_.find(id); it != open_files_.end()) {
+    return &it->second;
+  }
+  RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(FileDisk(id)));
+  std::vector<std::uint8_t> fragment(kFragmentSize);
+  RHODOS_RETURN_IF_ERROR(
+      server->GetBlock(FileFitFragment(id), 1, fragment));
+  auto parsed = ParseFitFragment(fragment);
+  if (!parsed.ok()) {
+    // The main copy is damaged; the paper keeps every index table on stable
+    // storage, so fall back to the mirror.
+    RHODOS_RETURN_IF_ERROR(server->GetBlock(FileFitFragment(id), 1, fragment,
+                                            ReadSource::kStable));
+    parsed = ParseFitFragment(fragment);
+    if (!parsed.ok()) return Error{parsed.error()};
+  }
+  OpenFile of;
+  of.table = std::move(parsed->table);
+  of.indirect_blocks = std::move(parsed->indirect_blocks);
+  // Pull in the indirect runs (one get_block per indirect block).
+  std::vector<std::uint8_t> block(kBlockSize);
+  for (const auto& ib : of.indirect_blocks) {
+    RHODOS_ASSIGN_OR_RETURN(DiskServer * ib_server, disks_->Get(ib.disk));
+    RHODOS_RETURN_IF_ERROR(server == ib_server
+                               ? server->GetBlock(ib.first_fragment,
+                                                  kFragmentsPerBlock, block)
+                               : ib_server->GetBlock(ib.first_fragment,
+                                                     kFragmentsPerBlock,
+                                                     block));
+    RHODOS_RETURN_IF_ERROR(of.table.ParseIndirectBlock(block));
+  }
+  ++stats_.fit_loads;
+  auto [it, inserted] = open_files_.emplace(id, std::move(of));
+  (void)inserted;
+  return &it->second;
+}
+
+Status FileService::StoreTable(FileId id, OpenFile& of) {
+  RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(FileDisk(id)));
+
+  // Provision (or release) indirect blocks to match the run count.
+  const std::size_t needed = of.table.IndirectBlockCount();
+  if (needed > kIndirectRefs) {
+    return {ErrorCode::kFileTooLarge,
+            "file needs " + std::to_string(needed) +
+                " indirect blocks; max " + std::to_string(kIndirectRefs)};
+  }
+  while (of.indirect_blocks.size() < needed) {
+    auto frag = server->AllocateBlocks(1);
+    if (frag.ok()) {
+      of.indirect_blocks.push_back(
+          BlockDescriptor{server->id(), *frag, 1});
+    } else {
+      RHODOS_ASSIGN_OR_RETURN(auto placement,
+                              disks_->Allocate(kFragmentsPerBlock));
+      of.indirect_blocks.push_back(
+          BlockDescriptor{placement.disk, placement.first, 1});
+    }
+  }
+  while (of.indirect_blocks.size() > needed) {
+    const BlockDescriptor ib = of.indirect_blocks.back();
+    of.indirect_blocks.pop_back();
+    RHODOS_RETURN_IF_ERROR(
+        disks_->Free(ib.disk, ib.first_fragment, kFragmentsPerBlock));
+  }
+
+  // Indirect blocks first, then the table fragment that references them —
+  // so a crash between the two leaves the old (still valid) table in place.
+  for (std::size_t i = 0; i < needed; ++i) {
+    const std::vector<std::uint8_t> block = of.table.SerializeIndirectBlock(i);
+    RHODOS_ASSIGN_OR_RETURN(DiskServer * ib_server,
+                            disks_->Get(of.indirect_blocks[i].disk));
+    RHODOS_RETURN_IF_ERROR(ib_server->PutBlock(
+        of.indirect_blocks[i].first_fragment, kFragmentsPerBlock, block,
+        StableMode::kOriginalAndStable, WriteSync::kSynchronous));
+  }
+
+  Serializer ser;
+  of.table.SerializeFragment(ser, of.indirect_blocks);
+  std::vector<std::uint8_t> fragment(kFragmentSize, 0);
+  std::memcpy(fragment.data(), ser.buffer().data(), ser.size());
+  RHODOS_RETURN_IF_ERROR(server->PutBlock(
+      FileFitFragment(id), 1, fragment, StableMode::kOriginalAndStable,
+      WriteSync::kSynchronous));
+  of.table_dirty = false;
+  of.attrs_dirty = false;
+  ++stats_.fit_stores;
+  return OkStatus();
+}
+
+// --- create / delete / open / close -------------------------------------------
+
+Result<FileId> FileService::Create(ServiceType type,
+                                   std::uint64_t size_hint) {
+  const std::uint64_t hint_blocks =
+      (size_hint + kBlockSize - 1) / kBlockSize;
+  // "The file index table and at least the first data block are always
+  // contiguous thus eliminating the seek time to retrieve the first data
+  // block" (§5): allocate table fragment + initial data in ONE run.
+  const std::uint32_t want =
+      static_cast<std::uint32_t>(1 + hint_blocks * kFragmentsPerBlock);
+
+  auto placement = disks_->Allocate(want);
+  std::uint64_t preallocated_blocks = hint_blocks;
+  if (!placement.ok() && want > 1) {
+    // Could not get table + hint contiguously; take just the table fragment
+    // (plus first block if possible) and let Grow place the rest.
+    placement = disks_->Allocate(1 + kFragmentsPerBlock);
+    preallocated_blocks = placement.ok() ? 1 : 0;
+    if (!placement.ok()) placement = disks_->Allocate(1);
+  }
+  if (!placement.ok()) return Error{placement.error()};
+
+  const FileId id = MakeFileId(placement->disk, placement->first);
+  OpenFile of;
+  of.table.attributes().service_type = type;
+  of.table.attributes().created_time = clock_ ? clock_->Now() : 0;
+  if (preallocated_blocks > 0) {
+    RHODOS_RETURN_IF_ERROR(of.table.AppendRun(
+        placement->disk, placement->first + 1,
+        static_cast<std::uint32_t>(preallocated_blocks)));
+  }
+  if (preallocated_blocks < hint_blocks) {
+    RHODOS_RETURN_IF_ERROR(
+        Grow(id, of, hint_blocks - preallocated_blocks));
+  }
+  RHODOS_RETURN_IF_ERROR(StoreTable(id, of));
+  RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(placement->disk));
+  RHODOS_RETURN_IF_ERROR(server->PersistMetadata(WriteSync::kAsynchronous));
+  open_files_.emplace(id, std::move(of));
+  return id;
+}
+
+Status FileService::Delete(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  // Scrub the index table (both copies) so the stale bytes can never be
+  // parsed back into a live file after the fragment is reused.
+  {
+    RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(FileDisk(id)));
+    const std::vector<std::uint8_t> zeros(kFragmentSize, 0);
+    RHODOS_RETURN_IF_ERROR(server->PutBlock(
+        FileFitFragment(id), 1, zeros, StableMode::kOriginalAndStable,
+        WriteSync::kSynchronous));
+  }
+  // Free data runs, indirect blocks, then the table fragment.
+  for (const auto& run : of->table.runs()) {
+    RHODOS_RETURN_IF_ERROR(disks_->Free(
+        run.disk, run.first_fragment,
+        static_cast<std::uint32_t>(run.contiguous_count) *
+            kFragmentsPerBlock));
+  }
+  for (const auto& ib : of->indirect_blocks) {
+    RHODOS_RETURN_IF_ERROR(
+        disks_->Free(ib.disk, ib.first_fragment, kFragmentsPerBlock));
+  }
+  RHODOS_RETURN_IF_ERROR(disks_->Free(FileDisk(id), FileFitFragment(id), 1));
+
+  // Purge the block cache of this file's entries.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.file == id) {
+      lru_.erase(it->second.lru_pos);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  open_files_.erase(id);
+  return OkStatus();
+}
+
+Status FileService::Open(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  ++of->pins;
+  ++of->table.attributes().ref_count;
+  return OkStatus();
+}
+
+Status FileService::Close(FileId id) {
+  auto it = open_files_.find(id);
+  if (it == open_files_.end()) {
+    return {ErrorCode::kBadDescriptor, "close of file that is not open"};
+  }
+  OpenFile& of = it->second;
+  if (of.pins > 0) --of.pins;
+  if (of.table.attributes().ref_count > 0) --of.table.attributes().ref_count;
+  // Delayed writes reach the platter at close.
+  RHODOS_RETURN_IF_ERROR(Flush(id));
+  if (of.pins == 0) open_files_.erase(it);
+  return OkStatus();
+}
+
+// --- cache plumbing ------------------------------------------------------------
+
+FileService::CacheEntry* FileService::CacheLookup(FileId id,
+                                                  std::uint64_t block) {
+  auto it = cache_.find(CacheKey{id, block});
+  if (it == cache_.end()) return nullptr;
+  if (it->second.lru_pos != lru_.begin()) {
+    lru_.erase(it->second.lru_pos);
+    lru_.push_front(it->first);
+    it->second.lru_pos = lru_.begin();
+  }
+  return &it->second;
+}
+
+Status FileService::WritebackEntry(const CacheKey& key, CacheEntry& entry) {
+  if (!entry.dirty) return OkStatus();
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(key.file));
+  RHODOS_ASSIGN_OR_RETURN(BlockLocation loc,
+                          of->table.Locate(key.block));
+  RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
+  RHODOS_RETURN_IF_ERROR(server->PutBlock(loc.first_fragment,
+                                          kFragmentsPerBlock,
+                                          entry.buffer.span()));
+  entry.dirty = false;
+  return OkStatus();
+}
+
+Status FileService::EvictOne() {
+  // Prefer the least-recently-used clean entry; if all are dirty, write the
+  // LRU one back first.
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    auto it = cache_.find(*rit);
+    if (it != cache_.end() && !it->second.dirty) {
+      lru_.erase(it->second.lru_pos);
+      cache_.erase(it);
+      return OkStatus();
+    }
+  }
+  if (lru_.empty()) {
+    return {ErrorCode::kInternal, "evict from empty cache"};
+  }
+  const CacheKey victim = lru_.back();
+  auto it = cache_.find(victim);
+  RHODOS_RETURN_IF_ERROR(WritebackEntry(victim, it->second));
+  lru_.erase(it->second.lru_pos);
+  cache_.erase(it);
+  return OkStatus();
+}
+
+Result<FileService::CacheEntry*> FileService::CacheInsert(
+    FileId id, std::uint64_t block, std::span<const std::uint8_t> data,
+    bool dirty) {
+  if (block_pool_.capacity() == 0) {
+    return static_cast<CacheEntry*>(nullptr);  // caching disabled
+  }
+  if (auto* existing = CacheLookup(id, block)) {
+    std::memcpy(existing->buffer.data(), data.data(), kBlockSize);
+    existing->dirty = existing->dirty || dirty;
+    return existing;
+  }
+  auto buffer = block_pool_.Acquire();
+  while (!buffer.has_value()) {
+    RHODOS_RETURN_IF_ERROR(EvictOne());
+    buffer = block_pool_.Acquire();
+  }
+  std::memcpy(buffer->data(), data.data(), kBlockSize);
+  const CacheKey key{id, block};
+  lru_.push_front(key);
+  CacheEntry entry;
+  entry.buffer = std::move(*buffer);
+  entry.dirty = dirty;
+  entry.lru_pos = lru_.begin();
+  auto [it, inserted] = cache_.emplace(key, std::move(entry));
+  (void)inserted;
+  return &it->second;
+}
+
+// --- read path -------------------------------------------------------------------
+
+Status FileService::ReadBlocks(FileId id, OpenFile& of, std::uint64_t first,
+                               std::uint64_t count,
+                               std::span<std::uint8_t> out) {
+  std::uint64_t b = first;
+  while (b < first + count) {
+    std::uint8_t* dst = out.data() + (b - first) * kBlockSize;
+    if (CacheEntry* hit = CacheLookup(id, b)) {
+      std::memcpy(dst, hit->buffer.data(), kBlockSize);
+      ++stats_.cache_hits;
+      ++b;
+      continue;
+    }
+    // Find the longest physically contiguous uncached span starting at b —
+    // the per-descriptor count makes this a single get_block (§5).
+    RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of.table.Locate(b));
+    std::uint64_t span_blocks = 1;
+    while (span_blocks < loc.contiguous_blocks &&
+           b + span_blocks < first + count &&
+           cache_.find(CacheKey{id, b + span_blocks}) == cache_.end()) {
+      ++span_blocks;
+    }
+    stats_.cache_misses += span_blocks;
+    RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
+    RHODOS_RETURN_IF_ERROR(server->GetBlock(
+        loc.first_fragment,
+        static_cast<std::uint32_t>(span_blocks * kFragmentsPerBlock),
+        {dst, span_blocks * kBlockSize}));
+    for (std::uint64_t i = 0; i < span_blocks; ++i) {
+      auto inserted = CacheInsert(id, b + i, {dst + i * kBlockSize, kBlockSize},
+                                  /*dirty=*/false);
+      if (!inserted.ok()) return Error{inserted.error()};
+    }
+    b += span_blocks;
+  }
+  return OkStatus();
+}
+
+Result<std::uint64_t> FileService::Read(FileId id, std::uint64_t offset,
+                                        std::span<std::uint8_t> out) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  ++stats_.reads;
+  const std::uint64_t size = of->table.attributes().size;
+  if (offset >= size) return std::uint64_t{0};
+  const std::uint64_t len = std::min<std::uint64_t>(out.size(), size - offset);
+  if (len == 0) return std::uint64_t{0};
+
+  const std::uint64_t first_block = offset / kBlockSize;
+  const std::uint64_t last_block = (offset + len - 1) / kBlockSize;
+  const std::uint64_t block_count = last_block - first_block + 1;
+
+  // Read whole blocks into a scratch area, then copy the requested span.
+  std::vector<std::uint8_t> scratch(block_count * kBlockSize);
+  RHODOS_RETURN_IF_ERROR(
+      ReadBlocks(id, *of, first_block, block_count, scratch));
+  std::memcpy(out.data(), scratch.data() + (offset % kBlockSize), len);
+
+  of->table.attributes().last_read_time = clock_ ? clock_->Now() : 0;
+  of->table.attributes().access_count += 1;
+  of->attrs_dirty = true;
+  stats_.bytes_read += len;
+  return len;
+}
+
+// --- write path --------------------------------------------------------------------
+
+Status FileService::Grow(FileId id, OpenFile& of, std::uint64_t blocks) {
+  const std::uint64_t first_new_block = of.table.BlockCount();
+  std::uint64_t remaining = blocks;
+  while (remaining > 0) {
+    auto chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(remaining, config_.extent_blocks));
+
+    // First preference: extend the last extent in place, which keeps the
+    // file contiguous and the WAL commit path applicable.
+    if (config_.extend_in_place && of.table.RunCount() > 0) {
+      const BlockDescriptor& last = of.table.runs().back();
+      const FragmentIndex next =
+          last.first_fragment +
+          static_cast<FragmentIndex>(last.contiguous_count) *
+              kFragmentsPerBlock;
+      auto server = disks_->Get(last.disk);
+      if (server.ok() &&
+          (*server)
+              ->AllocateSpecific(next, chunk * kFragmentsPerBlock)
+              .ok()) {
+        RHODOS_RETURN_IF_ERROR(of.table.AppendRun(last.disk, next, chunk));
+        remaining -= chunk;
+        continue;
+      }
+    }
+
+    // Fresh extent, placed by the registry's policy; avoid the disk the
+    // previous extent landed on so extents interleave across spindles.
+    const DiskId last_disk = of.table.RunCount() > 0
+                                 ? of.table.runs().back().disk
+                                 : DiskId{~std::uint32_t{0}};
+    Result<disk::DiskRegistry::Placement> placement{
+        Error{ErrorCode::kNoSpace, ""}};
+    while (true) {
+      placement = disks_->AllocateAvoiding(chunk * kFragmentsPerBlock,
+                                           last_disk);
+      if (placement.ok() || chunk == 1) break;
+      chunk /= 2;  // fall back to smaller extents as the disks fill up
+    }
+    if (!placement.ok()) {
+      return {ErrorCode::kNoSpace, "disks full while growing file"};
+    }
+    RHODOS_RETURN_IF_ERROR(
+        of.table.AppendRun(placement->disk, placement->first, chunk));
+    remaining -= chunk;
+  }
+  of.table_dirty = true;
+  // Extents may reuse freed fragments whose platters still hold old data;
+  // a flat file must read back zeros in never-written regions. Zero-fill
+  // the new blocks through the cache (dirty, so the zeros reach the disk
+  // at the next writeback) — or directly when caching is off.
+  const std::vector<std::uint8_t> zeros(kBlockSize, 0);
+  for (std::uint64_t b = first_new_block; b < first_new_block + blocks;
+       ++b) {
+    RHODOS_ASSIGN_OR_RETURN(CacheEntry * entry,
+                            CacheInsert(id, b, zeros, /*dirty=*/true));
+    if (entry == nullptr) {
+      RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of.table.Locate(b));
+      RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
+      RHODOS_RETURN_IF_ERROR(
+          server->PutBlock(loc.first_fragment, kFragmentsPerBlock, zeros));
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::uint64_t> FileService::Write(FileId id, std::uint64_t offset,
+                                         std::span<const std::uint8_t> in) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  ++stats_.writes;
+  const std::uint64_t len = in.size();
+  if (len == 0) return std::uint64_t{0};
+
+  // Extend the mapping as needed.
+  const std::uint64_t needed_blocks =
+      (offset + len + kBlockSize - 1) / kBlockSize;
+  if (needed_blocks > of->table.BlockCount()) {
+    RHODOS_RETURN_IF_ERROR(
+        Grow(id, *of, needed_blocks - of->table.BlockCount()));
+  }
+
+  const WritePolicy policy = PolicyFor(*of);
+  std::uint64_t written = 0;
+  while (written < len) {
+    const std::uint64_t pos = offset + written;
+    const std::uint64_t block = pos / kBlockSize;
+    const std::uint64_t in_block = pos % kBlockSize;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(len - written, kBlockSize - in_block);
+
+    std::vector<std::uint8_t> full(kBlockSize);
+    const bool whole_block = in_block == 0 && n == kBlockSize;
+    const bool beyond_old_data =
+        block * kBlockSize >= of->table.attributes().size;
+    if (!whole_block && !beyond_old_data) {
+      // Partial overwrite of existing data: read-modify-write.
+      RHODOS_RETURN_IF_ERROR(ReadBlocks(id, *of, block, 1, full));
+    }
+    std::memcpy(full.data() + in_block, in.data() + written, n);
+
+    RHODOS_ASSIGN_OR_RETURN(CacheEntry * entry,
+                            CacheInsert(id, block, full, /*dirty=*/true));
+    if (policy == WritePolicy::kWriteThrough || entry == nullptr) {
+      // Write through (or cache disabled): straight to the disk service.
+      RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of->table.Locate(block));
+      RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
+      RHODOS_RETURN_IF_ERROR(
+          server->PutBlock(loc.first_fragment, kFragmentsPerBlock, full));
+      if (entry != nullptr) entry->dirty = false;
+    }
+    written += n;
+  }
+
+  auto& attrs = of->table.attributes();
+  attrs.access_count += 1;
+  of->attrs_dirty = true;
+  if (offset + len > attrs.size) {
+    attrs.size = offset + len;
+    of->table_dirty = true;
+  }
+  stats_.bytes_written += len;
+  if (of->table_dirty && policy == WritePolicy::kWriteThrough) {
+    RHODOS_RETURN_IF_ERROR(StoreTable(id, *of));
+  }
+  return len;
+}
+
+Status FileService::Resize(FileId id, std::uint64_t size) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  const std::uint64_t old_size = of->table.attributes().size;
+  const std::uint64_t new_blocks = (size + kBlockSize - 1) / kBlockSize;
+  if (new_blocks > of->table.BlockCount()) {
+    RHODOS_RETURN_IF_ERROR(Grow(id, *of, new_blocks - of->table.BlockCount()));
+  } else if (new_blocks < of->table.BlockCount()) {
+    for (const auto& run : of->table.TruncateBlocks(new_blocks)) {
+      RHODOS_RETURN_IF_ERROR(disks_->Free(
+          run.disk, run.first_fragment,
+          static_cast<std::uint32_t>(run.contiguous_count) *
+              kFragmentsPerBlock));
+    }
+    // Drop now-stale cache entries beyond the cut.
+    for (auto it = cache_.begin(); it != cache_.end();) {
+      if (it->first.file == id && it->first.block >= new_blocks) {
+        lru_.erase(it->second.lru_pos);
+        it = cache_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Shrinking to a mid-block size leaves old bytes in the kept block's
+  // tail; zero them now so a later grow re-exposes zeros, not stale data.
+  if (size < old_size && size % kBlockSize != 0 && new_blocks > 0) {
+    const std::uint64_t last = size / kBlockSize;
+    std::vector<std::uint8_t> block(kBlockSize);
+    RHODOS_RETURN_IF_ERROR(ReadBlocks(id, *of, last, 1, block));
+    std::memset(block.data() + size % kBlockSize, 0,
+                kBlockSize - size % kBlockSize);
+    RHODOS_ASSIGN_OR_RETURN(CacheEntry * entry,
+                            CacheInsert(id, last, block, /*dirty=*/true));
+    if (entry == nullptr) {
+      RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of->table.Locate(last));
+      RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
+      RHODOS_RETURN_IF_ERROR(
+          server->PutBlock(loc.first_fragment, kFragmentsPerBlock, block));
+    }
+  }
+  of->table.attributes().size = size;
+  of->table_dirty = true;
+  return StoreTable(id, *of);
+}
+
+Result<FileAttributes> FileService::GetAttributes(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  return of->table.attributes();
+}
+
+Status FileService::SetServiceType(FileId id, ServiceType type) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  of->table.attributes().service_type = type;
+  return StoreTable(id, *of);
+}
+
+Status FileService::SetLockLevel(FileId id, LockLevel level) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  of->table.attributes().locking_level = level;
+  return StoreTable(id, *of);
+}
+
+Status FileService::Flush(FileId id) {
+  // Write back this file's dirty blocks (delayed-write completion), then
+  // its table if it changed.
+  for (auto& [key, entry] : cache_) {
+    if (key.file == id && entry.dirty) {
+      RHODOS_RETURN_IF_ERROR(WritebackEntry(key, entry));
+    }
+  }
+  auto it = open_files_.find(id);
+  if (it != open_files_.end() &&
+      (it->second.table_dirty || it->second.attrs_dirty)) {
+    RHODOS_RETURN_IF_ERROR(StoreTable(id, it->second));
+  }
+  return OkStatus();
+}
+
+Status FileService::FlushAll() {
+  for (auto& [key, entry] : cache_) {
+    if (entry.dirty) RHODOS_RETURN_IF_ERROR(WritebackEntry(key, entry));
+  }
+  for (auto& [id, of] : open_files_) {
+    if (of.table_dirty || of.attrs_dirty) {
+      RHODOS_RETURN_IF_ERROR(StoreTable(id, of));
+    }
+  }
+  for (const auto& d : disks_->disks()) {
+    RHODOS_RETURN_IF_ERROR(d->FlushAll());
+    RHODOS_RETURN_IF_ERROR(d->PersistMetadata());
+  }
+  return OkStatus();
+}
+
+// --- block-level interface ----------------------------------------------------
+
+Result<std::uint64_t> FileService::BlockCount(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  return of->table.BlockCount();
+}
+
+Status FileService::ReadBlock(FileId id, std::uint64_t block_index,
+                              std::span<std::uint8_t> out) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  return ReadBlocks(id, *of, block_index, 1, out);
+}
+
+Status FileService::WriteBlock(FileId id, std::uint64_t block_index,
+                               std::span<const std::uint8_t> in,
+                               bool force_write_through) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  if (block_index >= of->table.BlockCount()) {
+    return {ErrorCode::kBadAddress, "write beyond mapped blocks"};
+  }
+  RHODOS_ASSIGN_OR_RETURN(CacheEntry * entry,
+                          CacheInsert(id, block_index, in, /*dirty=*/true));
+  if (force_write_through || PolicyFor(*of) == WritePolicy::kWriteThrough ||
+      entry == nullptr) {
+    RHODOS_ASSIGN_OR_RETURN(BlockLocation loc,
+                            of->table.Locate(block_index));
+    RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
+    RHODOS_RETURN_IF_ERROR(
+        server->PutBlock(loc.first_fragment, kFragmentsPerBlock, in));
+    if (entry != nullptr) entry->dirty = false;
+  }
+  return OkStatus();
+}
+
+Result<BlockLocation> FileService::LocateBlock(FileId id,
+                                               std::uint64_t block_index) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  return of->table.Locate(block_index);
+}
+
+Result<bool> FileService::IsContiguous(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  return of->table.FullyContiguous();
+}
+
+Result<double> FileService::ContiguityIndex(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  return of->table.ContiguityIndex();
+}
+
+Result<std::vector<BlockDescriptor>> FileService::FileRuns(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  return of->table.runs();
+}
+
+Result<std::vector<BlockDescriptor>> FileService::IndirectBlockLocations(
+    FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  return of->indirect_blocks;
+}
+
+Status FileService::ReplaceBlock(FileId id, std::uint64_t block_index,
+                                 DiskId disk, FragmentIndex fragment) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  RHODOS_ASSIGN_OR_RETURN(BlockLocation old, of->table.Locate(block_index));
+  RHODOS_RETURN_IF_ERROR(of->table.ReplaceBlock(block_index, disk, fragment));
+  RHODOS_RETURN_IF_ERROR(
+      disks_->Free(old.disk, old.first_fragment, kFragmentsPerBlock));
+  // The logical block now lives elsewhere; the cached copy is stale.
+  if (auto it = cache_.find(CacheKey{id, block_index}); it != cache_.end()) {
+    lru_.erase(it->second.lru_pos);
+    cache_.erase(it);
+  }
+  return StoreTable(id, *of);
+}
+
+Result<disk::DiskRegistry::Placement> FileService::AllocateShadowBlock(
+    FileId id) {
+  // Prefer the file's home disk so the shadow write stays on one spindle.
+  auto server = disks_->Get(FileDisk(id));
+  if (server.ok()) {
+    if (auto frag = (*server)->AllocateBlocks(1); frag.ok()) {
+      return disk::DiskRegistry::Placement{(*server)->id(), *frag};
+    }
+  }
+  return disks_->Allocate(kFragmentsPerBlock);
+}
+
+// --- failure model --------------------------------------------------------------
+
+void FileService::Crash() {
+  cache_.clear();
+  lru_.clear();
+  open_files_.clear();
+}
+
+}  // namespace rhodos::file

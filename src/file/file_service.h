@@ -1,0 +1,226 @@
+// The RHODOS basic file service (paper §5).
+//
+// A *flat* file service: "concerned only with implementing operations on a
+// set of files without concern for any structure or relationship between
+// the files." Files are mutable (like NFS/LOCUS, unlike Amoeba). The
+// service:
+//
+//  * keeps each file's block descriptors in a file index table stored in
+//    one 2 KiB fragment, created dynamically and contiguous with the first
+//    data block ("eliminating the seek time to retrieve the first data
+//    block");
+//  * exploits the per-descriptor contiguity count so a run of n contiguous
+//    blocks costs ONE get_block instead of n;
+//  * persists every file index table to stable storage ("a copy of the
+//    file index table is always available in stable storage");
+//  * caches data blocks in buffers from its block pool with a
+//    delayed-write policy for basic files and write-through for
+//    transaction files ("the delayed-write together with write-through
+//    policies are adapted");
+//  * may partition a file across disks — consecutive extents are placed by
+//    the registry's policy, which is how striping arises.
+//
+// The positional Read/Write here are the paper's pread/pwrite; the
+// stateful read/write/lseek cursor lives in the client's file agent, which
+// is what makes the service "nearly stateless" (§3).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_clock.h"
+#include "common/types.h"
+#include "disk/disk_registry.h"
+#include "file/buffer_pool.h"
+#include "file/file_index_table.h"
+#include "file/file_types.h"
+
+namespace rhodos::file {
+
+struct FileServiceConfig {
+  // Block-cache capacity, in 8 KiB buffers (the block pool of §5).
+  std::size_t block_pool_capacity = 256;
+  // Fragment-pool capacity (file index tables cached in memory).
+  std::size_t fragment_pool_capacity = 128;
+  // Write policy for BASIC files; transaction files always write through.
+  disk::WritePolicy basic_write_policy = disk::WritePolicy::kDelayed;
+  // Largest extent allocated at once when a file grows, in blocks. Growth
+  // beyond this rolls to the next disk under the registry's round-robin
+  // policy — the striping unit of experiment E10.
+  std::uint32_t extent_blocks = 64;
+  // When true, a growing file first tries to extend its last extent in
+  // place (AllocateSpecific), preserving contiguity.
+  bool extend_in_place = true;
+};
+
+struct FileServiceStats {
+  std::uint64_t cache_hits = 0;     // blocks served from the block cache
+  std::uint64_t cache_misses = 0;
+  std::uint64_t reads = 0;          // Read() calls
+  std::uint64_t writes = 0;         // Write() calls
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t fit_loads = 0;      // file index tables read from disk
+  std::uint64_t fit_stores = 0;     // file index tables persisted
+};
+
+class FileService {
+ public:
+  FileService(disk::DiskRegistry* disks, SimClock* clock,
+              FileServiceConfig config = {});
+
+  FileService(const FileService&) = delete;
+  FileService& operator=(const FileService&) = delete;
+
+  // --- The paper's file operations (§5) ------------------------------------
+  // create, open, delete, read(=pread), write(=pwrite), get-attribute,
+  // close. lseek and the sequential read/write are client-agent state.
+
+  // Creates a file. `size_hint` (bytes) preallocates that much contiguous
+  // space together with the index table, which is what gives small files
+  // their one-seek layout.
+  Result<FileId> Create(ServiceType type, std::uint64_t size_hint = 0);
+
+  Status Delete(FileId id);
+
+  // Opens the file (loads and caches its index table, bumps ref_count).
+  Status Open(FileId id);
+  Status Close(FileId id);
+
+  Result<std::uint64_t> Read(FileId id, std::uint64_t offset,
+                             std::span<std::uint8_t> out);
+  Result<std::uint64_t> Write(FileId id, std::uint64_t offset,
+                              std::span<const std::uint8_t> in);
+
+  Result<FileAttributes> GetAttributes(FileId id);
+  Status SetServiceType(FileId id, ServiceType type);
+  Status SetLockLevel(FileId id, LockLevel level);
+
+  // Truncates or extends the file to `size` bytes.
+  Status Resize(FileId id, std::uint64_t size);
+
+  // Writes back all dirty cached blocks and the index table of `id`.
+  Status Flush(FileId id);
+  Status FlushAll();
+
+  // --- Block-level interface for the transaction service -------------------
+
+  // Number of logical 8 KiB blocks currently mapped.
+  Result<std::uint64_t> BlockCount(FileId id);
+
+  // Reads/writes one logical block (transaction page). Write goes through
+  // the cache with the file's policy.
+  Status ReadBlock(FileId id, std::uint64_t block_index,
+                   std::span<std::uint8_t> out);
+  Status WriteBlock(FileId id, std::uint64_t block_index,
+                    std::span<const std::uint8_t> in,
+                    bool force_write_through = false);
+
+  // Physical location of a logical block (for WAL/shadow decisions).
+  Result<BlockLocation> LocateBlock(FileId id, std::uint64_t block_index);
+
+  // True iff the file's data blocks form one contiguous run — the paper's
+  // criterion for choosing WAL over shadow paging at commit (§6.7).
+  Result<bool> IsContiguous(FileId id);
+
+  // Shadow-page commit primitive: rebinds logical block `block_index` to a
+  // freshly written physical block at (disk, fragment); the old block is
+  // freed. Persists the index table (original + stable).
+  Status ReplaceBlock(FileId id, std::uint64_t block_index, DiskId disk,
+                      FragmentIndex fragment);
+
+  // Allocates one free block on the file's home disk (or any disk) without
+  // linking it into any file — shadow-page staging space.
+  Result<disk::DiskRegistry::Placement> AllocateShadowBlock(FileId id);
+
+  // --- Failure model --------------------------------------------------------
+
+  // Loss of the server machine's volatile state: block cache and cached
+  // index tables vanish; dirty (delayed-write) data is lost.
+  void Crash();
+
+  // --- Introspection --------------------------------------------------------
+
+  const FileServiceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = FileServiceStats{}; }
+  disk::DiskRegistry* disks() { return disks_; }
+  SimClock* clock() { return clock_; }
+  const FileServiceConfig& config() const { return config_; }
+
+  // Contiguity of the file's layout, 1.0 = fully contiguous (bench metric).
+  Result<double> ContiguityIndex(FileId id);
+
+  // Physical runs of the file's data blocks and the locations of its
+  // indirect blocks (consistency audits — see file/fsck.h).
+  Result<std::vector<BlockDescriptor>> FileRuns(FileId id);
+  Result<std::vector<BlockDescriptor>> IndirectBlockLocations(FileId id);
+
+ private:
+  struct OpenFile {
+    FileIndexTable table;
+    // On-disk locations of the table's indirect blocks (control data).
+    std::vector<BlockDescriptor> indirect_blocks;
+    bool table_dirty = false;
+    // Soft attribute changes (access counts, timestamps): persisted at
+    // flush/close, but not worth a synchronous table store per operation.
+    bool attrs_dirty = false;
+    std::uint32_t pins = 0;  // open handles
+  };
+
+  struct CacheKey {
+    FileId file;
+    std::uint64_t block;
+    friend bool operator==(const CacheKey&, const CacheKey&) = default;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& k) const {
+      return std::hash<std::uint64_t>{}(k.file.value * 1000003ULL ^ k.block);
+    }
+  };
+  struct CacheEntry {
+    PooledBuffer buffer;  // kBlockSize bytes
+    bool dirty = false;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  // Loads (or returns the already-loaded) index table of `id`.
+  Result<OpenFile*> LoadTable(FileId id);
+  // Persists the table of `id` (fragment + indirect blocks) to original and
+  // stable storage.
+  Status StoreTable(FileId id, OpenFile& of);
+
+  // Grows the file by `blocks` logical blocks, preferring in-place
+  // extension, then fresh extents placed by the registry.
+  Status Grow(FileId id, OpenFile& of, std::uint64_t blocks);
+
+  // Cache plumbing.
+  CacheEntry* CacheLookup(FileId id, std::uint64_t block);
+  Result<CacheEntry*> CacheInsert(FileId id, std::uint64_t block,
+                                  std::span<const std::uint8_t> data,
+                                  bool dirty);
+  Status EvictOne();
+  Status WritebackEntry(const CacheKey& key, CacheEntry& entry);
+
+  // Reads logical blocks [first, first+count) into out, coalescing
+  // physically contiguous uncached spans into single disk references.
+  Status ReadBlocks(FileId id, OpenFile& of, std::uint64_t first,
+                    std::uint64_t count, std::span<std::uint8_t> out);
+
+  disk::WritePolicy PolicyFor(const OpenFile& of) const;
+
+  disk::DiskRegistry* disks_;
+  SimClock* clock_;
+  FileServiceConfig config_;
+  BufferPool block_pool_;
+  BufferPool fragment_pool_;
+  std::unordered_map<FileId, OpenFile> open_files_;
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
+  std::list<CacheKey> lru_;  // front = most recent
+  FileServiceStats stats_;
+};
+
+}  // namespace rhodos::file

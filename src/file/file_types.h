@@ -1,0 +1,56 @@
+// Shared vocabulary of the file facility's file layer (paper §5).
+#pragma once
+
+#include <cstdint>
+
+#include "common/sim_clock.h"
+#include "common/types.h"
+
+namespace rhodos::file {
+
+// "At any moment a file can be used either as a basic file ... or as a
+// transaction file" (§2.2). The service type is a file-specific attribute
+// recorded in the file index table.
+enum class ServiceType : std::uint8_t { kBasic = 0, kTransaction = 1 };
+
+// Locking granularity of the transaction service (§6.1); recorded per file
+// as the "locking level" attribute.
+enum class LockLevel : std::uint8_t { kRecord = 0, kPage = 1, kFile = 2 };
+
+// File-specific attributes stored in the file index table (§5): "file size;
+// date and time of file creation; last read access; a reference count ...;
+// service type ...; locking level ...; and space ... for storing the
+// file-specific attributes."
+struct FileAttributes {
+  std::uint64_t size = 0;          // bytes
+  SimTime created_time = 0;
+  SimTime last_read_time = 0;
+  std::uint32_t ref_count = 0;     // simultaneous opens
+  // How often the file has been read or written since creation; the
+  // transaction service consults this to suggest a default locking level
+  // (§7: "it exploits the knowledge of how frequently a file is used").
+  std::uint64_t access_count = 0;
+  ServiceType service_type = ServiceType::kBasic;
+  LockLevel locking_level = LockLevel::kPage;
+  std::uint32_t extra_space = 0;   // extension attribute bytes reserved
+
+  friend bool operator==(const FileAttributes&,
+                         const FileAttributes&) = default;
+};
+
+// The system name of a file encodes where its file index table lives:
+// the disk and the fragment of the table. This is what makes the three-step
+// location procedure of §5 work — step one (finding the file service) is
+// the agents' job, step two is a direct read of this address.
+constexpr FileId MakeFileId(DiskId disk, FragmentIndex fit_fragment) {
+  return FileId{(static_cast<std::uint64_t>(disk.value) << 40) |
+                (fit_fragment & ((1ULL << 40) - 1))};
+}
+constexpr DiskId FileDisk(FileId id) {
+  return DiskId{static_cast<std::uint32_t>(id.value >> 40)};
+}
+constexpr FragmentIndex FileFitFragment(FileId id) {
+  return id.value & ((1ULL << 40) - 1);
+}
+
+}  // namespace rhodos::file

@@ -1,0 +1,88 @@
+#include "file/fsck.h"
+
+#include <unordered_map>
+
+namespace rhodos::file {
+
+namespace {
+
+// A (disk, fragment) pair packed for hashing.
+std::uint64_t Pack(DiskId disk, FragmentIndex f) {
+  return (static_cast<std::uint64_t>(disk.value) << 40) | f;
+}
+
+}  // namespace
+
+AuditReport AuditFiles(FileService& service,
+                       std::span<const FileId> files) {
+  AuditReport report;
+  // Owner of each claimed fragment, for double-allocation detection.
+  std::unordered_map<std::uint64_t, FileId> owners;
+
+  auto claim = [&](FileId file, DiskId disk, FragmentIndex first,
+                   std::uint64_t count, const char* what) {
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const FragmentIndex f = first + i;
+      ++report.fragments_claimed;
+      const std::uint64_t key = Pack(disk, f);
+      if (auto it = owners.find(key); it != owners.end()) {
+        report.issues.push_back(AuditIssue{
+            AuditIssue::Kind::kDoubleAllocation, file, disk, f,
+            std::string(what) + " also claimed by file " +
+                std::to_string(it->second.value)});
+      } else {
+        owners.emplace(key, file);
+      }
+      auto server = service.disks()->Get(disk);
+      if (server.ok() && !(*server)->IsFragmentAllocated(f)) {
+        report.issues.push_back(AuditIssue{
+            AuditIssue::Kind::kUnallocatedClaim, file, disk, f,
+            std::string(what) + " not marked allocated in the bitmap"});
+      }
+    }
+  };
+
+  for (FileId file : files) {
+    ++report.files_checked;
+    auto attrs = service.GetAttributes(file);
+    if (!attrs.ok()) {
+      report.issues.push_back(
+          AuditIssue{AuditIssue::Kind::kUnreadableTable, file,
+                     FileDisk(file), FileFitFragment(file),
+                     attrs.error().ToString()});
+      continue;
+    }
+    // The index table fragment itself.
+    claim(file, FileDisk(file), FileFitFragment(file), 1, "index table");
+    // Indirect blocks.
+    auto indirect = service.IndirectBlockLocations(file);
+    if (indirect.ok()) {
+      for (const auto& ib : *indirect) {
+        claim(file, ib.disk, ib.first_fragment, kFragmentsPerBlock,
+              "indirect block");
+      }
+    }
+    // Data runs.
+    auto runs = service.FileRuns(file);
+    std::uint64_t mapped_blocks = 0;
+    if (runs.ok()) {
+      for (const auto& run : *runs) {
+        claim(file, run.disk, run.first_fragment,
+              static_cast<std::uint64_t>(run.contiguous_count) *
+                  kFragmentsPerBlock,
+              "data block");
+        mapped_blocks += run.contiguous_count;
+      }
+    }
+    // Size must be coverable by the mapped blocks.
+    if (attrs->size > mapped_blocks * kBlockSize) {
+      report.issues.push_back(AuditIssue{
+          AuditIssue::Kind::kSizeMismatch, file, FileDisk(file), 0,
+          "size " + std::to_string(attrs->size) + " exceeds " +
+              std::to_string(mapped_blocks) + " mapped blocks"});
+    }
+  }
+  return report;
+}
+
+}  // namespace rhodos::file

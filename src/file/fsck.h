@@ -1,0 +1,51 @@
+// Consistency audit of the file facility ("fsck").
+//
+// The paper leans on several structural invariants — every block descriptor
+// points at allocated space, no two files share fragments, the index table
+// and its indirect blocks are parseable from disk. After crash recovery
+// (or any time), the audit walks a set of files and verifies all of them
+// against the disk servers' bitmaps, reporting exactly what a downstream
+// administrator would want to know before trusting the volume.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "file/file_service.h"
+
+namespace rhodos::file {
+
+struct AuditIssue {
+  enum class Kind : std::uint8_t {
+    kUnreadableTable,   // index table could not be loaded/parsed
+    kDoubleAllocation,  // two files claim the same fragment
+    kUnallocatedClaim,  // a file claims a fragment the bitmap says is free
+    kSizeMismatch,      // attribute size exceeds mapped blocks
+  };
+  Kind kind;
+  FileId file{};
+  DiskId disk{};
+  FragmentIndex fragment = 0;
+  std::string detail;
+};
+
+struct AuditReport {
+  std::uint64_t files_checked = 0;
+  std::uint64_t fragments_claimed = 0;
+  std::vector<AuditIssue> issues;
+
+  bool clean() const { return issues.empty(); }
+  std::uint64_t CountOf(AuditIssue::Kind kind) const {
+    std::uint64_t n = 0;
+    for (const auto& i : issues) n += i.kind == kind ? 1 : 0;
+    return n;
+  }
+};
+
+// Audits `files` against the service's disks. Read-only: never repairs.
+AuditReport AuditFiles(FileService& service, std::span<const FileId> files);
+
+}  // namespace rhodos::file

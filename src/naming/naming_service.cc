@@ -1,0 +1,110 @@
+#include "naming/naming_service.h"
+
+#include <algorithm>
+
+namespace rhodos::naming {
+
+AttributedName ByName(std::string value) {
+  return AttributedName{{"name", std::move(value)}};
+}
+
+bool NamingService::Matches(const AttributedName& query,
+                            const AttributedName& candidate) {
+  for (const auto& [key, value] : query) {
+    auto it = candidate.find(key);
+    if (it == candidate.end() || it->second != value) return false;
+  }
+  return true;
+}
+
+Status NamingService::RegisterFile(const AttributedName& name, FileId file) {
+  if (name.empty()) {
+    return {ErrorCode::kInvalidArgument, "empty attributed name"};
+  }
+  for (const auto& [existing, id] : files_) {
+    if (id == file) {
+      return {ErrorCode::kAlreadyExists, "file already registered"};
+    }
+  }
+  files_.emplace_back(name, file);
+  return OkStatus();
+}
+
+Status NamingService::UnregisterFile(FileId file) {
+  auto it = std::find_if(files_.begin(), files_.end(),
+                         [&](const auto& e) { return e.second == file; });
+  if (it == files_.end()) {
+    return {ErrorCode::kNotFound, "file not registered"};
+  }
+  files_.erase(it);
+  return OkStatus();
+}
+
+Result<FileId> NamingService::ResolveFile(const AttributedName& query) {
+  ++stats_.resolutions;
+  const std::vector<FileId> matches = EvaluateFiles(query);
+  if (matches.empty()) {
+    ++stats_.failures;
+    return Error{ErrorCode::kNameNotResolved, "no file matches the name"};
+  }
+  if (matches.size() > 1) {
+    ++stats_.ambiguities;
+    return Error{ErrorCode::kAmbiguousName,
+                 std::to_string(matches.size()) + " files match the name"};
+  }
+  return matches.front();
+}
+
+std::vector<FileId> NamingService::EvaluateFiles(
+    const AttributedName& query) const {
+  std::vector<FileId> out;
+  for (const auto& [name, id] : files_) {
+    if (Matches(query, name)) out.push_back(id);
+  }
+  return out;
+}
+
+Result<AttributedName> NamingService::NameOf(FileId file) const {
+  for (const auto& [name, id] : files_) {
+    if (id == file) return name;
+  }
+  return Error{ErrorCode::kNotFound, "file not registered"};
+}
+
+Status NamingService::UpdateFile(FileId file, const AttributedName& name) {
+  for (auto& [existing, id] : files_) {
+    if (id == file) {
+      existing = name;
+      return OkStatus();
+    }
+  }
+  return {ErrorCode::kNotFound, "file not registered"};
+}
+
+Status NamingService::RegisterDevice(const AttributedName& name,
+                                     std::string system_name) {
+  if (name.empty()) {
+    return {ErrorCode::kInvalidArgument, "empty attributed name"};
+  }
+  devices_.emplace_back(name, std::move(system_name));
+  return OkStatus();
+}
+
+Result<std::string> NamingService::ResolveDevice(const AttributedName& query) {
+  ++stats_.resolutions;
+  std::vector<std::string> matches;
+  for (const auto& [name, system] : devices_) {
+    if (Matches(query, name)) matches.push_back(system);
+  }
+  if (matches.empty()) {
+    ++stats_.failures;
+    return Error{ErrorCode::kNameNotResolved, "no device matches the name"};
+  }
+  if (matches.size() > 1) {
+    ++stats_.ambiguities;
+    return Error{ErrorCode::kAmbiguousName, "multiple devices match"};
+  }
+  return matches.front();
+}
+
+}  // namespace rhodos::naming

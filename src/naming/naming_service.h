@@ -1,0 +1,76 @@
+// The RHODOS naming service (paper §3).
+//
+// "Processes in the RHODOS system use the attributed names of these
+// devices, TTY objects, and files, FILE objects. ... the process of
+// evaluation and resolution of an attributed name of a device or file to
+// its system name is performed by the RHODOS naming service."
+//
+// An attributed name is a set of attribute=value pairs. Resolution matches
+// a query against registered names: every query attribute must match; a
+// unique match yields the system name, several matches are ambiguous, none
+// is unresolved. Files resolve to their FileId (the system name encodes
+// the index-table location); devices resolve to a device system name
+// string the device agent understands.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+
+namespace rhodos::naming {
+
+// Attribute set, e.g. {name: "ledger", owner: "alice", type: "data"}.
+// Ordered map so names have a canonical form.
+using AttributedName = std::map<std::string, std::string>;
+
+// Convenience: the common single-attribute name {"name": value}.
+AttributedName ByName(std::string value);
+
+struct NamingStats {
+  std::uint64_t resolutions = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t ambiguities = 0;
+};
+
+class NamingService {
+ public:
+  // --- Files ---------------------------------------------------------------
+
+  Status RegisterFile(const AttributedName& name, FileId file);
+  Status UnregisterFile(FileId file);
+
+  // Resolves an attributed name to a file's system name. All attributes of
+  // `query` must match (registered names may carry extra attributes).
+  Result<FileId> ResolveFile(const AttributedName& query);
+
+  // All files matching the query (directory-listing style evaluation).
+  std::vector<FileId> EvaluateFiles(const AttributedName& query) const;
+
+  // The full attributed name under which a file was registered.
+  Result<AttributedName> NameOf(FileId file) const;
+
+  // Re-binds an existing registration (e.g. rename, attribute change).
+  Status UpdateFile(FileId file, const AttributedName& name);
+
+  // --- Devices -------------------------------------------------------------
+
+  Status RegisterDevice(const AttributedName& name, std::string system_name);
+  Result<std::string> ResolveDevice(const AttributedName& query);
+
+  const NamingStats& stats() const { return stats_; }
+  std::size_t FileCount() const { return files_.size(); }
+
+ private:
+  static bool Matches(const AttributedName& query,
+                      const AttributedName& candidate);
+
+  std::vector<std::pair<AttributedName, FileId>> files_;
+  std::vector<std::pair<AttributedName, std::string>> devices_;
+  NamingStats stats_;
+};
+
+}  // namespace rhodos::naming

@@ -1,0 +1,166 @@
+#include "replication/replication_service.h"
+
+#include <algorithm>
+
+namespace rhodos::replication {
+
+using file::FileService;
+
+Result<ReplicationService::Group*> ReplicationService::Find(GroupId group) {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Error{ErrorCode::kNotFound,
+                 "no replica group " + std::to_string(group.value)};
+  }
+  return &it->second;
+}
+
+Result<const ReplicationService::Group*> ReplicationService::Find(
+    GroupId group) const {
+  auto it = groups_.find(group);
+  if (it == groups_.end()) {
+    return Error{ErrorCode::kNotFound,
+                 "no replica group " + std::to_string(group.value)};
+  }
+  return &it->second;
+}
+
+Result<GroupId> ReplicationService::CreateReplicated(
+    file::ServiceType type, std::uint32_t replica_count,
+    std::uint64_t size_hint) {
+  if (replica_count == 0) {
+    return Error{ErrorCode::kInvalidArgument, "need at least one replica"};
+  }
+  Group group;
+  for (std::uint32_t i = 0; i < replica_count; ++i) {
+    auto file = files_->Create(type, size_hint);
+    if (!file.ok()) {
+      // Roll back the copies we already made.
+      for (const ReplicaInfo& r : group.replicas) {
+        (void)files_->Delete(r.file);
+      }
+      return Error{file.error()};
+    }
+    group.replicas.push_back(
+        ReplicaInfo{*file, file::FileDisk(*file), 0, false});
+  }
+  const GroupId id{next_group_++};
+  groups_.emplace(id, std::move(group));
+  return id;
+}
+
+Status ReplicationService::DeleteReplicated(GroupId group) {
+  RHODOS_ASSIGN_OR_RETURN(Group * g, Find(group));
+  Status result = OkStatus();
+  for (const ReplicaInfo& r : g->replicas) {
+    if (auto st = files_->Delete(r.file); !st.ok()) result = st;
+  }
+  groups_.erase(group);
+  return result;
+}
+
+Result<std::uint64_t> ReplicationService::Write(
+    GroupId group, std::uint64_t offset, std::span<const std::uint8_t> in) {
+  RHODOS_ASSIGN_OR_RETURN(Group * g, Find(group));
+  ++stats_.writes;
+  const std::uint64_t new_version = g->version + 1;
+  std::uint64_t acks = 0;
+  for (ReplicaInfo& r : g->replicas) {
+    auto n = files_->Write(r.file, offset, in);
+    if (n.ok() && *n == in.size()) {
+      r.version = new_version;
+      r.suspected_down = false;
+      ++acks;
+    } else {
+      r.suspected_down = true;
+    }
+  }
+  if (acks == 0) {
+    return Error{ErrorCode::kUnavailable, "no replica accepted the write"};
+  }
+  if (acks < g->replicas.size()) ++stats_.degraded_writes;
+  g->version = new_version;
+  g->size = std::max(g->size, offset + in.size());
+  return in.size();
+}
+
+Result<std::uint64_t> ReplicationService::Read(GroupId group,
+                                               std::uint64_t offset,
+                                               std::span<std::uint8_t> out) {
+  RHODOS_ASSIGN_OR_RETURN(Group * g, Find(group));
+  ++stats_.reads;
+  bool first = true;
+  for (ReplicaInfo& r : g->replicas) {
+    if (r.version == g->version && !r.suspected_down) {
+      auto n = files_->Read(r.file, offset, out);
+      if (n.ok()) {
+        if (!first) ++stats_.failovers;
+        return n;
+      }
+      r.suspected_down = true;
+    }
+    first = false;
+  }
+  return Error{ErrorCode::kUnavailable, "no current replica is readable"};
+}
+
+Status ReplicationService::Repair(GroupId group) {
+  RHODOS_ASSIGN_OR_RETURN(Group * g, Find(group));
+  // Find the freshest readable replica.
+  const ReplicaInfo* source = nullptr;
+  for (const ReplicaInfo& r : g->replicas) {
+    if (r.version == g->version) {
+      auto attrs = files_->GetAttributes(r.file);
+      if (attrs.ok()) {
+        source = &r;
+        break;
+      }
+    }
+  }
+  if (source == nullptr) {
+    return {ErrorCode::kUnavailable, "no replica holds the current version"};
+  }
+  auto attrs = files_->GetAttributes(source->file);
+  if (!attrs.ok()) return Error{attrs.error()};
+  const std::uint64_t size = attrs->size;
+
+  std::vector<std::uint8_t> buf(kBlockSize);
+  for (ReplicaInfo& r : g->replicas) {
+    if (r.version == g->version && !r.suspected_down) continue;
+    // Block-by-block copy from the source replica.
+    bool copied = true;
+    for (std::uint64_t off = 0; off < size; off += kBlockSize) {
+      const std::uint64_t n = std::min<std::uint64_t>(kBlockSize, size - off);
+      auto got = files_->Read(source->file, off, {buf.data(), n});
+      if (!got.ok()) return Error{got.error()};
+      auto put = files_->Write(r.file, off, {buf.data(), *got});
+      if (!put.ok()) {
+        copied = false;
+        break;
+      }
+    }
+    if (copied) {
+      if (size == 0) {
+        (void)files_->Resize(r.file, 0);
+      }
+      r.version = g->version;
+      r.suspected_down = false;
+      ++stats_.repairs;
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::vector<ReplicaInfo>> ReplicationService::Replicas(
+    GroupId group) const {
+  RHODOS_ASSIGN_OR_RETURN(const Group* g, Find(group));
+  return g->replicas;
+}
+
+Result<std::uint64_t> ReplicationService::CurrentVersion(
+    GroupId group) const {
+  RHODOS_ASSIGN_OR_RETURN(const Group* g, Find(group));
+  return g->version;
+}
+
+}  // namespace rhodos::replication

@@ -1,0 +1,91 @@
+// The RHODOS replication service (paper Fig. 1, §2.1).
+//
+// The design goal list requires "the provision to support the concept of
+// file replication" for reliability; the architecture places a replication
+// service beside the naming service above the file services. The paper does
+// not pin down a protocol, so this implementation uses the classical
+// read-one / write-all scheme with per-replica version numbers:
+//
+//  * a replicated file is a group of ordinary RHODOS files, each placed on
+//    a different disk where possible;
+//  * writes go to every live replica and bump the group version;
+//  * reads are served by the first live replica that carries the current
+//    version;
+//  * Repair() brings stale or damaged replicas back in sync from the
+//    freshest copy — the recovery path after a disk returns to service.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/types.h"
+#include "file/file_service.h"
+
+namespace rhodos::replication {
+
+struct ReplicaGroupTag {};
+using GroupId = StrongId<ReplicaGroupTag, std::uint64_t>;
+
+struct ReplicaInfo {
+  FileId file{};
+  DiskId disk{};
+  std::uint64_t version = 0;  // last version this replica acknowledged
+  bool suspected_down = false;
+};
+
+struct ReplicationStats {
+  std::uint64_t writes = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t degraded_writes = 0;  // at least one replica missed a write
+  std::uint64_t failovers = 0;        // read served by a non-first replica
+  std::uint64_t repairs = 0;
+};
+
+class ReplicationService {
+ public:
+  explicit ReplicationService(file::FileService* files) : files_(files) {}
+
+  // Creates a group of `replica_count` copies. Each copy is a normal file;
+  // the registry's placement spreads them over disks.
+  Result<GroupId> CreateReplicated(file::ServiceType type,
+                                   std::uint32_t replica_count,
+                                   std::uint64_t size_hint = 0);
+
+  Status DeleteReplicated(GroupId group);
+
+  // Write-all: applies the write to every replica it can reach. Succeeds if
+  // at least one replica took the write (the others are marked stale).
+  Result<std::uint64_t> Write(GroupId group, std::uint64_t offset,
+                              std::span<const std::uint8_t> in);
+
+  // Read-one: serves from the first replica that is current and readable.
+  Result<std::uint64_t> Read(GroupId group, std::uint64_t offset,
+                             std::span<std::uint8_t> out);
+
+  // Copies the freshest replica's content over stale/damaged ones.
+  Status Repair(GroupId group);
+
+  // Introspection.
+  Result<std::vector<ReplicaInfo>> Replicas(GroupId group) const;
+  Result<std::uint64_t> CurrentVersion(GroupId group) const;
+  const ReplicationStats& stats() const { return stats_; }
+
+ private:
+  struct Group {
+    std::vector<ReplicaInfo> replicas;
+    std::uint64_t version = 0;  // version of the latest committed write
+    std::uint64_t size = 0;
+  };
+
+  Result<Group*> Find(GroupId group);
+  Result<const Group*> Find(GroupId group) const;
+
+  file::FileService* files_;
+  std::unordered_map<GroupId, Group> groups_;
+  std::uint64_t next_group_{1};
+  ReplicationStats stats_;
+};
+
+}  // namespace rhodos::replication

@@ -1,0 +1,69 @@
+#include "sim/message_bus.h"
+
+namespace rhodos::sim {
+
+void MessageBus::Charge(std::size_t bytes) {
+  const SimTime cost =
+      config_.latency_per_message +
+      config_.latency_per_kib * static_cast<SimTime>(bytes / 1024);
+  stats_.time_charged += cost;
+  stats_.bytes_moved += bytes;
+  if (clock_ != nullptr) clock_->Advance(cost);
+}
+
+Result<Payload> MessageBus::Call(const std::string& address,
+                                 std::uint32_t opcode,
+                                 std::span<const std::uint8_t> request) {
+  ++stats_.calls;
+  auto it = services_.find(address);
+  if (it == services_.end()) {
+    return Error{ErrorCode::kNotConnected, "no service at '" + address + "'"};
+  }
+
+  // Request direction.
+  Charge(request.size());
+  if (config_.drop_rate > 0.0 && rng_.Chance(config_.drop_rate)) {
+    ++stats_.drops_request;
+    return Error{ErrorCode::kMessageDropped, "request lost to " + address};
+  }
+
+  ++stats_.deliveries;
+  Payload reply = it->second(opcode, request);
+
+  // A retransmitted duplicate arrives after the original was served; the
+  // server must tolerate processing it again (idempotent operations, §3).
+  if (config_.duplicate_rate > 0.0 && rng_.Chance(config_.duplicate_rate)) {
+    ++stats_.duplicates;
+    ++stats_.deliveries;
+    Charge(request.size());
+    reply = it->second(opcode, request);
+  }
+
+  // Reply direction. Losing the reply after the handler ran is the case that
+  // forces clients to retry an already-executed operation.
+  Charge(reply.size());
+  if (config_.drop_rate > 0.0 && rng_.Chance(config_.drop_rate)) {
+    ++stats_.drops_reply;
+    return Error{ErrorCode::kMessageDropped, "reply lost from " + address};
+  }
+
+  return reply;
+}
+
+Result<Payload> RpcClient::Call(std::uint32_t opcode,
+                                std::span<const std::uint8_t> request) {
+  Error last{ErrorCode::kUnavailable, "rpc never attempted"};
+  for (int attempt = 0; attempt < max_attempts_; ++attempt) {
+    if (attempt > 0) ++retries_;
+    auto result = bus_->Call(address_, opcode, request);
+    if (result.ok()) return result;
+    if (result.error().code != ErrorCode::kMessageDropped) return result;
+    last = result.error();
+  }
+  return Error{ErrorCode::kUnavailable,
+               "rpc to " + address_ + " failed after " +
+                   std::to_string(max_attempts_) +
+                   " attempts: " + last.ToString()};
+}
+
+}  // namespace rhodos::sim

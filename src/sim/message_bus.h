@@ -1,0 +1,115 @@
+// Simulated interconnect between client machines and servers.
+//
+// RHODOS is a message-passing distributed OS; its file facility claims that
+// (a) per-level caching avoids most messages to lower layers, and (b) all
+// inter-service messages are idempotent, so retransmission after a failure
+// "does not produce any uncertain effect" (§3). MessageBus is the instrument
+// for both claims: it counts messages and bytes, charges simulated latency,
+// and can drop or duplicate deliveries to exercise the at-least-once path.
+//
+// Delivery model per Call():
+//   * drop, request lost  — the handler never runs, the caller times out;
+//   * drop, reply lost    — the handler RUNS, but the caller still times
+//                           out (the hard case for idempotency);
+//   * duplicate           — the handler runs twice (a retransmitted request
+//                           arriving after the original was served);
+//   * normal              — the handler runs once.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+
+namespace rhodos::sim {
+
+using Payload = std::vector<std::uint8_t>;
+
+// A service handler: takes an opcode and a request body, returns a reply.
+using ServiceHandler =
+    std::function<Payload(std::uint32_t opcode, std::span<const std::uint8_t>)>;
+
+struct NetworkConfig {
+  SimTime latency_per_message = 500 * kSimMicrosecond;  // LAN round-trip half
+  SimTime latency_per_kib = 80 * kSimMicrosecond;       // wire time
+  double drop_rate = 0.0;       // probability a Call() loses a message
+  double duplicate_rate = 0.0;  // probability the request is delivered twice
+};
+
+struct NetStats {
+  std::uint64_t calls = 0;
+  std::uint64_t deliveries = 0;        // handler invocations
+  std::uint64_t drops_request = 0;
+  std::uint64_t drops_reply = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t bytes_moved = 0;
+  SimTime time_charged = 0;
+};
+
+class MessageBus {
+ public:
+  explicit MessageBus(SimClock* clock, NetworkConfig config = {},
+                      std::uint64_t fault_seed = 7)
+      : clock_(clock), config_(config), rng_(fault_seed) {}
+
+  MessageBus(const MessageBus&) = delete;
+  MessageBus& operator=(const MessageBus&) = delete;
+
+  void RegisterService(std::string address, ServiceHandler handler) {
+    services_[std::move(address)] = std::move(handler);
+  }
+  void UnregisterService(const std::string& address) {
+    services_.erase(address);
+  }
+  bool HasService(const std::string& address) const {
+    return services_.count(address) != 0;
+  }
+
+  void SetConfig(NetworkConfig config) { config_ = config; }
+  const NetStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NetStats{}; }
+
+  // One send/receive exchange. Returns kMessageDropped when either direction
+  // is lost; the caller (an agent) is expected to retry, relying on the
+  // idempotence of the operation.
+  Result<Payload> Call(const std::string& address, std::uint32_t opcode,
+                       std::span<const std::uint8_t> request);
+
+ private:
+  void Charge(std::size_t bytes);
+
+  SimClock* clock_;
+  NetworkConfig config_;
+  Rng rng_;
+  NetStats stats_;
+  std::unordered_map<std::string, ServiceHandler> services_;
+};
+
+// At-least-once RPC endpoint used by the agents: retries Call() on loss up
+// to `max_attempts` times. Counts retries so the idempotency experiment can
+// report how much duplicate work the server absorbed.
+class RpcClient {
+ public:
+  RpcClient(MessageBus* bus, std::string address, int max_attempts = 8)
+      : bus_(bus), address_(std::move(address)), max_attempts_(max_attempts) {}
+
+  Result<Payload> Call(std::uint32_t opcode,
+                       std::span<const std::uint8_t> request);
+
+  std::uint64_t retries() const { return retries_; }
+  const std::string& address() const { return address_; }
+
+ private:
+  MessageBus* bus_;
+  std::string address_;
+  int max_attempts_;
+  std::uint64_t retries_{0};
+};
+
+}  // namespace rhodos::sim

@@ -1,0 +1,638 @@
+#include "txn/transaction_service.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace rhodos::txn {
+
+using file::FileAttributes;
+using file::FileService;
+using file::LockLevel;
+using file::ServiceType;
+
+TransactionService::TransactionService(FileService* files,
+                                       disk::DiskServer* log_disk,
+                                       TxnServiceConfig config)
+    : files_(files),
+      config_(config),
+      locks_(config.lock_timeout),
+      log_disk_(log_disk),
+      // The log region lives at a FIXED location — immediately after the
+      // disk's metadata region — so a service instance created after a
+      // crash finds the same intentions the pre-crash instance wrote.
+      log_first_fragment_(log_disk->MetadataFragments()),
+      log_(log_disk, log_first_fragment_, config.log_fragments) {
+  // First instance on this disk claims the region; later instances find it
+  // already allocated, which is fine — it is the same log.
+  (void)log_disk_->AllocateSpecific(log_first_fragment_,
+                                    static_cast<std::uint32_t>(
+                                        config.log_fragments));
+}
+
+// --- lifecycle -----------------------------------------------------------------
+
+Result<TxnId> TransactionService::Begin(ProcessId process) {
+  std::scoped_lock lk(mu_);
+  const TxnId id{next_txn_++};
+  Txn t;
+  t.process = process;
+  txns_.emplace(id, std::move(t));
+  ++stats_.begins;
+  return id;
+}
+
+Result<TransactionService::Txn*> TransactionService::Live(TxnId txn) {
+  // Caller must hold mu_.
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return Error{ErrorCode::kTxnNotActive,
+                 "transaction " + std::to_string(txn.value) + " not active"};
+  }
+  return &it->second;
+}
+
+bool TransactionService::IsActive(TxnId txn) const {
+  std::scoped_lock lk(mu_);
+  return txns_.count(txn) != 0;
+}
+
+std::size_t TransactionService::ActiveCount() const {
+  std::scoped_lock lk(mu_);
+  return txns_.size();
+}
+
+Result<LockLevel> TransactionService::LevelOf(FileId file) {
+  RHODOS_ASSIGN_OR_RETURN(FileAttributes attrs, files_->GetAttributes(file));
+  return attrs.locking_level;
+}
+
+Status TransactionService::AcquireLocks(TxnId txn, Txn& t, FileId file,
+                                        LockLevel level, std::uint64_t offset,
+                                        std::uint64_t len, LockMode mode) {
+  if (t.phase != TxnPhase::kLocking) {
+    // Strict 2PL: no new locks once the unlocking phase has begun.
+    return {ErrorCode::kTxnNotActive, "transaction is past its locking phase"};
+  }
+  switch (level) {
+    case LockLevel::kRecord:
+      return locks_.SetLock(level, txn, t.process, t.phase,
+                            DataItem::Record(file, offset, len), mode);
+    case LockLevel::kPage: {
+      const std::uint64_t first = offset / kBlockSize;
+      const std::uint64_t last =
+          len == 0 ? first : (offset + len - 1) / kBlockSize;
+      for (std::uint64_t p = first; p <= last; ++p) {
+        RHODOS_RETURN_IF_ERROR(locks_.SetLock(level, txn, t.process, t.phase,
+                                              DataItem::Page(file, p), mode));
+      }
+      return OkStatus();
+    }
+    case LockLevel::kFile:
+      return locks_.SetLock(level, txn, t.process, t.phase,
+                            DataItem::File(file), mode);
+  }
+  return {ErrorCode::kInternal, "bad lock level"};
+}
+
+// --- t-operations -----------------------------------------------------------------
+
+Result<FileId> TransactionService::TCreate(TxnId txn, LockLevel level,
+                                           std::uint64_t size_hint) {
+  std::scoped_lock lk(mu_);
+  RHODOS_ASSIGN_OR_RETURN(Txn * t, Live(txn));
+  if (locks_.WasBroken(txn)) {
+    return Error{ErrorCode::kTxnAborted, "broken by lock timeout"};
+  }
+  RHODOS_ASSIGN_OR_RETURN(FileId file,
+                          files_->Create(ServiceType::kTransaction,
+                                         size_hint));
+  RHODOS_RETURN_IF_ERROR(files_->SetLockLevel(file, level));
+  t->touched.insert(file);
+  t->created.insert(file);
+  // The creator owns the new file exclusively; nobody else can know its
+  // name yet, so the IW lock is uncontended by construction.
+  RHODOS_RETURN_IF_ERROR(locks_.TryLock(level, txn, t->process, t->phase,
+                                        DataItem::File(file),
+                                        LockMode::kIWrite));
+  return file;
+}
+
+Status TransactionService::TOpen(TxnId txn, FileId file) {
+  std::scoped_lock lk(mu_);
+  RHODOS_ASSIGN_OR_RETURN(Txn * t, Live(txn));
+  (void)t;
+  return files_->Open(file);
+}
+
+Status TransactionService::TClose(TxnId txn, FileId file) {
+  std::scoped_lock lk(mu_);
+  RHODOS_ASSIGN_OR_RETURN(Txn * t, Live(txn));
+  (void)t;
+  return files_->Close(file);
+}
+
+Status TransactionService::TDelete(TxnId txn, FileId file) {
+  // Deleting needs exclusive ownership of the whole file, whatever its
+  // locking level.
+  Txn* t;
+  LockLevel level;
+  {
+    std::scoped_lock lk(mu_);
+    RHODOS_ASSIGN_OR_RETURN(t, Live(txn));
+    RHODOS_ASSIGN_OR_RETURN(level, LevelOf(file));
+  }
+  RHODOS_RETURN_IF_ERROR(locks_.SetLock(level, txn, t->process, t->phase,
+                                        DataItem::File(file),
+                                        LockMode::kIWrite));
+  std::scoped_lock lk(mu_);
+  t->touched.insert(file);
+  t->to_delete.insert(file);
+  return OkStatus();
+}
+
+Result<std::uint64_t> TransactionService::ReadWithOverlay(
+    Txn& t, FileId file, std::uint64_t offset, std::span<std::uint8_t> out) {
+  // Effective size includes the transaction's own (tentative) growth.
+  RHODOS_ASSIGN_OR_RETURN(FileAttributes attrs, files_->GetAttributes(file));
+  std::uint64_t size = attrs.size;
+  if (auto it = t.tentative_size.find(file); it != t.tentative_size.end()) {
+    size = std::max(size, it->second);
+  }
+  if (offset >= size) return std::uint64_t{0};
+  const std::uint64_t len = std::min<std::uint64_t>(out.size(), size - offset);
+  std::memset(out.data(), 0, len);
+  // Base content from the (committed) file — may be shorter than len.
+  auto base = files_->Read(file, offset, out.subspan(0, len));
+  if (!base.ok()) return base;
+
+  // Overlay tentative pages.
+  const std::uint64_t first_page = offset / kBlockSize;
+  const std::uint64_t last_page = (offset + len - 1) / kBlockSize;
+  for (std::uint64_t p = first_page; p <= last_page; ++p) {
+    auto it = t.tentative_pages.find({file.value, p});
+    if (it == t.tentative_pages.end()) continue;
+    const std::uint64_t page_begin = p * kBlockSize;
+    const std::uint64_t lo = std::max(offset, page_begin);
+    const std::uint64_t hi = std::min(offset + len, page_begin + kBlockSize);
+    std::memcpy(out.data() + (lo - offset),
+                it->second.data() + (lo - page_begin), hi - lo);
+  }
+  // Overlay tentative byte ranges, in write order.
+  for (const auto& [fval, w] : t.tentative_ranges) {
+    if (fval != file.value) continue;
+    const std::uint64_t w_end = w.offset + w.data.size();
+    const std::uint64_t lo = std::max(offset, w.offset);
+    const std::uint64_t hi = std::min(offset + len, w_end);
+    if (lo >= hi) continue;
+    std::memcpy(out.data() + (lo - offset), w.data.data() + (lo - w.offset),
+                hi - lo);
+  }
+  return len;
+}
+
+Result<std::uint64_t> TransactionService::TRead(TxnId txn, FileId file,
+                                                std::uint64_t offset,
+                                                std::span<std::uint8_t> out,
+                                                ReadIntent intent) {
+  Txn* t;
+  LockLevel level;
+  {
+    std::scoped_lock lk(mu_);
+    RHODOS_ASSIGN_OR_RETURN(t, Live(txn));
+    RHODOS_ASSIGN_OR_RETURN(level, LevelOf(file));
+  }
+  if (locks_.WasBroken(txn)) {
+    (void)Abort(txn);
+    return Error{ErrorCode::kTxnAborted, "broken by lock timeout"};
+  }
+  // "A data item is read-only locked ... to perform some query. If a
+  // transaction reads a data item to modify it, then ... an Iread lock."
+  const LockMode mode = intent == ReadIntent::kQuery ? LockMode::kReadOnly
+                                                     : LockMode::kIRead;
+  RHODOS_RETURN_IF_ERROR(AcquireLocks(txn, *t, file, level, offset,
+                                      out.size(), mode));
+  std::scoped_lock lk(mu_);
+  t->touched.insert(file);
+  return ReadWithOverlay(*t, file, offset, out);
+}
+
+Result<std::uint64_t> TransactionService::TWrite(
+    TxnId txn, FileId file, std::uint64_t offset,
+    std::span<const std::uint8_t> in) {
+  Txn* t;
+  LockLevel level;
+  {
+    std::scoped_lock lk(mu_);
+    RHODOS_ASSIGN_OR_RETURN(t, Live(txn));
+    RHODOS_ASSIGN_OR_RETURN(level, LevelOf(file));
+  }
+  if (locks_.WasBroken(txn)) {
+    (void)Abort(txn);
+    return Error{ErrorCode::kTxnAborted, "broken by lock timeout"};
+  }
+  RHODOS_RETURN_IF_ERROR(AcquireLocks(txn, *t, file, level, offset, in.size(),
+                                      LockMode::kIWrite));
+
+  std::scoped_lock lk(mu_);
+  t->touched.insert(file);
+  auto& tsize = t->tentative_size[file];
+  tsize = std::max<std::uint64_t>(
+      {tsize, offset + in.size(),
+       files_->GetAttributes(file).ok()
+           ? files_->GetAttributes(file)->size
+           : 0});
+
+  if (level == LockLevel::kRecord) {
+    // Record mode: the tentative data item is the exact byte range; it is
+    // committed with a WAL range record (§6.7 poses no limit on record
+    // size).
+    t->tentative_ranges.emplace_back(
+        file.value,
+        PendingWrite{offset, std::vector<std::uint8_t>(in.begin(), in.end())});
+    return in.size();
+  }
+
+  // Page/file mode: the tentative data item is a page image.
+  std::uint64_t written = 0;
+  while (written < in.size()) {
+    const std::uint64_t pos = offset + written;
+    const std::uint64_t page = pos / kBlockSize;
+    const std::uint64_t in_page = pos % kBlockSize;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(in.size() - written, kBlockSize - in_page);
+    auto key = std::make_pair(file.value, page);
+    auto it = t->tentative_pages.find(key);
+    if (it == t->tentative_pages.end()) {
+      // Build the isolated copy: current committed content, or zeros when
+      // the page is beyond the committed end.
+      std::vector<std::uint8_t> image(kBlockSize, 0);
+      RHODOS_ASSIGN_OR_RETURN(std::uint64_t blocks, files_->BlockCount(file));
+      if (page < blocks) {
+        RHODOS_RETURN_IF_ERROR(files_->ReadBlock(file, page, image));
+      }
+      it = t->tentative_pages.emplace(key, std::move(image)).first;
+    }
+    std::memcpy(it->second.data() + in_page, in.data() + written, n);
+    written += n;
+  }
+  return in.size();
+}
+
+Result<FileAttributes> TransactionService::TGetAttribute(TxnId txn,
+                                                         FileId file) {
+  std::scoped_lock lk(mu_);
+  RHODOS_ASSIGN_OR_RETURN(Txn * t, Live(txn));
+  RHODOS_ASSIGN_OR_RETURN(FileAttributes attrs, files_->GetAttributes(file));
+  if (auto it = t->tentative_size.find(file); it != t->tentative_size.end()) {
+    attrs.size = std::max(attrs.size, it->second);
+  }
+  return attrs;
+}
+
+// --- commit / abort ------------------------------------------------------------------
+
+Result<CommitTechnique> TransactionService::TechniqueFor(FileId file) {
+  switch (config_.technique) {
+    case TxnServiceConfig::TechniqueOverride::kWalAlways:
+      return CommitTechnique::kWal;
+    case TxnServiceConfig::TechniqueOverride::kShadowAlways:
+      return CommitTechnique::kShadowPage;
+    case TxnServiceConfig::TechniqueOverride::kAuto:
+      break;
+  }
+  // "use the shadow page technique when the data blocks are not contiguous
+  // and the wal technique when the data blocks are contiguous. Whether data
+  // blocks are contiguous or not is very easy to determine by using the
+  // knowledge of the ... count" (§6.7).
+  RHODOS_ASSIGN_OR_RETURN(bool contiguous, files_->IsContiguous(file));
+  return contiguous ? CommitTechnique::kWal : CommitTechnique::kShadowPage;
+}
+
+Result<LockLevel> TransactionService::SuggestLockLevel(FileId file) {
+  std::scoped_lock lk(mu_);
+  RHODOS_ASSIGN_OR_RETURN(file::FileAttributes attrs,
+                          files_->GetAttributes(file));
+  if (attrs.access_count >= config_.hot_access_threshold) {
+    // Frequently used: simultaneous updates are likely, so the fine
+    // granularity that "maximizes the concurrent execution of
+    // transactions" (§7) pays for its extra lock records.
+    return LockLevel::kRecord;
+  }
+  if (attrs.size >= config_.large_file_bytes) {
+    // Large and cold: updates tend to be bulk, and "there are fewer locks
+    // to manage" at file level (§6.1).
+    return LockLevel::kFile;
+  }
+  return LockLevel::kPage;
+}
+
+Status TransactionService::ApplyDefaultLockLevel(FileId file) {
+  RHODOS_ASSIGN_OR_RETURN(LockLevel level, SuggestLockLevel(file));
+  std::scoped_lock lk(mu_);
+  return files_->SetLockLevel(file, level);
+}
+
+Status TransactionService::ApplyWalPage(FileId file, std::uint64_t page,
+                                        std::span<const std::uint8_t> data) {
+  RHODOS_ASSIGN_OR_RETURN(std::uint64_t blocks, files_->BlockCount(file));
+  if (page >= blocks) {
+    RHODOS_RETURN_IF_ERROR(files_->Resize(file, (page + 1) * kBlockSize));
+  }
+  return files_->WriteBlock(file, page, data, /*force_write_through=*/true);
+}
+
+Status TransactionService::ApplyWalRange(FileId file, std::uint64_t offset,
+                                         std::span<const std::uint8_t> data) {
+  auto n = files_->Write(file, offset, data);
+  if (!n.ok()) return Error{n.error()};
+  return files_->Flush(file);
+}
+
+Status TransactionService::CommitTxn(TxnId id, Txn& t) {
+  t.phase = TxnPhase::kUnlocking;
+
+  const bool has_effects = !t.tentative_pages.empty() ||
+                           !t.tentative_ranges.empty() ||
+                           !t.to_delete.empty() || !t.created.empty();
+  if (!has_effects) {
+    // Read-only transaction: nothing to log or apply.
+    return OkStatus();
+  }
+
+  RHODOS_RETURN_IF_ERROR(log_.Append(
+      IntentionRecord{IntentionKind::kBegin, id, {}, 0, 0, {}, 0,
+                      TxnStatus::kTentative, {}}));
+  t.logged_begin = true;
+
+  // Per-file technique choice and shadow staging.
+  std::unordered_map<std::uint64_t, CommitTechnique> technique;
+  struct ShadowStage {
+    FileId file;
+    std::uint64_t page;
+    disk::DiskRegistry::Placement placement;
+  };
+  std::vector<ShadowStage> shadows;
+
+  for (auto& [key, image] : t.tentative_pages) {
+    const FileId file{key.first};
+    const std::uint64_t page = key.second;
+    auto tech_it = technique.find(file.value);
+    if (tech_it == technique.end()) {
+      RHODOS_ASSIGN_OR_RETURN(CommitTechnique tech, TechniqueFor(file));
+      tech_it = technique.emplace(file.value, tech).first;
+    }
+    RHODOS_ASSIGN_OR_RETURN(std::uint64_t blocks, files_->BlockCount(file));
+    const std::uint64_t final_size =
+        t.tentative_size.count(file) ? t.tentative_size[file] : 0;
+
+    if (tech_it->second == CommitTechnique::kShadowPage && page < blocks) {
+      // Shadow page: write the new image to a fresh block now (original +
+      // stable — it must survive anything once the commit record lands),
+      // and log only the remap intention.
+      RHODOS_ASSIGN_OR_RETURN(auto placement,
+                              files_->AllocateShadowBlock(file));
+      RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server,
+                              files_->disks()->Get(placement.disk));
+      RHODOS_RETURN_IF_ERROR(server->PutBlock(
+          placement.first, kFragmentsPerBlock, image,
+          disk::StableMode::kOriginalAndStable,
+          disk::WriteSync::kSynchronous));
+      RHODOS_RETURN_IF_ERROR(log_.Append(IntentionRecord{
+          IntentionKind::kShadowMap, id, file, page, final_size,
+          placement.disk, placement.first, TxnStatus::kTentative, {}}));
+      shadows.push_back(ShadowStage{file, page, placement});
+    } else {
+      // WAL: the page image itself is the intention (redo record). The
+      // file's final size rides in `offset` so recovery can re-grow.
+      RHODOS_RETURN_IF_ERROR(log_.Append(IntentionRecord{
+          IntentionKind::kRedoPage, id, file, page, final_size, {}, 0,
+          TxnStatus::kTentative, image}));
+      ++stats_.pages_logged;
+    }
+  }
+  for (const auto& [fval, w] : t.tentative_ranges) {
+    RHODOS_RETURN_IF_ERROR(log_.Append(IntentionRecord{
+        IntentionKind::kRedoRange, id, FileId{fval}, 0, w.offset, {}, 0,
+        TxnStatus::kTentative, w.data}));
+    ++stats_.ranges_logged;
+  }
+
+  // THE COMMIT POINT: once this record is on stable storage the transaction
+  // is durable; before it, a crash aborts it.
+  RHODOS_RETURN_IF_ERROR(log_.Append(
+      IntentionRecord{IntentionKind::kStatus, id, {}, 0, 0, {}, 0,
+                      TxnStatus::kCommit, {}}));
+  t.status = TxnStatus::kCommit;
+
+  // Make the changes permanent.
+  for (auto& [key, image] : t.tentative_pages) {
+    const FileId file{key.first};
+    const std::uint64_t page = key.second;
+    const bool is_shadow =
+        std::any_of(shadows.begin(), shadows.end(), [&](const ShadowStage& s) {
+          return s.file == file && s.page == page;
+        });
+    if (!is_shadow) {
+      RHODOS_RETURN_IF_ERROR(ApplyWalPage(file, page, image));
+    }
+  }
+  for (const ShadowStage& s : shadows) {
+    RHODOS_RETURN_IF_ERROR(files_->ReplaceBlock(s.file, s.page,
+                                                s.placement.disk,
+                                                s.placement.first));
+  }
+  for (const auto& [fval, w] : t.tentative_ranges) {
+    RHODOS_RETURN_IF_ERROR(ApplyWalRange(FileId{fval}, w.offset, w.data));
+  }
+  // Sizes recorded by the transaction (growth via ranges/pages). Applying
+  // whole page images rounds the size up to a block boundary; settle on the
+  // exact byte size the transaction recorded.
+  for (const auto& [file, size] : t.tentative_size) {
+    if (t.to_delete.count(file) != 0) continue;
+    RHODOS_ASSIGN_OR_RETURN(FileAttributes attrs,
+                            files_->GetAttributes(file));
+    if (attrs.size != size) {
+      RHODOS_RETURN_IF_ERROR(files_->Resize(file, size));
+    }
+  }
+  // Push any still-buffered blocks (e.g. zero-filled growth) to the
+  // platter: a committed transaction's effects must not sit in a volatile
+  // cache.
+  for (FileId file : t.touched) {
+    if (t.to_delete.count(file) != 0) continue;
+    RHODOS_RETURN_IF_ERROR(files_->Flush(file));
+  }
+  for (FileId file : t.to_delete) {
+    RHODOS_RETURN_IF_ERROR(files_->Delete(file));
+  }
+  for (const auto& [fval, tech] : technique) {
+    if (tech == CommitTechnique::kWal) {
+      ++stats_.wal_commits;
+    } else {
+      ++stats_.shadow_commits;
+    }
+  }
+  if (!t.tentative_ranges.empty() && technique.empty()) {
+    ++stats_.wal_commits;  // pure record-mode commit
+  }
+
+  RHODOS_RETURN_IF_ERROR(log_.Append(
+      IntentionRecord{IntentionKind::kStatus, id, {}, 0, 0, {}, 0,
+                      TxnStatus::kCompleted, {}}));
+  t.status = TxnStatus::kCompleted;
+  return OkStatus();
+}
+
+void TransactionService::Finish(TxnId id) {
+  locks_.ReleaseAll(id);
+  locks_.ClearBroken(id);
+  txns_.erase(id);
+  // Checkpoint: with no transaction in flight every intention is resolved,
+  // so the log can be reset (remove_intention in bulk) — UNLESS some commit
+  // record was written whose changes were never fully applied (a disk died
+  // mid-apply). That redo information must survive until Recover().
+  if (txns_.empty() && !log_needs_recovery_) {
+    (void)log_.Truncate();
+  }
+}
+
+Status TransactionService::End(TxnId txn) {
+  std::scoped_lock lk(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return {ErrorCode::kTxnNotActive, "tend on unknown transaction"};
+  }
+  if (locks_.WasBroken(txn)) {
+    // The timeout rule already broke our locks: abort instead of commit.
+    ++stats_.aborts_broken;
+    if (it->second.logged_begin) {
+      (void)log_.Append(IntentionRecord{IntentionKind::kStatus, txn, {}, 0, 0,
+                                        {}, 0, TxnStatus::kAbort, {}});
+    }
+    for (FileId f : it->second.created) (void)files_->Delete(f);
+    Finish(txn);
+    return {ErrorCode::kTxnAborted, "aborted by lock timeout at commit"};
+  }
+  Status result = CommitTxn(txn, it->second);
+  if (result.ok()) {
+    ++stats_.commits;
+  } else if (it->second.status == TxnStatus::kCommit) {
+    // The commit point was logged but applying failed (e.g. a disk died):
+    // the transaction IS committed; recovery must redo it from the log.
+    ++stats_.commits;
+    log_needs_recovery_ = true;
+  } else {
+    ++stats_.aborts_explicit;
+    for (FileId f : it->second.created) (void)files_->Delete(f);
+  }
+  Finish(txn);
+  return result;
+}
+
+Status TransactionService::Abort(TxnId txn) {
+  std::scoped_lock lk(mu_);
+  auto it = txns_.find(txn);
+  if (it == txns_.end()) {
+    return {ErrorCode::kTxnNotActive, "tabort on unknown transaction"};
+  }
+  it->second.phase = TxnPhase::kUnlocking;
+  it->second.status = TxnStatus::kAbort;
+  if (it->second.logged_begin) {
+    (void)log_.Append(IntentionRecord{IntentionKind::kStatus, txn, {}, 0, 0,
+                                      {}, 0, TxnStatus::kAbort, {}});
+  }
+  for (FileId f : it->second.created) (void)files_->Delete(f);
+  if (locks_.WasBroken(txn)) {
+    ++stats_.aborts_broken;
+  } else {
+    ++stats_.aborts_explicit;
+  }
+  Finish(txn);
+  return OkStatus();
+}
+
+// --- recovery ------------------------------------------------------------------------
+
+Status TransactionService::Recover() {
+  struct TxnTrace {
+    TxnStatus final_status = TxnStatus::kTentative;
+    std::vector<IntentionRecord> records;
+  };
+  std::map<std::uint64_t, TxnTrace> traces;
+  RHODOS_RETURN_IF_ERROR(log_.Scan([&](const IntentionRecord& r) {
+    TxnTrace& trace = traces[r.txn.value];
+    if (r.kind == IntentionKind::kStatus) {
+      trace.final_status = r.status;
+    } else if (r.kind != IntentionKind::kBegin) {
+      trace.records.push_back(r);
+    }
+  }));
+
+  for (auto& [txn_value, trace] : traces) {
+    if (trace.final_status == TxnStatus::kCommit) {
+      // Committed but the changes may not all have been applied: redo.
+      for (const IntentionRecord& r : trace.records) {
+        switch (r.kind) {
+          case IntentionKind::kRedoPage:
+            RHODOS_RETURN_IF_ERROR(ApplyWalPage(r.file, r.block_index,
+                                                r.data));
+            break;
+          case IntentionKind::kRedoRange:
+            RHODOS_RETURN_IF_ERROR(ApplyWalRange(r.file, r.offset, r.data));
+            break;
+          case IntentionKind::kShadowMap: {
+            auto loc = files_->LocateBlock(r.file, r.block_index);
+            if (loc.ok() && (loc->disk != r.new_disk ||
+                             loc->first_fragment != r.new_fragment)) {
+              // Re-claim the shadow block (its allocation may have been
+              // lost with the unpersisted bitmap), then remap.
+              auto server = files_->disks()->Get(r.new_disk);
+              if (server.ok()) {
+                (void)(*server)->AllocateSpecific(r.new_fragment,
+                                                  kFragmentsPerBlock);
+              }
+              RHODOS_RETURN_IF_ERROR(files_->ReplaceBlock(
+                  r.file, r.block_index, r.new_disk, r.new_fragment));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        // Restore recorded final size.
+        if (r.kind != IntentionKind::kShadowMap && r.offset > 0 &&
+            r.kind == IntentionKind::kRedoPage) {
+          auto attrs = files_->GetAttributes(r.file);
+          if (attrs.ok() && attrs->size < r.offset) {
+            RHODOS_RETURN_IF_ERROR(files_->Resize(r.file, r.offset));
+          }
+        }
+      }
+      RHODOS_RETURN_IF_ERROR(log_.Append(IntentionRecord{
+          IntentionKind::kStatus, TxnId{txn_value}, {}, 0, 0, {}, 0,
+          TxnStatus::kCompleted, {}}));
+      ++stats_.recovered_redone;
+    } else if (trace.final_status == TxnStatus::kTentative ||
+               trace.final_status == TxnStatus::kAbort) {
+      // Never committed: discard. Shadow blocks staged before the crash are
+      // returned to the free pool (harmless if the allocation was never
+      // persisted).
+      for (const IntentionRecord& r : trace.records) {
+        if (r.kind == IntentionKind::kShadowMap) {
+          auto server = files_->disks()->Get(r.new_disk);
+          if (server.ok()) {
+            (void)(*server)->FreeFragments(r.new_fragment,
+                                           kFragmentsPerBlock);
+          }
+        }
+      }
+      ++stats_.recovered_discarded;
+    }
+    // kCompleted: fully applied before the crash; nothing to do.
+  }
+  log_needs_recovery_ = false;
+  (void)log_.Truncate();
+  return OkStatus();
+}
+
+}  // namespace rhodos::txn

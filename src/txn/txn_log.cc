@@ -1,0 +1,152 @@
+#include "txn/txn_log.h"
+
+#include <cstring>
+
+namespace rhodos::txn {
+
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x544E4C47;  // "TNLG"
+
+std::uint64_t Fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+void SerializeIntention(Serializer& out, const IntentionRecord& r) {
+  out.U8(static_cast<std::uint8_t>(r.kind));
+  out.U64(r.txn.value);
+  out.U64(r.file.value);
+  out.U64(r.block_index);
+  out.U64(r.offset);
+  out.U32(r.new_disk.value);
+  out.U64(r.new_fragment);
+  out.U8(static_cast<std::uint8_t>(r.status));
+  out.Bytes(r.data);
+}
+
+Result<IntentionRecord> DeserializeIntention(Deserializer& in) {
+  IntentionRecord r;
+  r.kind = static_cast<IntentionKind>(in.U8());
+  r.txn = TxnId{in.U64()};
+  r.file = FileId{in.U64()};
+  r.block_index = in.U64();
+  r.offset = in.U64();
+  r.new_disk = DiskId{in.U32()};
+  r.new_fragment = in.U64();
+  r.status = static_cast<TxnStatus>(in.U8());
+  r.data = in.Bytes();
+  if (!in.ok()) {
+    return Error{ErrorCode::kMediaError, "truncated intention record"};
+  }
+  return r;
+}
+
+TxnLog::TxnLog(disk::DiskServer* server, FragmentIndex first_fragment,
+               std::uint64_t fragment_count)
+    : server_(server),
+      first_fragment_(first_fragment),
+      region_bytes_(fragment_count * kFragmentSize),
+      buffer_(region_bytes_, 0) {}
+
+Status TxnLog::WriteBack(std::uint64_t begin_byte, std::uint64_t end_byte) {
+  // Round to fragment boundaries and push the touched fragments to stable
+  // storage only (the log never occupies main-disk locations a reader would
+  // consult; stable storage is its home).
+  const std::uint64_t first_frag = begin_byte / kFragmentSize;
+  const std::uint64_t last_frag = (end_byte - 1) / kFragmentSize;
+  const auto count = static_cast<std::uint32_t>(last_frag - first_frag + 1);
+  return server_->PutBlock(
+      first_fragment_ + first_frag, count,
+      {buffer_.data() + first_frag * kFragmentSize,
+       static_cast<std::size_t>(count) * kFragmentSize},
+      disk::StableMode::kStableOnly, disk::WriteSync::kSynchronous);
+}
+
+Status TxnLog::Append(const IntentionRecord& record) {
+  Serializer payload;
+  SerializeIntention(payload, record);
+  const std::uint64_t need = 4 + 4 + payload.size() + 8;
+  if (head_ + need > region_bytes_) {
+    return {ErrorCode::kNoSpace, "intention log full"};
+  }
+  const std::uint64_t begin = head_;
+  Serializer frame;
+  frame.U32(kRecordMagic);
+  frame.U32(static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(buffer_.data() + head_, frame.buffer().data(), 8);
+  std::memcpy(buffer_.data() + head_ + 8, payload.buffer().data(),
+              payload.size());
+  const std::uint64_t checksum = Fnv1a(payload.buffer());
+  for (int i = 0; i < 8; ++i) {
+    buffer_[head_ + 8 + payload.size() + i] =
+        static_cast<std::uint8_t>(checksum >> (8 * i));
+  }
+  head_ += need;
+  ++stats_.appends;
+  stats_.bytes_logged += need;
+  return WriteBack(begin, head_);
+}
+
+Status TxnLog::Scan(const std::function<void(const IntentionRecord&)>& fn) {
+  // Recovery path: read the whole region image back from stable storage.
+  std::vector<std::uint8_t> image(region_bytes_);
+  const auto frag_count =
+      static_cast<std::uint32_t>(region_bytes_ / kFragmentSize);
+  RHODOS_RETURN_IF_ERROR(server_->GetBlock(first_fragment_, frag_count, image,
+                                           disk::ReadSource::kStable));
+  std::uint64_t pos = 0;
+  std::uint64_t valid_head = 0;
+  while (pos + 16 <= region_bytes_) {
+    Deserializer header{{image.data() + pos, 8}};
+    if (header.U32() != kRecordMagic) break;
+    const std::uint32_t len = header.U32();
+    if (pos + 8 + len + 8 > region_bytes_) {
+      ++stats_.torn_records_skipped;
+      break;
+    }
+    std::span<const std::uint8_t> payload{image.data() + pos + 8, len};
+    std::uint64_t stored = 0;
+    for (int i = 0; i < 8; ++i) {
+      stored |= static_cast<std::uint64_t>(image[pos + 8 + len + i])
+                << (8 * i);
+    }
+    if (stored != Fnv1a(payload)) {
+      ++stats_.torn_records_skipped;
+      break;  // torn tail: everything after is unreliable
+    }
+    Deserializer body{payload};
+    auto record = DeserializeIntention(body);
+    if (!record.ok()) {
+      ++stats_.torn_records_skipped;
+      break;
+    }
+    fn(*record);
+    pos += 8 + len + 8;
+    valid_head = pos;
+  }
+  // Adopt the persistent image so post-recovery appends continue after the
+  // last valid record.
+  buffer_ = std::move(image);
+  head_ = valid_head;
+  return OkStatus();
+}
+
+Status TxnLog::Truncate() {
+  std::fill(buffer_.begin(), buffer_.end(), std::uint8_t{0});
+  const std::uint64_t old_head = head_;
+  head_ = 0;
+  ++stats_.truncations;
+  if (old_head == 0) return OkStatus();
+  // Only the first fragment needs zeroing on stable storage: scans stop at
+  // the first bad magic.
+  return WriteBack(0, kFragmentSize);
+}
+
+}  // namespace rhodos::txn

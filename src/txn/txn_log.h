@@ -1,0 +1,101 @@
+// The intentions list on stable storage (paper §6.6–§6.7).
+//
+// The RHODOS transaction service recovers from system and media failures
+// with the *intentions list* approach: every change a transaction wants to
+// make is first recorded as an intention, together with an *intention flag*
+// giving the transaction's status (tentative / commit / abort). When the
+// flag says commit, the changes in the list are made permanent — by write
+// ahead logging when the file's data blocks are contiguous (WAL preserves
+// contiguity) or by the shadow page technique when they are not; record
+// level locking always uses WAL. After the changes are permanent the
+// records are removed.
+//
+// TxnLog is the persistent representation: an append-only region of
+// fragments written EXCLUSIVELY to stable storage (put_block's
+// stable-only mode), so the list survives both a machine crash and the
+// loss of the main platter. Records are framed with a magic, a length and
+// a checksum; a torn tail is detected and ignored at scan time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/serializer.h"
+#include "common/types.h"
+#include "disk/disk_server.h"
+#include "file/file_types.h"
+#include "txn/lock_types.h"
+
+namespace rhodos::txn {
+
+enum class IntentionKind : std::uint8_t {
+  kBegin = 1,      // transaction entered the log
+  kRedoPage = 2,   // WAL: full 8 KiB page image to write in place
+  kRedoRange = 3,  // WAL: byte-range image (record-level locking)
+  kShadowMap = 4,  // shadow page: logical block -> new physical block
+  kStatus = 5,     // intention flag transition (commit / abort / completed)
+};
+
+// One record of the intentions list. Only the fields relevant to `kind`
+// are meaningful.
+struct IntentionRecord {
+  IntentionKind kind{IntentionKind::kBegin};
+  TxnId txn{};
+  FileId file{};
+  std::uint64_t block_index = 0;   // kRedoPage / kShadowMap
+  std::uint64_t offset = 0;        // kRedoRange
+  DiskId new_disk{};               // kShadowMap
+  FragmentIndex new_fragment = 0;  // kShadowMap
+  TxnStatus status{TxnStatus::kTentative};  // kStatus
+  std::vector<std::uint8_t> data;  // kRedoPage / kRedoRange payload
+};
+
+struct TxnLogStats {
+  std::uint64_t appends = 0;
+  std::uint64_t bytes_logged = 0;
+  std::uint64_t truncations = 0;
+  std::uint64_t torn_records_skipped = 0;
+};
+
+class TxnLog {
+ public:
+  // The log owns [first_fragment, first_fragment + fragment_count) on
+  // `server`'s stable storage. The caller allocates the region.
+  TxnLog(disk::DiskServer* server, FragmentIndex first_fragment,
+         std::uint64_t fragment_count);
+
+  // set_intention: appends a record and forces it to stable storage before
+  // returning (this is what makes the log "write ahead").
+  Status Append(const IntentionRecord& record);
+
+  // get_intention / recovery scan: replays every valid record in append
+  // order from stable storage. Stops at the first torn or blank record.
+  Status Scan(const std::function<void(const IntentionRecord&)>& fn);
+
+  // remove_intention, in bulk: resets the log to empty. Safe only when no
+  // transaction is active (the service checkpoints at quiescence).
+  Status Truncate();
+
+  std::uint64_t BytesUsed() const { return head_; }
+  std::uint64_t Capacity() const { return region_bytes_; }
+  const TxnLogStats& stats() const { return stats_; }
+
+ private:
+  Status WriteBack(std::uint64_t begin_byte, std::uint64_t end_byte);
+
+  disk::DiskServer* server_;
+  FragmentIndex first_fragment_;
+  std::uint64_t region_bytes_;
+  std::vector<std::uint8_t> buffer_;  // in-memory image of the region
+  std::uint64_t head_ = 0;            // append offset
+  TxnLogStats stats_;
+};
+
+// Serialization helpers shared with tests.
+void SerializeIntention(Serializer& out, const IntentionRecord& record);
+Result<IntentionRecord> DeserializeIntention(Deserializer& in);
+
+}  // namespace rhodos::txn

@@ -1,0 +1,122 @@
+// Unit and property tests for the free-space bitmap.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "disk/bitmap.h"
+
+namespace rhodos::disk {
+namespace {
+
+TEST(BitmapTest, StartsAllFree) {
+  Bitmap bm(100);
+  EXPECT_EQ(bm.CountFree(), 100u);
+  EXPECT_TRUE(bm.IsRangeFree(0, 100));
+}
+
+TEST(BitmapTest, AllocateAndFreeRanges) {
+  Bitmap bm(128);
+  bm.AllocateRange(10, 20);
+  EXPECT_EQ(bm.CountFree(), 108u);
+  EXPECT_FALSE(bm.IsFree(10));
+  EXPECT_FALSE(bm.IsFree(29));
+  EXPECT_TRUE(bm.IsFree(9));
+  EXPECT_TRUE(bm.IsFree(30));
+  EXPECT_FALSE(bm.IsRangeFree(5, 10));
+  bm.FreeRange(10, 20);
+  EXPECT_EQ(bm.CountFree(), 128u);
+}
+
+TEST(BitmapTest, FindFreeRunRespectsSizeAndHint) {
+  Bitmap bm(64);
+  bm.AllocateRange(0, 32);
+  auto run = bm.FindFreeRun(16);
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(*run, 32u);
+  // Hint past the only run wraps around.
+  auto wrapped = bm.FindFreeRun(16, 60);
+  ASSERT_TRUE(wrapped.has_value());
+  EXPECT_EQ(bm.FindFreeRun(33), std::nullopt);
+}
+
+TEST(BitmapTest, ForEachFreeRunEnumeratesMaximalRuns) {
+  Bitmap bm(32);
+  bm.AllocateRange(4, 4);
+  bm.AllocateRange(16, 8);
+  std::vector<std::pair<FragmentIndex, std::uint64_t>> runs;
+  bm.ForEachFreeRun([&](FragmentIndex s, std::uint64_t l) {
+    runs.emplace_back(s, l);
+  });
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (std::pair<FragmentIndex, std::uint64_t>{0, 4}));
+  EXPECT_EQ(runs[1], (std::pair<FragmentIndex, std::uint64_t>{8, 8}));
+  EXPECT_EQ(runs[2], (std::pair<FragmentIndex, std::uint64_t>{24, 8}));
+}
+
+TEST(BitmapTest, SerializationRoundTrip) {
+  Bitmap bm(777);  // non-word-aligned size
+  bm.AllocateRange(3, 100);
+  bm.AllocateRange(500, 77);
+  Serializer out;
+  bm.SerializeTo(out);
+  Deserializer in{out.buffer()};
+  auto restored = Bitmap::Deserialize(in);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(*restored, bm);
+}
+
+TEST(BitmapTest, CorruptionIsDetected) {
+  Bitmap bm(128);
+  bm.AllocateRange(0, 64);
+  Serializer out;
+  bm.SerializeTo(out);
+  std::vector<std::uint8_t> bytes = out.buffer();
+  bytes[20] ^= 0xFF;  // flip bits in a payload word
+  Deserializer in{bytes};
+  EXPECT_EQ(Bitmap::Deserialize(in), std::nullopt);
+}
+
+TEST(BitmapTest, TruncatedStreamIsDetected) {
+  Bitmap bm(128);
+  Serializer out;
+  bm.SerializeTo(out);
+  Deserializer in{std::span<const std::uint8_t>{out.buffer().data(),
+                                                out.buffer().size() - 4}};
+  EXPECT_EQ(Bitmap::Deserialize(in), std::nullopt);
+}
+
+// Property sweep: random allocate/free churn never corrupts the free count
+// and FindFreeRun results are always genuinely free.
+class BitmapChurnTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitmapChurnTest, InvariantsHoldUnderChurn) {
+  Rng rng(GetParam());
+  const std::uint64_t size = 512;
+  Bitmap bm(size);
+  std::vector<std::pair<FragmentIndex, std::uint64_t>> live;
+  std::uint64_t allocated = 0;
+  for (int step = 0; step < 300; ++step) {
+    if (rng.Chance(0.6) || live.empty()) {
+      const std::uint64_t want = rng.Between(1, 16);
+      auto run = bm.FindFreeRun(want, rng.Below(size));
+      if (run.has_value()) {
+        ASSERT_TRUE(bm.IsRangeFree(*run, want))
+            << "FindFreeRun returned a non-free run";
+        bm.AllocateRange(*run, want);
+        live.emplace_back(*run, want);
+        allocated += want;
+      }
+    } else {
+      const std::size_t pick = rng.Below(live.size());
+      bm.FreeRange(live[pick].first, live[pick].second);
+      allocated -= live[pick].second;
+      live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+    ASSERT_EQ(bm.CountFree(), size - allocated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapChurnTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace rhodos::disk

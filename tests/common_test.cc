@@ -1,0 +1,169 @@
+// Unit tests for the common substrate: Result, serialization, RNG, clock,
+// strong ids.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/serializer.h"
+#include "common/sim_clock.h"
+#include "common/types.h"
+
+namespace rhodos {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r{42};
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r{ErrorCode::kNotFound, "missing"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "missing");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, StatusOkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  Status e{ErrorCode::kNoSpace, "full"};
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.error().ToString(), "NO_SPACE: full");
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  auto inner = []() -> Result<int> {
+    return Error{ErrorCode::kUnavailable, "down"};
+  };
+  auto outer = [&]() -> Result<int> {
+    RHODOS_ASSIGN_OR_RETURN(int v, inner());
+    return v + 1;
+  };
+  auto r = outer();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kUnavailable);
+}
+
+TEST(ResultTest, EveryErrorCodeHasAName) {
+  for (std::uint16_t c = 0; c <= 30; ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "");
+  }
+}
+
+TEST(SerializerTest, RoundTripsScalars) {
+  Serializer out;
+  out.U8(7);
+  out.U16(512);
+  out.U32(123456);
+  out.U64(0xDEADBEEFCAFEBABEULL);
+  out.I64(-42);
+  out.String("rhodos");
+  Deserializer in{out.buffer()};
+  EXPECT_EQ(in.U8(), 7);
+  EXPECT_EQ(in.U16(), 512);
+  EXPECT_EQ(in.U32(), 123456u);
+  EXPECT_EQ(in.U64(), 0xDEADBEEFCAFEBABEULL);
+  EXPECT_EQ(in.I64(), -42);
+  EXPECT_EQ(in.String(), "rhodos");
+  EXPECT_TRUE(in.ok());
+  EXPECT_TRUE(in.AtEnd());
+}
+
+TEST(SerializerTest, RoundTripsBytes) {
+  Serializer out;
+  std::vector<std::uint8_t> data{1, 2, 3, 4, 5};
+  out.Bytes(data);
+  Deserializer in{out.buffer()};
+  EXPECT_EQ(in.Bytes(), data);
+  EXPECT_TRUE(in.ok());
+}
+
+TEST(SerializerTest, TruncationIsDetectedNotUb) {
+  Serializer out;
+  out.U64(99);
+  Deserializer in{std::span<const std::uint8_t>{out.buffer().data(), 3}};
+  (void)in.U64();
+  EXPECT_FALSE(in.ok());
+  // Further reads stay safe and keep reporting failure.
+  (void)in.U32();
+  EXPECT_FALSE(in.ok());
+}
+
+TEST(SerializerTest, OversizedLengthPrefixFailsCleanly) {
+  Serializer out;
+  out.U32(1 << 30);  // claims a gigabyte of payload that is not there
+  Deserializer in{out.buffer()};
+  EXPECT_TRUE(in.Bytes().empty());
+  EXPECT_FALSE(in.ok());
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next() ? 1 : 0;
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Below(17), 17u);
+}
+
+TEST(RngTest, ChanceIsRoughlyCalibrated) {
+  Rng rng(99);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Chance(0.25) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.03);
+}
+
+TEST(SimClockTest, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.Now(), 0);
+  clock.Advance(5);
+  clock.Advance(-3);  // negative deltas are ignored
+  EXPECT_EQ(clock.Now(), 5);
+  clock.AdvanceTo(3);  // backwards AdvanceTo is ignored
+  EXPECT_EQ(clock.Now(), 5);
+  clock.AdvanceTo(10);
+  EXPECT_EQ(clock.Now(), 10);
+}
+
+TEST(TypesTest, StrongIdsHashAndCompare) {
+  std::unordered_set<FileId> set;
+  set.insert(FileId{1});
+  set.insert(FileId{1});
+  set.insert(FileId{2});
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_LT(FileId{1}, FileId{2});
+  EXPECT_NE(FileId{1}, FileId{2});
+}
+
+TEST(TypesTest, BlockFragmentConversions) {
+  EXPECT_EQ(FirstFragmentOfBlock(3), 12u);
+  EXPECT_EQ(BlockOfFragment(15), 3u);
+  EXPECT_TRUE(IsBlockAligned(8));
+  EXPECT_FALSE(IsBlockAligned(9));
+  EXPECT_EQ(kBlockSize, 8192u);
+  EXPECT_EQ(kFragmentSize, 2048u);
+}
+
+TEST(TypesTest, DescriptorClassification) {
+  EXPECT_TRUE(IsDeviceDescriptor(0));
+  EXPECT_TRUE(IsDeviceDescriptor(99'999));
+  EXPECT_FALSE(IsDeviceDescriptor(100'001));
+  EXPECT_TRUE(IsFileDescriptor(100'001));
+  EXPECT_FALSE(IsFileDescriptor(42));
+}
+
+}  // namespace
+}  // namespace rhodos

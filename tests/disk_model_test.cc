@@ -1,0 +1,133 @@
+// Unit tests for the simulated disk: cost model, reference counting,
+// continuation reads, fault injection.
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "sim/disk_model.h"
+
+namespace rhodos::sim {
+namespace {
+
+DiskGeometry SmallGeometry() {
+  DiskGeometry g;
+  g.total_fragments = 256;
+  g.fragments_per_track = 16;
+  return g;
+}
+
+TEST(DiskModelTest, ReadWriteRoundTrip) {
+  SimClock clock;
+  DiskModel disk(SmallGeometry(), &clock);
+  std::vector<std::uint8_t> out(kFragmentSize * 2);
+  std::vector<std::uint8_t> in(kFragmentSize * 2, 0xAB);
+  ASSERT_TRUE(disk.WriteFragments(10, 2, in).ok());
+  ASSERT_TRUE(disk.ReadFragments(10, 2, out).ok());
+  EXPECT_EQ(out, in);
+}
+
+TEST(DiskModelTest, OneCallIsOneReference) {
+  SimClock clock;
+  DiskModel disk(SmallGeometry(), &clock);
+  std::vector<std::uint8_t> buf(kFragmentSize * 8, 1);
+  ASSERT_TRUE(disk.WriteFragments(0, 8, buf).ok());
+  EXPECT_EQ(disk.stats().write_references, 1u);
+  EXPECT_EQ(disk.stats().fragments_written, 8u);
+  ASSERT_TRUE(disk.ReadFragments(0, 8, buf).ok());
+  EXPECT_EQ(disk.stats().read_references, 1u);
+}
+
+TEST(DiskModelTest, ContinuationIsNotAReference) {
+  SimClock clock;
+  DiskModel disk(SmallGeometry(), &clock);
+  std::vector<std::uint8_t> buf(kFragmentSize);
+  ASSERT_TRUE(disk.ReadFragments(0, 1, buf).ok());
+  const auto refs = disk.stats().read_references;
+  const auto time = disk.stats().time_charged;
+  ASSERT_TRUE(disk.ReadFragments(1, 1, buf, /*charge_seek=*/false).ok());
+  EXPECT_EQ(disk.stats().read_references, refs);  // continuation
+  // Only transfer time accrues, no seek or rotation.
+  EXPECT_EQ(disk.stats().time_charged - time,
+            SmallGeometry().transfer_per_fragment);
+}
+
+TEST(DiskModelTest, SeekCostGrowsWithDistance) {
+  SimClock clock;
+  DiskModel disk(SmallGeometry(), &clock);
+  std::vector<std::uint8_t> buf(kFragmentSize);
+  ASSERT_TRUE(disk.ReadFragments(0, 1, buf).ok());
+  const SimTime near_start = clock.Now();
+  ASSERT_TRUE(disk.ReadFragments(16, 1, buf).ok());  // next track
+  const SimTime near_cost = clock.Now() - near_start;
+  ASSERT_TRUE(disk.ReadFragments(0, 1, buf).ok());  // reposition
+  const SimTime far_start = clock.Now();
+  ASSERT_TRUE(disk.ReadFragments(240, 1, buf).ok());  // far track
+  const SimTime far_cost = clock.Now() - far_start;
+  EXPECT_GT(far_cost, near_cost);
+  EXPECT_GT(disk.stats().tracks_seeked, 0u);
+}
+
+TEST(DiskModelTest, OutOfRangeRejected) {
+  SimClock clock;
+  DiskModel disk(SmallGeometry(), &clock);
+  std::vector<std::uint8_t> buf(kFragmentSize * 2);
+  EXPECT_EQ(disk.ReadFragments(255, 2, buf).code(), ErrorCode::kBadAddress);
+  EXPECT_EQ(disk.ReadFragments(1000, 1, buf).code(), ErrorCode::kBadAddress);
+  EXPECT_EQ(disk.ReadFragments(0, 0, buf).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(DiskModelTest, ShortBufferRejected) {
+  SimClock clock;
+  DiskModel disk(SmallGeometry(), &clock);
+  std::vector<std::uint8_t> buf(kFragmentSize - 1);
+  EXPECT_EQ(disk.ReadFragments(0, 1, buf).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(disk.WriteFragments(0, 1, buf).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(DiskModelTest, MediaErrorsFireAtConfiguredRate) {
+  SimClock clock;
+  DiskModel disk(SmallGeometry(), &clock, /*fault_seed=*/3);
+  disk.SetFaultPlan(DiskFaultPlan{.media_error_rate = 0.5});
+  std::vector<std::uint8_t> buf(kFragmentSize);
+  int errors = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!disk.ReadFragments(0, 1, buf).ok()) ++errors;
+  }
+  EXPECT_GT(errors, 50);
+  EXPECT_LT(errors, 150);
+}
+
+TEST(DiskModelTest, CrashAfterNWritesTearsTheNthWrite) {
+  SimClock clock;
+  DiskModel disk(SmallGeometry(), &clock, /*fault_seed=*/11);
+  disk.SetFaultPlan(DiskFaultPlan{.crash_after_writes = 2});
+  std::vector<std::uint8_t> data(kFragmentSize * 4, 0xCD);
+  ASSERT_TRUE(disk.WriteFragments(0, 4, data).ok());
+  ASSERT_TRUE(disk.WriteFragments(4, 4, data).ok());
+  // The third write reference dies mid-flight.
+  auto st = disk.WriteFragments(8, 4, data);
+  EXPECT_EQ(st.code(), ErrorCode::kDiskCrashed);
+  EXPECT_TRUE(disk.crashed());
+  // Everything fails until recovery; the platter survives.
+  std::vector<std::uint8_t> out(kFragmentSize * 4);
+  EXPECT_EQ(disk.ReadFragments(0, 4, out).code(), ErrorCode::kDiskCrashed);
+  disk.Recover();
+  ASSERT_TRUE(disk.ReadFragments(0, 4, out).ok());
+  EXPECT_EQ(out, data);  // pre-crash writes intact
+}
+
+TEST(DiskModelTest, RawAccessBypassesCostModel) {
+  SimClock clock;
+  DiskModel disk(SmallGeometry(), &clock);
+  std::vector<std::uint8_t> in(kFragmentSize, 0x5A);
+  disk.RawOverwrite(7, in);
+  EXPECT_EQ(disk.stats().TotalReferences(), 0u);
+  auto raw = disk.RawFragment(7);
+  EXPECT_EQ(raw[0], 0x5A);
+  EXPECT_EQ(clock.Now(), 0);
+}
+
+}  // namespace
+}  // namespace rhodos::sim

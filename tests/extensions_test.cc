@@ -1,0 +1,293 @@
+// Tests for the paper's "later stage" extensions implemented here:
+//   * cross-level lock conflict detection (§6.1: "this constraint can be
+//     relaxed, if required, at a later stage"),
+//   * the usage-driven default locking level (§7: "it exploits the
+//     knowledge of how frequently a file is used"),
+// plus coverage for the wire protocol and the buffer pools.
+#include <gtest/gtest.h>
+
+#include "agent/fs_protocol.h"
+#include "core/facility.h"
+#include "file/buffer_pool.h"
+#include "txn/lock_manager.h"
+
+namespace rhodos {
+namespace {
+
+using file::LockLevel;
+using txn::DataItem;
+using txn::LockManager;
+using txn::LockMode;
+using txn::TxnPhase;
+
+const ProcessId kProc{1};
+
+// --- cross-level locking --------------------------------------------------------
+
+TEST(CrossLevelLockTest, FileLockBlocksRecordLockOnSameFile) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryLock(LockLevel::kFile, TxnId{1}, kProc,
+                         TxnPhase::kLocking, DataItem::File(FileId{9}),
+                         LockMode::kIWrite)
+                  .ok());
+  // A different transaction's record lock on the same file must conflict
+  // even though it lives in a different level's table.
+  EXPECT_FALSE(lm.TryLock(LockLevel::kRecord, TxnId{2}, kProc,
+                          TxnPhase::kLocking,
+                          DataItem::Record(FileId{9}, 0, 10),
+                          LockMode::kIWrite)
+                   .ok());
+  // Another file is unaffected.
+  EXPECT_TRUE(lm.TryLock(LockLevel::kRecord, TxnId{2}, kProc,
+                         TxnPhase::kLocking,
+                         DataItem::Record(FileId{10}, 0, 10),
+                         LockMode::kIWrite)
+                  .ok());
+}
+
+TEST(CrossLevelLockTest, RecordLockBlocksOverlappingPageLock) {
+  LockManager lm;
+  // Record [8100, 8200) lives inside page 0 boundary? kBlockSize=8192, so
+  // bytes 8100..8200 straddle pages 0 and 1.
+  ASSERT_TRUE(lm.TryLock(LockLevel::kRecord, TxnId{1}, kProc,
+                         TxnPhase::kLocking,
+                         DataItem::Record(FileId{3}, 8100, 100),
+                         LockMode::kIWrite)
+                  .ok());
+  EXPECT_FALSE(lm.TryLock(LockLevel::kPage, TxnId{2}, kProc,
+                          TxnPhase::kLocking, DataItem::Page(FileId{3}, 0),
+                          LockMode::kIWrite)
+                   .ok());
+  EXPECT_FALSE(lm.TryLock(LockLevel::kPage, TxnId{2}, kProc,
+                          TxnPhase::kLocking, DataItem::Page(FileId{3}, 1),
+                          LockMode::kIWrite)
+                   .ok());
+  // Page 2 does not overlap the record.
+  EXPECT_TRUE(lm.TryLock(LockLevel::kPage, TxnId{2}, kProc,
+                         TxnPhase::kLocking, DataItem::Page(FileId{3}, 2),
+                         LockMode::kIWrite)
+                  .ok());
+}
+
+TEST(CrossLevelLockTest, CompatibleModesShareAcrossLevels) {
+  LockManager lm;
+  ASSERT_TRUE(lm.TryLock(LockLevel::kFile, TxnId{1}, kProc,
+                         TxnPhase::kLocking, DataItem::File(FileId{4}),
+                         LockMode::kReadOnly)
+                  .ok());
+  // RO at file level and RO at record level coexist (Table 1 applies
+  // across levels too).
+  EXPECT_TRUE(lm.TryLock(LockLevel::kRecord, TxnId{2}, kProc,
+                         TxnPhase::kLocking,
+                         DataItem::Record(FileId{4}, 0, 5),
+                         LockMode::kReadOnly)
+                  .ok());
+}
+
+TEST(CrossLevelLockTest, RelaxationCanBeDisabled) {
+  txn::LockTimeoutConfig cfg;
+  cfg.cross_level_checking = false;  // the paper's original constraint
+  LockManager lm(cfg);
+  ASSERT_TRUE(lm.TryLock(LockLevel::kFile, TxnId{1}, kProc,
+                         TxnPhase::kLocking, DataItem::File(FileId{9}),
+                         LockMode::kIWrite)
+                  .ok());
+  // Without the relaxation, levels are blind to each other (the caller is
+  // then responsible for keeping each file at one level).
+  EXPECT_TRUE(lm.TryLock(LockLevel::kRecord, TxnId{2}, kProc,
+                         TxnPhase::kLocking,
+                         DataItem::Record(FileId{9}, 0, 10),
+                         LockMode::kIWrite)
+                  .ok());
+}
+
+TEST(CrossLevelLockTest, TimeoutBreaksCrossLevelHolder) {
+  txn::LockTimeoutConfig cfg;
+  cfg.lt = std::chrono::milliseconds(20);
+  cfg.n = 2;
+  LockManager lm(cfg);
+  ASSERT_TRUE(lm.SetLock(LockLevel::kFile, TxnId{1}, kProc,
+                         TxnPhase::kLocking, DataItem::File(FileId{5}),
+                         LockMode::kIWrite)
+                  .ok());
+  // A record-level competitor breaks the stalled file-level holder.
+  EXPECT_TRUE(lm.SetLock(LockLevel::kRecord, TxnId{2}, kProc,
+                         TxnPhase::kLocking,
+                         DataItem::Record(FileId{5}, 0, 1),
+                         LockMode::kIWrite)
+                  .ok());
+  EXPECT_TRUE(lm.WasBroken(TxnId{1}));
+}
+
+// --- default locking level ---------------------------------------------------------
+
+class DefaultLevelTest : public ::testing::Test {
+ protected:
+  DefaultLevelTest() : facility_(Config()) {}
+  static core::FacilityConfig Config() {
+    core::FacilityConfig c;
+    c.geometry.total_fragments = 16 * 1024;
+    c.txn.hot_access_threshold = 8;
+    c.txn.large_file_bytes = 64 * 1024;
+    return c;
+  }
+  core::DistributedFileFacility facility_;
+};
+
+TEST_F(DefaultLevelTest, ColdSmallFileDefaultsToPage) {
+  auto file = facility_.files().Create(file::ServiceType::kTransaction, 0);
+  ASSERT_TRUE(file.ok());
+  auto level = facility_.transactions().SuggestLockLevel(*file);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(*level, LockLevel::kPage);
+}
+
+TEST_F(DefaultLevelTest, HotFileDefaultsToRecord) {
+  auto file = facility_.files().Create(file::ServiceType::kTransaction, 0);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> buf(16, 1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(facility_.files().Write(*file, 0, buf).ok());
+  }
+  auto level = facility_.transactions().SuggestLockLevel(*file);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(*level, LockLevel::kRecord);
+}
+
+TEST_F(DefaultLevelTest, LargeColdFileDefaultsToFile) {
+  auto file = facility_.files().Create(file::ServiceType::kTransaction,
+                                       128 * 1024);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> buf(128 * 1024, 1);
+  ASSERT_TRUE(facility_.files().Write(*file, 0, buf).ok());  // one access
+  auto level = facility_.transactions().SuggestLockLevel(*file);
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(*level, LockLevel::kFile);
+}
+
+TEST_F(DefaultLevelTest, ApplySetsTheAttribute) {
+  auto file = facility_.files().Create(file::ServiceType::kTransaction, 0);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(
+      facility_.transactions().ApplyDefaultLockLevel(*file).ok());
+  EXPECT_EQ(facility_.files().GetAttributes(*file)->locking_level,
+            LockLevel::kPage);
+}
+
+TEST_F(DefaultLevelTest, AccessCountPersistsAcrossReload) {
+  auto file = facility_.files().Create(file::ServiceType::kTransaction, 0);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> buf(16, 1);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(facility_.files().Write(*file, 0, buf).ok());
+  }
+  ASSERT_TRUE(facility_.files().Flush(*file).ok());
+  facility_.files().Crash();
+  auto attrs = facility_.files().GetAttributes(*file);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_GE(attrs->access_count, 5u);
+}
+
+// --- wire protocol -----------------------------------------------------------------
+
+TEST(FsProtocolTest, RequestRoundTrips) {
+  {
+    agent::CreateRequest r{42, file::ServiceType::kTransaction, 4096};
+    auto back = agent::CreateRequest::Decode(r.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->token, 42u);
+    EXPECT_EQ(back->type, file::ServiceType::kTransaction);
+    EXPECT_EQ(back->size_hint, 4096u);
+  }
+  {
+    agent::PwriteRequest r{FileId{7}, 100, {1, 2, 3}};
+    auto back = agent::PwriteRequest::Decode(r.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->file, FileId{7});
+    EXPECT_EQ(back->offset, 100u);
+    EXPECT_EQ(back->data, (std::vector<std::uint8_t>{1, 2, 3}));
+  }
+  {
+    agent::PreadRequest r{FileId{8}, 5, 10};
+    auto back = agent::PreadRequest::Decode(r.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->length, 10u);
+  }
+  {
+    agent::ResizeRequest r{9, FileId{1}, 777};
+    auto back = agent::ResizeRequest::Decode(r.Encode());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->size, 777u);
+  }
+}
+
+TEST(FsProtocolTest, TruncatedRequestRejected) {
+  agent::PwriteRequest r{FileId{7}, 100, {1, 2, 3}};
+  auto bytes = r.Encode();
+  bytes.resize(bytes.size() - 2);
+  EXPECT_FALSE(agent::PwriteRequest::Decode(bytes).ok());
+}
+
+TEST(FsProtocolTest, StatusRoundTrips) {
+  Serializer out;
+  agent::EncodeStatus(out, Status{ErrorCode::kNoSpace, "disk full"});
+  Deserializer in{out.buffer()};
+  const Status st = agent::DecodeStatus(in);
+  EXPECT_EQ(st.code(), ErrorCode::kNoSpace);
+  EXPECT_EQ(st.error().message, "disk full");
+}
+
+TEST(FsProtocolTest, AttributesRoundTripIncludesAccessCount) {
+  file::FileAttributes a;
+  a.size = 123;
+  a.access_count = 456;
+  a.locking_level = file::LockLevel::kRecord;
+  Serializer out;
+  agent::EncodeAttributes(out, a);
+  Deserializer in{out.buffer()};
+  EXPECT_EQ(agent::DecodeAttributes(in), a);
+}
+
+// --- buffer pools --------------------------------------------------------------------
+
+TEST(BufferPoolTest, AcquireReleaseCycle) {
+  file::BufferPool pool(kFragmentSize, 2);
+  EXPECT_EQ(pool.available(), 2u);
+  auto a = pool.Acquire();
+  auto b = pool.Acquire();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(pool.available(), 0u);
+  EXPECT_FALSE(pool.Acquire().has_value());  // exhausted
+  EXPECT_EQ(pool.stats().exhaustions, 1u);
+  a.reset();  // RAII return
+  EXPECT_EQ(pool.available(), 1u);
+  auto c = pool.Acquire();
+  ASSERT_TRUE(c.has_value());
+}
+
+TEST(BufferPoolTest, BuffersComeBackZeroed) {
+  file::BufferPool pool(64, 1);
+  {
+    auto buf = pool.Acquire();
+    std::fill(buf->data(), buf->data() + buf->size(), std::uint8_t{0xAA});
+  }
+  auto again = pool.Acquire();
+  ASSERT_TRUE(again.has_value());
+  for (std::size_t i = 0; i < again->size(); ++i) {
+    EXPECT_EQ(again->data()[i], 0) << "stale data leaked through the pool";
+  }
+}
+
+TEST(BufferPoolTest, MoveTransfersOwnership) {
+  file::BufferPool pool(64, 1);
+  auto a = pool.Acquire();
+  file::PooledBuffer b = std::move(*a);
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(pool.available(), 0u);
+  b = file::PooledBuffer{};  // releases
+  EXPECT_EQ(pool.available(), 1u);
+}
+
+}  // namespace
+}  // namespace rhodos

@@ -1,0 +1,225 @@
+// Tests for the file index table (paper §5): block descriptors with the
+// two-byte contiguity count, direct/indirect serialization, the shadow
+// split behaviour, and the 0.5 MiB direct-reach property.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "file/file_index_table.h"
+
+namespace rhodos::file {
+namespace {
+
+TEST(FileIndexTableTest, EmptyTable) {
+  FileIndexTable t;
+  EXPECT_EQ(t.BlockCount(), 0u);
+  EXPECT_EQ(t.RunCount(), 0u);
+  EXPECT_TRUE(t.FullyContiguous());
+  EXPECT_FALSE(t.Locate(0).ok());
+}
+
+TEST(FileIndexTableTest, AppendAndLocate) {
+  FileIndexTable t;
+  ASSERT_TRUE(t.AppendRun(DiskId{0}, 100, 5).ok());
+  EXPECT_EQ(t.BlockCount(), 5u);
+  auto loc = t.Locate(2);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->disk.value, 0u);
+  EXPECT_EQ(loc->first_fragment, 100 + 2 * kFragmentsPerBlock);
+  EXPECT_EQ(loc->contiguous_blocks, 3u);  // blocks 2,3,4 remain in the run
+}
+
+TEST(FileIndexTableTest, AdjacentRunsCoalesce) {
+  FileIndexTable t;
+  ASSERT_TRUE(t.AppendRun(DiskId{0}, 100, 2).ok());
+  ASSERT_TRUE(t.AppendRun(DiskId{0}, 100 + 2 * kFragmentsPerBlock, 3).ok());
+  EXPECT_EQ(t.RunCount(), 1u);  // one descriptor, count = 5
+  EXPECT_EQ(t.BlockCount(), 5u);
+  EXPECT_EQ(t.runs()[0].contiguous_count, 5u);
+  EXPECT_TRUE(t.FullyContiguous());
+  EXPECT_DOUBLE_EQ(t.ContiguityIndex(), 1.0);
+}
+
+TEST(FileIndexTableTest, NonAdjacentRunsStaySeparate) {
+  FileIndexTable t;
+  ASSERT_TRUE(t.AppendRun(DiskId{0}, 100, 2).ok());
+  ASSERT_TRUE(t.AppendRun(DiskId{0}, 500, 2).ok());
+  ASSERT_TRUE(t.AppendRun(DiskId{1}, 508, 2).ok());  // other disk
+  EXPECT_EQ(t.RunCount(), 3u);
+  EXPECT_FALSE(t.FullyContiguous());
+  // 3 of 5 adjacent pairs are contiguous.
+  EXPECT_NEAR(t.ContiguityIndex(), 3.0 / 5.0, 1e-9);
+}
+
+TEST(FileIndexTableTest, DirectReachCoversHalfMegabyte) {
+  // 64 direct descriptors x 1 block = 512 KiB reachable without any
+  // indirect block — the paper's "two disk references" guarantee.
+  EXPECT_GE(kDirectRuns * kBlockSize, 512u * 1024u);
+  FileIndexTable t;
+  for (std::size_t i = 0; i < kDirectRuns; ++i) {
+    // Deliberately non-adjacent so nothing coalesces.
+    ASSERT_TRUE(t.AppendRun(DiskId{0}, 100 + i * 8, 1).ok());
+  }
+  EXPECT_FALSE(t.NeedsIndirectBlocks());
+  EXPECT_EQ(t.IndirectBlockCount(), 0u);
+}
+
+TEST(FileIndexTableTest, ReplaceBlockSplitsRun) {
+  FileIndexTable t;
+  ASSERT_TRUE(t.AppendRun(DiskId{0}, 100, 10).ok());
+  ASSERT_TRUE(t.ReplaceBlock(4, DiskId{0}, 900).ok());
+  // One run became three: [0..3], the shadow block, [5..9].
+  EXPECT_EQ(t.RunCount(), 3u);
+  EXPECT_EQ(t.BlockCount(), 10u);
+  auto loc = t.Locate(4);
+  ASSERT_TRUE(loc.ok());
+  EXPECT_EQ(loc->first_fragment, 900u);
+  // Neighbours unchanged.
+  EXPECT_EQ(t.Locate(3)->first_fragment, 100 + 3 * kFragmentsPerBlock);
+  EXPECT_EQ(t.Locate(5)->first_fragment, 100 + 5 * kFragmentsPerBlock);
+  // The paper's observation: shadow paging destroys contiguity.
+  EXPECT_LT(t.ContiguityIndex(), 1.0);
+}
+
+TEST(FileIndexTableTest, ReplaceFirstAndLastBlockOfRun) {
+  FileIndexTable t;
+  ASSERT_TRUE(t.AppendRun(DiskId{0}, 100, 4).ok());
+  ASSERT_TRUE(t.ReplaceBlock(0, DiskId{0}, 800).ok());
+  EXPECT_EQ(t.RunCount(), 2u);
+  ASSERT_TRUE(t.ReplaceBlock(3, DiskId{0}, 900).ok());
+  EXPECT_EQ(t.RunCount(), 3u);
+  EXPECT_EQ(t.Locate(0)->first_fragment, 800u);
+  EXPECT_EQ(t.Locate(3)->first_fragment, 900u);
+  EXPECT_EQ(t.BlockCount(), 4u);
+}
+
+TEST(FileIndexTableTest, TruncateReturnsFreedRuns) {
+  FileIndexTable t;
+  ASSERT_TRUE(t.AppendRun(DiskId{0}, 100, 4).ok());
+  ASSERT_TRUE(t.AppendRun(DiskId{1}, 200, 4).ok());
+  auto freed = t.TruncateBlocks(2);
+  EXPECT_EQ(t.BlockCount(), 2u);
+  // Freed: blocks 2-3 of run 0 and all of run 1.
+  ASSERT_EQ(freed.size(), 2u);
+  EXPECT_EQ(freed[0].first_fragment, 100 + 2 * kFragmentsPerBlock);
+  EXPECT_EQ(freed[0].contiguous_count, 2u);
+  EXPECT_EQ(freed[1].disk.value, 1u);
+  // Truncate to same size is a no-op.
+  EXPECT_TRUE(t.TruncateBlocks(2).empty());
+}
+
+TEST(FileIndexTableTest, FragmentSerializationRoundTrip) {
+  FileIndexTable t;
+  t.attributes().size = 123456;
+  t.attributes().created_time = 42;
+  t.attributes().service_type = ServiceType::kTransaction;
+  t.attributes().locking_level = LockLevel::kRecord;
+  ASSERT_TRUE(t.AppendRun(DiskId{2}, 300, 7).ok());
+  ASSERT_TRUE(t.AppendRun(DiskId{3}, 900, 2).ok());
+
+  Serializer out;
+  t.SerializeFragment(out, {});
+  ASSERT_LE(out.size(), kFragmentSize);
+  std::vector<std::uint8_t> fragment(kFragmentSize, 0);
+  std::copy(out.buffer().begin(), out.buffer().end(), fragment.begin());
+
+  auto parsed = ParseFitFragment(fragment);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->table.attributes(), t.attributes());
+  EXPECT_EQ(parsed->table.RunCount(), 2u);
+  EXPECT_EQ(parsed->table.BlockCount(), 9u);
+  EXPECT_EQ(parsed->table.runs()[0], t.runs()[0]);
+  EXPECT_TRUE(parsed->indirect_blocks.empty());
+}
+
+TEST(FileIndexTableTest, GarbageFragmentRejected) {
+  std::vector<std::uint8_t> garbage(kFragmentSize, 0xAB);
+  EXPECT_FALSE(ParseFitFragment(garbage).ok());
+}
+
+TEST(FileIndexTableTest, IndirectBlockRoundTrip) {
+  FileIndexTable t;
+  // More runs than fit directly: kDirectRuns + 100, all disjoint.
+  const std::size_t total = kDirectRuns + 100;
+  for (std::size_t i = 0; i < total; ++i) {
+    ASSERT_TRUE(t.AppendRun(DiskId{0}, 100 + i * 8, 1).ok());
+  }
+  ASSERT_TRUE(t.NeedsIndirectBlocks());
+  EXPECT_EQ(t.IndirectBlockCount(), 1u);
+
+  std::vector<BlockDescriptor> indirect_locs{
+      BlockDescriptor{DiskId{0}, 5000, 1}};
+  Serializer out;
+  t.SerializeFragment(out, indirect_locs);
+  ASSERT_LE(out.size(), kFragmentSize);
+  std::vector<std::uint8_t> fragment(kFragmentSize, 0);
+  std::copy(out.buffer().begin(), out.buffer().end(), fragment.begin());
+
+  auto parsed = ParseFitFragment(fragment);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->indirect_blocks.size(), 1u);
+  EXPECT_EQ(parsed->indirect_blocks[0].first_fragment, 5000u);
+  EXPECT_EQ(parsed->table.RunCount(), kDirectRuns);
+
+  const std::vector<std::uint8_t> iblock = t.SerializeIndirectBlock(0);
+  ASSERT_EQ(iblock.size(), kBlockSize);
+  ASSERT_TRUE(parsed->table.ParseIndirectBlock(iblock).ok());
+  EXPECT_EQ(parsed->table.RunCount(), total);
+  EXPECT_EQ(parsed->table.BlockCount(), t.BlockCount());
+  // Spot-check a block mapped through the indirect region.
+  EXPECT_EQ(parsed->table.Locate(kDirectRuns + 50)->first_fragment,
+            t.Locate(kDirectRuns + 50)->first_fragment);
+}
+
+TEST(FileIndexTableTest, LongRunsSplitAt16BitCountBoundary) {
+  FileIndexTable t;
+  ASSERT_TRUE(t.AppendRun(DiskId{0}, 100, 70000).ok());  // > 0xFFFF
+  EXPECT_EQ(t.BlockCount(), 70000u);
+  EXPECT_GE(t.RunCount(), 2u);
+  // Still physically contiguous end to end: adjacent descriptors chain.
+  auto first = t.Locate(0);
+  auto last = t.Locate(69999);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(last.ok());
+  EXPECT_EQ(last->first_fragment,
+            first->first_fragment + 69999ull * kFragmentsPerBlock);
+}
+
+// Property test: Locate agrees with a naive flat map under random appends
+// and replacements.
+class FitPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FitPropertyTest, LocateMatchesFlatModel) {
+  Rng rng(GetParam());
+  FileIndexTable t;
+  std::vector<FragmentIndex> model;  // logical block -> first fragment
+  FragmentIndex next_free = 1000;
+  for (int step = 0; step < 120; ++step) {
+    if (rng.Chance(0.7) || model.empty()) {
+      const std::uint32_t count = 1 + static_cast<std::uint32_t>(
+                                          rng.Below(8));
+      ASSERT_TRUE(t.AppendRun(DiskId{0}, next_free, count).ok());
+      for (std::uint32_t i = 0; i < count; ++i) {
+        model.push_back(next_free + i * kFragmentsPerBlock);
+      }
+      // Sometimes adjacent (coalesce path), sometimes not.
+      next_free += count * kFragmentsPerBlock + (rng.Chance(0.5) ? 0 : 16);
+    } else {
+      const std::uint64_t victim = rng.Below(model.size());
+      const FragmentIndex shadow = 1'000'000 + step * 8;
+      ASSERT_TRUE(t.ReplaceBlock(victim, DiskId{0}, shadow).ok());
+      model[victim] = shadow;
+    }
+    ASSERT_EQ(t.BlockCount(), model.size());
+    for (std::uint64_t b = 0; b < model.size(); ++b) {
+      auto loc = t.Locate(b);
+      ASSERT_TRUE(loc.ok());
+      ASSERT_EQ(loc->first_fragment, model[b]) << "block " << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FitPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace rhodos::file

@@ -1,0 +1,136 @@
+// Parameterized sweeps over disk geometry: the cost model and the disk
+// service must behave correctly for any track size or disk size, not just
+// the defaults the other tests use.
+#include <gtest/gtest.h>
+
+#include "core/facility.h"
+#include "disk/disk_server.h"
+
+namespace rhodos {
+namespace {
+
+struct GeometryParam {
+  std::uint64_t total_fragments;
+  std::uint32_t fragments_per_track;
+};
+
+class GeometrySweepTest : public ::testing::TestWithParam<GeometryParam> {
+ protected:
+  disk::DiskServerConfig Config() const {
+    disk::DiskServerConfig c;
+    c.geometry.total_fragments = GetParam().total_fragments;
+    c.geometry.fragments_per_track = GetParam().fragments_per_track;
+    return c;
+  }
+};
+
+TEST_P(GeometrySweepTest, MetadataRegionScalesWithDiskSize) {
+  SimClock clock;
+  disk::DiskServer server(DiskId{0}, Config(), &clock);
+  // The bitmap needs one bit per fragment (plus header); the reserved
+  // region must cover it and not be absurdly larger.
+  const std::uint64_t needed_bytes = GetParam().total_fragments / 8 + 32;
+  const std::uint64_t region_bytes =
+      server.MetadataFragments() * kFragmentSize;
+  EXPECT_GE(region_bytes, needed_bytes);
+  EXPECT_LE(region_bytes, needed_bytes + 2 * kFragmentSize);
+}
+
+TEST_P(GeometrySweepTest, ReadAheadNeverEscapesTheDisk) {
+  SimClock clock;
+  disk::DiskServer server(DiskId{0}, Config(), &clock);
+  // Read the very last block of the disk: readahead of "the rest of the
+  // track" must clamp at the disk edge.
+  const FragmentIndex last_block_start =
+      GetParam().total_fragments - kFragmentsPerBlock;
+  ASSERT_TRUE(
+      server.AllocateSpecific(last_block_start, kFragmentsPerBlock).ok());
+  std::vector<std::uint8_t> data(kBlockSize, 0x42);
+  ASSERT_TRUE(
+      server.PutBlock(last_block_start, kFragmentsPerBlock, data).ok());
+  server.Crash();
+  ASSERT_TRUE(server.Recover().ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  EXPECT_TRUE(
+      server.GetBlock(last_block_start, kFragmentsPerBlock, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST_P(GeometrySweepTest, WholeDiskAllocateAndFree) {
+  SimClock clock;
+  disk::DiskServer server(DiskId{0}, Config(), &clock);
+  const auto free0 = server.FreeFragmentCount();
+  std::vector<std::pair<FragmentIndex, std::uint32_t>> runs;
+  while (true) {
+    auto got = server.AllocateFragments(kFragmentsPerBlock);
+    if (!got.ok()) break;
+    runs.emplace_back(*got, kFragmentsPerBlock);
+  }
+  EXPECT_LT(server.FreeFragmentCount(), kFragmentsPerBlock);
+  for (auto [first, count] : runs) {
+    ASSERT_TRUE(server.FreeFragments(first, count).ok());
+  }
+  EXPECT_EQ(server.FreeFragmentCount(), free0);
+  // After total churn the run array still serves allocations.
+  EXPECT_TRUE(server.AllocateFragments(kFragmentsPerBlock).ok());
+}
+
+TEST_P(GeometrySweepTest, FacilityRoundTripOnThisGeometry) {
+  core::FacilityConfig cfg;
+  cfg.geometry.total_fragments = GetParam().total_fragments;
+  cfg.geometry.fragments_per_track = GetParam().fragments_per_track;
+  core::DistributedFileFacility f(cfg);
+  auto file = f.files().Create(file::ServiceType::kBasic, 0);
+  ASSERT_TRUE(file.ok());
+  std::vector<std::uint8_t> data(3 * kBlockSize + 777);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7);
+  }
+  ASSERT_TRUE(f.files().Write(*file, 0, data).ok());
+  ASSERT_TRUE(f.files().FlushAll().ok());
+  f.files().Crash();
+  std::vector<std::uint8_t> out(data.size());
+  ASSERT_TRUE(f.files().Read(*file, 0, out).ok());
+  EXPECT_EQ(out, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometrySweepTest,
+    ::testing::Values(GeometryParam{2048, 8},     // tiny disk, short tracks
+                      GeometryParam{4096, 16},
+                      GeometryParam{8192, 32},    // the default shape
+                      GeometryParam{8192, 64},    // long tracks
+                      GeometryParam{16384, 128}),
+    [](const ::testing::TestParamInfo<GeometryParam>& info) {
+      return std::to_string(info.param.total_fragments) + "frags_" +
+             std::to_string(info.param.fragments_per_track) + "per_track";
+    });
+
+// Cost-model sanity across geometries: transfer scales linearly in count,
+// and a long contiguous read beats the same fragments read one by one.
+class CostModelTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(CostModelTest, BulkTransferBeatsPiecewise) {
+  sim::DiskGeometry g;
+  g.total_fragments = 4096;
+  g.fragments_per_track = GetParam();
+  SimClock bulk_clock, piece_clock;
+  sim::DiskModel bulk(g, &bulk_clock);
+  sim::DiskModel piecewise(g, &piece_clock);
+  std::vector<std::uint8_t> buf(64 * kFragmentSize);
+  ASSERT_TRUE(bulk.ReadFragments(0, 64, buf).ok());
+  for (std::uint32_t f = 0; f < 64; ++f) {
+    ASSERT_TRUE(
+        piecewise.ReadFragments(f, 1, {buf.data(), kFragmentSize}).ok());
+  }
+  EXPECT_LT(bulk_clock.Now(), piece_clock.Now());
+  EXPECT_EQ(bulk.stats().read_references, 1u);
+  EXPECT_EQ(piecewise.stats().read_references, 64u);
+  EXPECT_EQ(bulk.stats().fragments_read, piecewise.stats().fragments_read);
+}
+
+INSTANTIATE_TEST_SUITE_P(TrackSizes, CostModelTest,
+                         ::testing::Values(8, 16, 32, 64));
+
+}  // namespace
+}  // namespace rhodos

@@ -1,0 +1,131 @@
+// Unit tests for the simulated interconnect and the at-least-once RPC
+// client.
+#include <gtest/gtest.h>
+
+#include "common/sim_clock.h"
+#include "sim/message_bus.h"
+
+namespace rhodos::sim {
+namespace {
+
+Payload Echo(std::uint32_t opcode, std::span<const std::uint8_t> request) {
+  Payload reply{static_cast<std::uint8_t>(opcode)};
+  reply.insert(reply.end(), request.begin(), request.end());
+  return reply;
+}
+
+TEST(MessageBusTest, DeliversAndReplies) {
+  SimClock clock;
+  MessageBus bus(&clock);
+  bus.RegisterService("echo", Echo);
+  const std::vector<std::uint8_t> req{1, 2, 3};
+  auto reply = bus.Call("echo", 9, req);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(*reply, (Payload{9, 1, 2, 3}));
+  EXPECT_EQ(bus.stats().deliveries, 1u);
+  EXPECT_GT(clock.Now(), 0);
+}
+
+TEST(MessageBusTest, UnknownAddressFails) {
+  SimClock clock;
+  MessageBus bus(&clock);
+  auto reply = bus.Call("nowhere", 0, {});
+  EXPECT_EQ(reply.error().code, ErrorCode::kNotConnected);
+}
+
+TEST(MessageBusTest, DropsLoseRequestsOrReplies) {
+  SimClock clock;
+  NetworkConfig net;
+  net.drop_rate = 0.5;
+  MessageBus bus(&clock, net, /*fault_seed=*/5);
+  bus.RegisterService("echo", Echo);
+  int lost = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (!bus.Call("echo", 0, {}).ok()) ++lost;
+  }
+  EXPECT_GT(lost, 20);
+  EXPECT_LT(lost, 95);
+  EXPECT_GT(bus.stats().drops_request + bus.stats().drops_reply, 0u);
+}
+
+TEST(MessageBusTest, ReplyLossStillExecutesHandler) {
+  // The hard case for idempotency: the server did the work, the client
+  // never heard back.
+  SimClock clock;
+  NetworkConfig net;
+  net.drop_rate = 0.4;
+  MessageBus bus(&clock, net, /*fault_seed=*/7);
+  int executions = 0;
+  bus.RegisterService("svc", [&](std::uint32_t, std::span<const std::uint8_t>) {
+    ++executions;
+    return Payload{};
+  });
+  int acked = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (bus.Call("svc", 0, {}).ok()) ++acked;
+  }
+  EXPECT_GT(executions, acked);  // some work was done without an ack
+}
+
+TEST(MessageBusTest, DuplicatesInvokeHandlerTwice) {
+  SimClock clock;
+  NetworkConfig net;
+  net.duplicate_rate = 1.0;  // every request is retransmitted
+  MessageBus bus(&clock, net);
+  int executions = 0;
+  bus.RegisterService("svc", [&](std::uint32_t, std::span<const std::uint8_t>) {
+    ++executions;
+    return Payload{};
+  });
+  ASSERT_TRUE(bus.Call("svc", 0, {}).ok());
+  EXPECT_EQ(executions, 2);
+  EXPECT_EQ(bus.stats().duplicates, 1u);
+}
+
+TEST(RpcClientTest, RetriesThroughLoss) {
+  SimClock clock;
+  NetworkConfig net;
+  net.drop_rate = 0.6;
+  MessageBus bus(&clock, net, /*fault_seed=*/13);
+  bus.RegisterService("echo", Echo);
+  RpcClient rpc(&bus, "echo", /*max_attempts=*/32);
+  int ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (rpc.Call(0, {}).ok()) ++ok;
+  }
+  EXPECT_EQ(ok, 50);  // retries mask a 60% loss rate
+  EXPECT_GT(rpc.retries(), 0u);
+}
+
+TEST(RpcClientTest, GivesUpAfterMaxAttempts) {
+  SimClock clock;
+  NetworkConfig net;
+  net.drop_rate = 1.0;  // nothing ever gets through
+  MessageBus bus(&clock, net);
+  bus.RegisterService("echo", Echo);
+  RpcClient rpc(&bus, "echo", /*max_attempts=*/3);
+  auto reply = rpc.Call(0, {});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.error().code, ErrorCode::kUnavailable);
+  EXPECT_EQ(rpc.retries(), 2u);
+}
+
+TEST(MessageBusTest, LatencyScalesWithPayload) {
+  SimClock clock;
+  NetworkConfig net;
+  net.latency_per_message = 100;
+  net.latency_per_kib = 10;
+  MessageBus bus(&clock, net);
+  bus.RegisterService("sink", [](std::uint32_t, std::span<const std::uint8_t>) {
+    return Payload{};
+  });
+  ASSERT_TRUE(bus.Call("sink", 0, std::vector<std::uint8_t>(100)).ok());
+  const SimTime small = clock.Now();
+  ASSERT_TRUE(
+      bus.Call("sink", 0, std::vector<std::uint8_t>(64 * 1024)).ok());
+  const SimTime large = clock.Now() - small;
+  EXPECT_GT(large, small);
+}
+
+}  // namespace
+}  // namespace rhodos::sim

@@ -1,0 +1,204 @@
+// Multi-machine integration: several client workstations interleaving
+// basic-file and transactional work against one file service, exercising
+// cross-machine visibility, per-machine agent state isolation, and the
+// serialization substrate under adversarial inputs.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/facility.h"
+
+namespace rhodos {
+namespace {
+
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 17);
+  }
+  return v;
+}
+
+TEST(MultiMachineTest, FourMachinesInterleavedBasicWorkload) {
+  core::FacilityConfig cfg;
+  cfg.disk_count = 2;
+  cfg.geometry.total_fragments = 16 * 1024;
+  core::DistributedFileFacility f(cfg);
+  constexpr int kMachines = 4;
+  for (int i = 0; i < kMachines; ++i) f.AddMachine();
+
+  // Each machine owns one file; all machines also read a shared file.
+  auto shared =
+      f.machine(0).file_agent->Create(naming::ByName("shared"),
+                                      file::ServiceType::kBasic);
+  ASSERT_TRUE(shared.ok());
+  const auto shared_data = Pattern(3 * kBlockSize, 99);
+  ASSERT_TRUE(f.machine(0).file_agent->Write(*shared, shared_data).ok());
+  ASSERT_TRUE(f.machine(0).file_agent->Close(*shared).ok());
+
+  std::vector<ObjectDescriptor> own(kMachines);
+  for (int m = 0; m < kMachines; ++m) {
+    auto od = f.machine(static_cast<std::size_t>(m))
+                  .file_agent->Create(
+                      naming::ByName("own-" + std::to_string(m)),
+                      file::ServiceType::kBasic);
+    ASSERT_TRUE(od.ok());
+    own[static_cast<std::size_t>(m)] = *od;
+  }
+
+  // Interleave writes round-robin (the facility is driven from one thread;
+  // the interleaving exercises cross-agent cache coherence at the server).
+  Rng rng(5);
+  for (int round = 0; round < 20; ++round) {
+    for (int m = 0; m < kMachines; ++m) {
+      auto& agent = *f.machine(static_cast<std::size_t>(m)).file_agent;
+      const auto chunk = Pattern(512, static_cast<std::uint8_t>(m * 7 + round));
+      ASSERT_TRUE(agent
+                      .Pwrite(own[static_cast<std::size_t>(m)],
+                              static_cast<std::uint64_t>(round) * 512, chunk)
+                      .ok());
+    }
+  }
+  for (int m = 0; m < kMachines; ++m) {
+    ASSERT_TRUE(f.machine(static_cast<std::size_t>(m))
+                    .file_agent->Close(own[static_cast<std::size_t>(m)])
+                    .ok());
+  }
+
+  // Every machine sees its own rounds and the shared content.
+  for (int m = 0; m < kMachines; ++m) {
+    auto& agent = *f.machine(static_cast<std::size_t>(m)).file_agent;
+    auto od = agent.Open(naming::ByName("own-" + std::to_string(m)));
+    ASSERT_TRUE(od.ok());
+    std::vector<std::uint8_t> out(512);
+    for (int round = 0; round < 20; ++round) {
+      ASSERT_TRUE(
+          agent.Pread(*od, static_cast<std::uint64_t>(round) * 512, out)
+              .ok());
+      EXPECT_EQ(out, Pattern(512, static_cast<std::uint8_t>(m * 7 + round)))
+          << "machine " << m << " round " << round;
+    }
+    auto sod = agent.Open(naming::ByName("shared"));
+    ASSERT_TRUE(sod.ok());
+    std::vector<std::uint8_t> sout(shared_data.size());
+    ASSERT_TRUE(agent.Pread(*sod, 0, sout).ok());
+    EXPECT_EQ(sout, shared_data);
+  }
+}
+
+TEST(MultiMachineTest, TransactionsFromDifferentMachinesSerialize) {
+  core::FacilityConfig cfg;
+  cfg.geometry.total_fragments = 16 * 1024;
+  core::DistributedFileFacility f(cfg);
+  auto& m0 = f.AddMachine();
+  auto& m1 = f.AddMachine();
+  auto p0 = f.CreateProcess();
+  auto p1 = f.CreateProcess();
+
+  auto t0 = m0.txn_agent->TBegin(p0);
+  auto od0 = m0.txn_agent->TCreate(*t0, naming::ByName("joint"),
+                                   file::LockLevel::kPage, kBlockSize);
+  ASSERT_TRUE(od0.ok());
+  ASSERT_TRUE(m0.txn_agent->TPwrite(*t0, *od0, 0, Pattern(64, 1)).ok());
+  // Machine 1 cannot even open-and-write while t0 holds its locks; after
+  // t0 commits, it proceeds. (Single-threaded: use TryLock-free check via
+  // commit ordering.)
+  ASSERT_TRUE(m0.txn_agent->TEnd(*t0, p0).ok());
+
+  auto t1 = m1.txn_agent->TBegin(p1);
+  auto od1 = m1.txn_agent->TOpen(*t1, naming::ByName("joint"));
+  ASSERT_TRUE(od1.ok());
+  std::vector<std::uint8_t> out(64);
+  ASSERT_TRUE(m1.txn_agent->TPread(*t1, *od1, 0, out).ok());
+  EXPECT_EQ(out, Pattern(64, 1));  // sees machine 0's committed write
+  ASSERT_TRUE(m1.txn_agent->TPwrite(*t1, *od1, 0, Pattern(64, 2)).ok());
+  ASSERT_TRUE(m1.txn_agent->TEnd(*t1, p1).ok());
+
+  // Both agents retired; the service holds machine 1's version.
+  EXPECT_FALSE(m0.txn_agent->AgentAlive());
+  EXPECT_FALSE(m1.txn_agent->AgentAlive());
+  auto fid = f.naming().ResolveFile(naming::ByName("joint"));
+  std::vector<std::uint8_t> final_out(64);
+  ASSERT_TRUE(f.files().Read(*fid, 0, final_out).ok());
+  EXPECT_EQ(final_out, Pattern(64, 2));
+}
+
+TEST(MultiMachineTest, PerMachineDescriptorSpacesAreIndependent) {
+  core::DistributedFileFacility f;
+  auto& m0 = f.AddMachine();
+  auto& m1 = f.AddMachine();
+  auto od0 = m0.file_agent->Create(naming::ByName("a"),
+                                   file::ServiceType::kBasic);
+  auto od1 = m1.file_agent->Create(naming::ByName("b"),
+                                   file::ServiceType::kBasic);
+  ASSERT_TRUE(od0.ok());
+  ASSERT_TRUE(od1.ok());
+  // Descriptor numbering is per machine: both agents hand out the same
+  // numeric descriptor, but it names a DIFFERENT file on each machine.
+  EXPECT_EQ(*od0, *od1);
+  EXPECT_NE(*m0.file_agent->FileOf(*od0), *m1.file_agent->FileOf(*od1));
+  // A descriptor the agent never issued is rejected.
+  std::vector<std::uint8_t> buf(8);
+  EXPECT_EQ(m0.file_agent->Read(*od0 + 1000, buf).error().code,
+            ErrorCode::kBadDescriptor);
+}
+
+// --- serializer robustness sweep -----------------------------------------------
+
+class SerializerFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializerFuzzTest, RandomValuesRoundTrip) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    Serializer out;
+    std::vector<std::uint64_t> u64s;
+    std::vector<std::string> strings;
+    const int fields = 1 + static_cast<int>(rng.Below(8));
+    for (int i = 0; i < fields; ++i) {
+      const std::uint64_t v = rng.Next();
+      u64s.push_back(v);
+      out.U64(v);
+      std::string s;
+      for (std::uint64_t j = 0; j < rng.Below(32); ++j) {
+        s.push_back(static_cast<char>(rng.Next()));
+      }
+      strings.push_back(s);
+      out.String(s);
+    }
+    Deserializer in{out.buffer()};
+    for (int i = 0; i < fields; ++i) {
+      ASSERT_EQ(in.U64(), u64s[static_cast<std::size_t>(i)]);
+      ASSERT_EQ(in.String(), strings[static_cast<std::size_t>(i)]);
+    }
+    ASSERT_TRUE(in.ok());
+    ASSERT_TRUE(in.AtEnd());
+  }
+}
+
+TEST_P(SerializerFuzzTest, RandomTruncationNeverMisbehaves) {
+  Rng rng(GetParam());
+  Serializer out;
+  for (int i = 0; i < 10; ++i) {
+    out.U64(rng.Next());
+    out.Bytes(std::vector<std::uint8_t>(rng.Below(64), 0x5A));
+  }
+  const auto& full = out.buffer();
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::size_t cut = rng.Below(full.size());
+    Deserializer in{std::span<const std::uint8_t>{full.data(), cut}};
+    // Reading the whole schema from a truncated buffer must end with
+    // ok() == false and never crash or return phantom data as success.
+    bool all_ok = true;
+    for (int i = 0; i < 10; ++i) {
+      (void)in.U64();
+      (void)in.Bytes();
+    }
+    all_ok = in.ok();
+    if (cut < full.size()) EXPECT_FALSE(all_ok);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializerFuzzTest,
+                         ::testing::Values(7, 14, 21, 28));
+
+}  // namespace
+}  // namespace rhodos

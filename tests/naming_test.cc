@@ -1,0 +1,100 @@
+// Tests for the naming service (paper §3): attributed-name evaluation and
+// resolution to system names.
+#include <gtest/gtest.h>
+
+#include "naming/naming_service.h"
+
+namespace rhodos::naming {
+namespace {
+
+TEST(NamingTest, RegisterAndResolveByExactName) {
+  NamingService ns;
+  ASSERT_TRUE(ns.RegisterFile(ByName("ledger"), FileId{10}).ok());
+  auto id = ns.ResolveFile(ByName("ledger"));
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->value, 10u);
+}
+
+TEST(NamingTest, QueryMatchesSubsetOfAttributes) {
+  NamingService ns;
+  AttributedName full{{"name", "report"}, {"owner", "alice"},
+                      {"type", "text"}};
+  ASSERT_TRUE(ns.RegisterFile(full, FileId{1}).ok());
+  // Query with fewer attributes matches.
+  auto id = ns.ResolveFile({{"owner", "alice"}});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id->value, 1u);
+  // Query with a mismatching value does not.
+  EXPECT_EQ(ns.ResolveFile({{"owner", "bob"}}).error().code,
+            ErrorCode::kNameNotResolved);
+  // Query with an attribute the name lacks does not.
+  EXPECT_EQ(ns.ResolveFile({{"name", "report"}, {"year", "1994"}})
+                .error()
+                .code,
+            ErrorCode::kNameNotResolved);
+}
+
+TEST(NamingTest, AmbiguityIsReported) {
+  NamingService ns;
+  ASSERT_TRUE(ns.RegisterFile({{"type", "log"}, {"host", "a"}}, FileId{1})
+                  .ok());
+  ASSERT_TRUE(ns.RegisterFile({{"type", "log"}, {"host", "b"}}, FileId{2})
+                  .ok());
+  EXPECT_EQ(ns.ResolveFile({{"type", "log"}}).error().code,
+            ErrorCode::kAmbiguousName);
+  // Evaluation (directory-listing style) returns both.
+  EXPECT_EQ(ns.EvaluateFiles({{"type", "log"}}).size(), 2u);
+  EXPECT_EQ(ns.stats().ambiguities, 1u);
+}
+
+TEST(NamingTest, DuplicateRegistrationOfFileRefused) {
+  NamingService ns;
+  ASSERT_TRUE(ns.RegisterFile(ByName("x"), FileId{1}).ok());
+  EXPECT_EQ(ns.RegisterFile(ByName("y"), FileId{1}).code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST(NamingTest, EmptyNameRefused) {
+  NamingService ns;
+  EXPECT_EQ(ns.RegisterFile({}, FileId{1}).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(NamingTest, UnregisterRemovesBinding) {
+  NamingService ns;
+  ASSERT_TRUE(ns.RegisterFile(ByName("tmp"), FileId{5}).ok());
+  ASSERT_TRUE(ns.UnregisterFile(FileId{5}).ok());
+  EXPECT_FALSE(ns.ResolveFile(ByName("tmp")).ok());
+  EXPECT_EQ(ns.UnregisterFile(FileId{5}).code(), ErrorCode::kNotFound);
+}
+
+TEST(NamingTest, UpdateRebindsAttributes) {
+  NamingService ns;
+  ASSERT_TRUE(ns.RegisterFile(ByName("old"), FileId{3}).ok());
+  ASSERT_TRUE(ns.UpdateFile(FileId{3}, ByName("new")).ok());
+  EXPECT_FALSE(ns.ResolveFile(ByName("old")).ok());
+  EXPECT_TRUE(ns.ResolveFile(ByName("new")).ok());
+}
+
+TEST(NamingTest, NameOfReturnsFullAttributeSet) {
+  NamingService ns;
+  AttributedName full{{"name", "cfg"}, {"machine", "m1"}};
+  ASSERT_TRUE(ns.RegisterFile(full, FileId{8}).ok());
+  auto name = ns.NameOf(FileId{8});
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, full);
+}
+
+TEST(NamingTest, DevicesResolveToSystemNames) {
+  NamingService ns;
+  ASSERT_TRUE(
+      ns.RegisterDevice({{"device", "tty0"}, {"kind", "terminal"}}, "tty0")
+          .ok());
+  auto system = ns.ResolveDevice({{"device", "tty0"}});
+  ASSERT_TRUE(system.ok());
+  EXPECT_EQ(*system, "tty0");
+  EXPECT_FALSE(ns.ResolveDevice({{"device", "lp0"}}).ok());
+}
+
+}  // namespace
+}  // namespace rhodos::naming

@@ -1,0 +1,382 @@
+// Tests for the transaction service (paper §6): atomicity, isolation via
+// tentative data items, the WAL/shadow commit rule, timeout aborts, and
+// crash recovery from the intentions list.
+#include <gtest/gtest.h>
+
+#include "file/file_service.h"
+#include "txn/transaction_service.h"
+
+namespace rhodos::txn {
+namespace {
+
+using file::FileService;
+using file::FileServiceConfig;
+using file::LockLevel;
+using file::ServiceType;
+
+disk::DiskServerConfig DiskConfig() {
+  disk::DiskServerConfig c;
+  c.geometry.total_fragments = 8192;
+  c.geometry.fragments_per_track = 32;
+  c.cache_capacity_tracks = 16;
+  return c;
+}
+
+class TxnServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Rebuild(TxnServiceConfig{}); }
+
+  void Rebuild(TxnServiceConfig cfg) {
+    txn_.reset();
+    files_.reset();
+    disks_ = std::make_unique<disk::DiskRegistry>();
+    disks_->AddDisk(DiskConfig(), &clock_);
+    files_ = std::make_unique<FileService>(disks_.get(), &clock_,
+                                           FileServiceConfig{});
+    auto d0 = disks_->Get(DiskId{0});
+    txn_ = std::make_unique<TransactionService>(files_.get(), *d0, cfg);
+  }
+
+  // Restart services after a crash, reusing the same disks (the platters).
+  void Restart(TxnServiceConfig cfg = {}) {
+    txn_.reset();
+    files_.reset();
+    files_ = std::make_unique<FileService>(disks_.get(), &clock_,
+                                           FileServiceConfig{});
+    auto d0 = disks_->Get(DiskId{0});
+    txn_ = std::make_unique<TransactionService>(files_.get(), *d0, cfg);
+  }
+
+  std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t seed = 1) {
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      v[i] = static_cast<std::uint8_t>(seed + i * 13);
+    }
+    return v;
+  }
+
+  FileId MakeFile(LockLevel level, std::uint64_t bytes,
+                  std::uint8_t fill = 1) {
+    auto txn = txn_->Begin(ProcessId{1});
+    auto file = txn_->TCreate(*txn, level, bytes);
+    EXPECT_TRUE(file.ok());
+    if (bytes > 0) {
+      EXPECT_TRUE(txn_->TWrite(*txn, *file, 0, Pattern(bytes, fill)).ok());
+    }
+    EXPECT_TRUE(txn_->End(*txn).ok());
+    return *file;
+  }
+
+  SimClock clock_;
+  std::unique_ptr<disk::DiskRegistry> disks_;
+  std::unique_ptr<FileService> files_;
+  std::unique_ptr<TransactionService> txn_;
+};
+
+TEST_F(TxnServiceTest, CommitMakesWritesVisible) {
+  const FileId file = MakeFile(LockLevel::kPage, 2 * kBlockSize);
+  auto t = txn_->Begin(ProcessId{1});
+  const auto update = Pattern(100, 0x55);
+  ASSERT_TRUE(txn_->TWrite(*t, file, 50, update).ok());
+  ASSERT_TRUE(txn_->End(*t).ok());
+  std::vector<std::uint8_t> out(100);
+  ASSERT_TRUE(files_->Read(file, 50, out).ok());
+  EXPECT_EQ(out, update);
+  EXPECT_EQ(txn_->stats().commits, 2u);  // MakeFile + this one
+}
+
+TEST_F(TxnServiceTest, AbortDiscardsEverything) {
+  const FileId file = MakeFile(LockLevel::kPage, kBlockSize, 7);
+  const auto before = Pattern(kBlockSize, 7);
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TWrite(*t, file, 0, Pattern(kBlockSize, 0x99)).ok());
+  ASSERT_TRUE(txn_->Abort(*t).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(files_->Read(file, 0, out).ok());
+  EXPECT_EQ(out, before);
+  EXPECT_FALSE(txn_->IsActive(*t));
+}
+
+TEST_F(TxnServiceTest, ReadsSeeOwnTentativeWrites) {
+  const FileId file = MakeFile(LockLevel::kPage, kBlockSize, 3);
+  auto t = txn_->Begin(ProcessId{1});
+  const auto update = Pattern(64, 0xEE);
+  ASSERT_TRUE(txn_->TWrite(*t, file, 100, update).ok());
+  std::vector<std::uint8_t> out(64);
+  ASSERT_TRUE(
+      txn_->TRead(*t, file, 100, out, ReadIntent::kForUpdate).ok());
+  EXPECT_EQ(out, update);  // own write visible before commit
+  // But the committed file still holds the old bytes.
+  std::vector<std::uint8_t> committed(64);
+  ASSERT_TRUE(files_->Read(file, 100, committed).ok());
+  EXPECT_NE(committed, update);
+  ASSERT_TRUE(txn_->End(*t).ok());
+}
+
+TEST_F(TxnServiceTest, TentativeGrowthVisibleToOwnerOnly) {
+  const FileId file = MakeFile(LockLevel::kFile, kBlockSize);
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(
+      txn_->TWrite(*t, file, 3 * kBlockSize, Pattern(100, 0xAB)).ok());
+  auto attrs = txn_->TGetAttribute(*t, file);
+  ASSERT_TRUE(attrs.ok());
+  EXPECT_EQ(attrs->size, 3 * kBlockSize + 100);
+  EXPECT_EQ(files_->GetAttributes(file)->size, kBlockSize);
+  ASSERT_TRUE(txn_->End(*t).ok());
+  EXPECT_EQ(files_->GetAttributes(file)->size, 3 * kBlockSize + 100);
+}
+
+TEST_F(TxnServiceTest, ContiguousFileCommitsViaWal) {
+  const FileId file = MakeFile(LockLevel::kPage, 8 * kBlockSize);
+  ASSERT_TRUE(*files_->IsContiguous(file));
+  auto tech = txn_->TechniqueFor(file);
+  ASSERT_TRUE(tech.ok());
+  EXPECT_EQ(*tech, CommitTechnique::kWal);
+
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TWrite(*t, file, 0, Pattern(kBlockSize, 9)).ok());
+  ASSERT_TRUE(txn_->End(*t).ok());
+  EXPECT_GE(txn_->stats().wal_commits, 1u);
+  // WAL preserves contiguity (§6.7).
+  EXPECT_TRUE(*files_->IsContiguous(file));
+}
+
+TEST_F(TxnServiceTest, FragmentedFileCommitsViaShadowPage) {
+  const FileId file = MakeFile(LockLevel::kPage, 4 * kBlockSize);
+  // Fragment the file artificially: replace a middle block.
+  auto shadow = files_->AllocateShadowBlock(file);
+  ASSERT_TRUE(shadow.ok());
+  auto server = disks_->Get(shadow->disk);
+  ASSERT_TRUE((*server)
+                  ->PutBlock(shadow->first, kFragmentsPerBlock,
+                             Pattern(kBlockSize, 1))
+                  .ok());
+  ASSERT_TRUE(
+      files_->ReplaceBlock(file, 1, shadow->disk, shadow->first).ok());
+  ASSERT_FALSE(*files_->IsContiguous(file));
+  EXPECT_EQ(*txn_->TechniqueFor(file), CommitTechnique::kShadowPage);
+
+  auto t = txn_->Begin(ProcessId{1});
+  const auto update = Pattern(kBlockSize, 0x77);
+  ASSERT_TRUE(txn_->TWrite(*t, file, 2 * kBlockSize, update).ok());
+  ASSERT_TRUE(txn_->End(*t).ok());
+  EXPECT_GE(txn_->stats().shadow_commits, 1u);
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(files_->Read(file, 2 * kBlockSize, out).ok());
+  EXPECT_EQ(out, update);
+}
+
+TEST_F(TxnServiceTest, RecordModeBuffersByteRanges) {
+  const FileId file = MakeFile(LockLevel::kRecord, 1000, 2);
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TWrite(*t, file, 10, Pattern(5, 0xA1)).ok());
+  ASSERT_TRUE(txn_->TWrite(*t, file, 500, Pattern(7, 0xB2)).ok());
+  // Overlapping re-write: later write wins.
+  ASSERT_TRUE(txn_->TWrite(*t, file, 12, Pattern(3, 0xC3)).ok());
+  std::vector<std::uint8_t> out(8);
+  ASSERT_TRUE(txn_->TRead(*t, file, 10, out).ok());
+  const auto a = Pattern(5, 0xA1);
+  const auto c = Pattern(3, 0xC3);
+  EXPECT_EQ(out[0], a[0]);
+  EXPECT_EQ(out[2], c[0]);  // overlaid
+  ASSERT_TRUE(txn_->End(*t).ok());
+  EXPECT_GE(txn_->stats().ranges_logged, 3u);
+  ASSERT_TRUE(files_->Read(file, 12, out).ok());
+  EXPECT_EQ(out[0], c[0]);
+}
+
+TEST_F(TxnServiceTest, TwoPhaseRuleRefusesLocksAfterCommitStart) {
+  const FileId file = MakeFile(LockLevel::kPage, kBlockSize);
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TWrite(*t, file, 0, Pattern(10)).ok());
+  ASSERT_TRUE(txn_->End(*t).ok());
+  // The transaction is gone; further operations are refused.
+  EXPECT_EQ(txn_->TWrite(*t, file, 0, Pattern(10)).error().code,
+            ErrorCode::kTxnNotActive);
+}
+
+TEST_F(TxnServiceTest, ConflictingWritersSerialize) {
+  const FileId file = MakeFile(LockLevel::kFile, kBlockSize);
+  auto t1 = txn_->Begin(ProcessId{1});
+  auto t2 = txn_->Begin(ProcessId{2});
+  ASSERT_TRUE(txn_->TWrite(*t1, file, 0, Pattern(10, 1)).ok());
+  // t2 cannot write while t1 holds the IW file lock; with short timeouts
+  // the lock manager resolves it by breaking someone.
+  TxnServiceConfig cfg;
+  (void)cfg;
+  // Use TryLock-like behaviour through a short-LT service in the deadlock
+  // test below; here just commit t1 first, then t2 proceeds.
+  ASSERT_TRUE(txn_->End(*t1).ok());
+  ASSERT_TRUE(txn_->TWrite(*t2, file, 0, Pattern(10, 2)).ok());
+  ASSERT_TRUE(txn_->End(*t2).ok());
+  std::vector<std::uint8_t> out(10);
+  ASSERT_TRUE(files_->Read(file, 0, out).ok());
+  EXPECT_EQ(out, Pattern(10, 2));  // t2 committed last
+}
+
+TEST_F(TxnServiceTest, TimeoutBreaksStalledHolderAndAbortsItAtEnd) {
+  TxnServiceConfig cfg;
+  cfg.lock_timeout.lt = std::chrono::milliseconds(20);
+  cfg.lock_timeout.n = 2;
+  Rebuild(cfg);
+  const FileId file = MakeFile(LockLevel::kFile, kBlockSize);
+
+  auto holder = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TWrite(*holder, file, 0, Pattern(10, 1)).ok());
+  auto contender = txn_->Begin(ProcessId{2});
+  // Blocks ~LT, then breaks the stalled holder.
+  ASSERT_TRUE(txn_->TWrite(*contender, file, 0, Pattern(10, 2)).ok());
+  ASSERT_TRUE(txn_->End(*contender).ok());
+  // The holder discovers its fate at tend: aborted.
+  EXPECT_EQ(txn_->End(*holder).code(), ErrorCode::kTxnAborted);
+  EXPECT_GE(txn_->stats().aborts_broken, 1u);
+  std::vector<std::uint8_t> out(10);
+  ASSERT_TRUE(files_->Read(file, 0, out).ok());
+  EXPECT_EQ(out, Pattern(10, 2));  // only the contender's write landed
+}
+
+TEST_F(TxnServiceTest, CreateIsUndoneByAbort) {
+  auto t = txn_->Begin(ProcessId{1});
+  auto file = txn_->TCreate(*t, LockLevel::kPage, kBlockSize);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE(txn_->Abort(*t).ok());
+  EXPECT_FALSE(files_->GetAttributes(*file).ok());
+}
+
+TEST_F(TxnServiceTest, DeleteAppliesOnlyAtCommit) {
+  const FileId file = MakeFile(LockLevel::kPage, kBlockSize);
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TDelete(*t, file).ok());
+  EXPECT_TRUE(files_->GetAttributes(file).ok());  // still there
+  ASSERT_TRUE(txn_->End(*t).ok());
+  EXPECT_FALSE(files_->GetAttributes(file).ok());
+}
+
+TEST_F(TxnServiceTest, ReadOnlyTxnCommitsWithoutLogging) {
+  const FileId file = MakeFile(LockLevel::kPage, kBlockSize);
+  const auto logged_before = txn_->log().stats().appends;
+  auto t = txn_->Begin(ProcessId{1});
+  std::vector<std::uint8_t> out(100);
+  ASSERT_TRUE(txn_->TRead(*t, file, 0, out).ok());
+  ASSERT_TRUE(txn_->End(*t).ok());
+  EXPECT_EQ(txn_->log().stats().appends, logged_before);
+}
+
+TEST_F(TxnServiceTest, WalOverrideForcesWalOnFragmentedFile) {
+  TxnServiceConfig cfg;
+  cfg.technique = TxnServiceConfig::TechniqueOverride::kWalAlways;
+  Rebuild(cfg);
+  const FileId file = MakeFile(LockLevel::kPage, 4 * kBlockSize);
+  EXPECT_EQ(*txn_->TechniqueFor(file), CommitTechnique::kWal);
+}
+
+TEST_F(TxnServiceTest, ShadowOverrideDegradesContiguity) {
+  // Create the file contiguously under the default (WAL-choosing) service,
+  // then restart the transaction service in shadow-always mode.
+  const FileId file = MakeFile(LockLevel::kPage, 8 * kBlockSize);
+  TxnServiceConfig cfg;
+  cfg.technique = TxnServiceConfig::TechniqueOverride::kShadowAlways;
+  Restart(cfg);
+  ASSERT_TRUE(*files_->IsContiguous(file));
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(
+      txn_->TWrite(*t, file, 3 * kBlockSize, Pattern(kBlockSize, 5)).ok());
+  ASSERT_TRUE(txn_->End(*t).ok());
+  // "this technique destroys the contiguity of data blocks" (§6.7).
+  EXPECT_FALSE(*files_->IsContiguous(file));
+  EXPECT_LT(*files_->ContiguityIndex(file), 1.0);
+}
+
+// --- crash recovery -------------------------------------------------------------
+
+TEST_F(TxnServiceTest, UncommittedTxnVanishesAtRecovery) {
+  const FileId file = MakeFile(LockLevel::kPage, kBlockSize, 4);
+  const auto before = Pattern(kBlockSize, 4);
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TWrite(*t, file, 0, Pattern(kBlockSize, 0xDD)).ok());
+  // CRASH before tend: tentative data was only in memory (+ begin record).
+  disks_->CrashAll();
+  files_->Crash();
+  ASSERT_TRUE(disks_->RecoverAll().ok());
+  Restart();
+  ASSERT_TRUE(txn_->Recover().ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(files_->Read(file, 0, out).ok());
+  EXPECT_EQ(out, before);
+}
+
+TEST_F(TxnServiceTest, CommittedButUnappliedTxnIsRedone) {
+  const FileId file = MakeFile(LockLevel::kPage, 2 * kBlockSize, 4);
+  const auto update = Pattern(kBlockSize, 0xEF);
+
+  // Drive a commit whose APPLY phase dies: run the commit normally, then
+  // rewind the applied state by crashing before the file-service flush...
+  // Instead, simulate precisely: write the intention log records by hand
+  // through a transaction, crash at the commit point, and let recovery redo.
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TWrite(*t, file, 0, update).ok());
+  // Build the log exactly as End() would, up to and including the commit
+  // record, but never apply.
+  ASSERT_TRUE(txn_->log()
+                  .Append(IntentionRecord{IntentionKind::kBegin, *t, {}, 0, 0,
+                                          {}, 0, TxnStatus::kTentative, {}})
+                  .ok());
+  IntentionRecord redo;
+  redo.kind = IntentionKind::kRedoPage;
+  redo.txn = *t;
+  redo.file = file;
+  redo.block_index = 0;
+  redo.offset = 2 * kBlockSize;  // final size
+  redo.data = update;
+  redo.data.resize(kBlockSize, 0);
+  // Keep the rest of the original first page beyond the update intact, as
+  // the real commit path logs full page images.
+  {
+    std::vector<std::uint8_t> page(kBlockSize);
+    ASSERT_TRUE(files_->ReadBlock(file, 0, page).ok());
+    std::copy(update.begin(), update.end(), page.begin());
+    redo.data = page;
+  }
+  ASSERT_TRUE(txn_->log().Append(redo).ok());
+  ASSERT_TRUE(txn_->log()
+                  .Append(IntentionRecord{IntentionKind::kStatus, *t, {}, 0,
+                                          0, {}, 0, TxnStatus::kCommit, {}})
+                  .ok());
+
+  // CRASH: the apply never happened.
+  disks_->CrashAll();
+  files_->Crash();
+  ASSERT_TRUE(disks_->RecoverAll().ok());
+  Restart();
+  ASSERT_TRUE(txn_->Recover().ok());
+  EXPECT_GE(txn_->stats().recovered_redone, 1u);
+
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(files_->Read(file, 0, out).ok());
+  EXPECT_EQ(out, update);  // the committed write was redone
+}
+
+TEST_F(TxnServiceTest, RecoveryIsIdempotent) {
+  const FileId file = MakeFile(LockLevel::kPage, kBlockSize, 4);
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TWrite(*t, file, 0, Pattern(kBlockSize, 0xBC)).ok());
+  ASSERT_TRUE(txn_->End(*t).ok());
+  // Recover twice on a healthy system: no effect either time.
+  ASSERT_TRUE(txn_->Recover().ok());
+  ASSERT_TRUE(txn_->Recover().ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(files_->Read(file, 0, out).ok());
+  EXPECT_EQ(out, Pattern(kBlockSize, 0xBC));
+}
+
+TEST_F(TxnServiceTest, LogTruncatesAtQuiescence) {
+  const FileId file = MakeFile(LockLevel::kPage, kBlockSize);
+  auto t = txn_->Begin(ProcessId{1});
+  ASSERT_TRUE(txn_->TWrite(*t, file, 0, Pattern(64)).ok());
+  ASSERT_TRUE(txn_->End(*t).ok());
+  // Last transaction finished: the log was checkpointed empty.
+  EXPECT_EQ(txn_->log().BytesUsed(), 0u);
+}
+
+}  // namespace
+}  // namespace rhodos::txn

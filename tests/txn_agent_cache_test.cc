@@ -1,0 +1,135 @@
+// Tests for the transaction agent's per-transaction page cache (§7: the
+// agent allows "maximum processing of transactions at the client computer
+// by intelligently caching the relevant information").
+#include <gtest/gtest.h>
+
+#include "core/facility.h"
+
+namespace rhodos::agent {
+namespace {
+
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return v;
+}
+
+class TxnAgentCacheTest : public ::testing::Test {
+ protected:
+  TxnAgentCacheTest() : facility_(Config()), m_(facility_.AddMachine()) {}
+  static core::FacilityConfig Config() {
+    core::FacilityConfig c;
+    c.geometry.total_fragments = 16 * 1024;
+    return c;
+  }
+  core::DistributedFileFacility facility_;
+  core::Machine& m_;
+};
+
+TEST_F(TxnAgentCacheTest, RepeatedQueriesServedAtTheClient) {
+  auto process = facility_.CreateProcess();
+  auto t = m_.txn_agent->TBegin(process);
+  auto od = m_.txn_agent->TCreate(*t, naming::ByName("hot"),
+                                  file::LockLevel::kPage, 2 * kBlockSize);
+  ASSERT_TRUE(od.ok());
+  const auto data = Pattern(2 * kBlockSize);
+  ASSERT_TRUE(m_.txn_agent->TPwrite(*t, *od, 0, data).ok());
+
+  std::vector<std::uint8_t> out(512);
+  ASSERT_TRUE(m_.txn_agent->TPread(*t, *od, 100, out).ok());
+  const std::uint64_t service_reads = facility_.files().stats().reads;
+  // Ten more queries over the same pages: all client-side.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(m_.txn_agent->TPread(*t, *od, 100 + i * 32, out).ok());
+  }
+  EXPECT_EQ(facility_.files().stats().reads, service_reads);
+  EXPECT_GE(m_.txn_agent->cache_stats().page_hits, 10u);
+  ASSERT_TRUE(m_.txn_agent->TEnd(*t, process).ok());
+}
+
+TEST_F(TxnAgentCacheTest, CacheSeesOwnWrites) {
+  auto process = facility_.CreateProcess();
+  auto t = m_.txn_agent->TBegin(process);
+  auto od = m_.txn_agent->TCreate(*t, naming::ByName("rw"),
+                                  file::LockLevel::kPage, kBlockSize);
+  ASSERT_TRUE(od.ok());
+  ASSERT_TRUE(m_.txn_agent->TPwrite(*t, *od, 0, Pattern(kBlockSize, 1)).ok());
+  std::vector<std::uint8_t> out(64);
+  ASSERT_TRUE(m_.txn_agent->TPread(*t, *od, 0, out).ok());  // caches page 0
+  // Overwrite part of the cached page; the next cached read must see it.
+  const auto update = Pattern(64, 0xAB);
+  ASSERT_TRUE(m_.txn_agent->TPwrite(*t, *od, 16, update).ok());
+  std::vector<std::uint8_t> reread(64);
+  ASSERT_TRUE(m_.txn_agent->TPread(*t, *od, 16, reread).ok());
+  EXPECT_EQ(reread, update);
+  ASSERT_TRUE(m_.txn_agent->TEnd(*t, process).ok());
+}
+
+TEST_F(TxnAgentCacheTest, RecordLockedFilesBypassTheCache) {
+  auto process = facility_.CreateProcess();
+  auto t = m_.txn_agent->TBegin(process);
+  auto od = m_.txn_agent->TCreate(*t, naming::ByName("rec"),
+                                  file::LockLevel::kRecord, kBlockSize);
+  ASSERT_TRUE(od.ok());
+  ASSERT_TRUE(m_.txn_agent->TPwrite(*t, *od, 0, Pattern(256)).ok());
+  std::vector<std::uint8_t> out(64);
+  const auto hits_before = m_.txn_agent->cache_stats().page_hits;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(m_.txn_agent->TPread(*t, *od, 0, out).ok());
+  }
+  // Record granularity: no page is ever cached (a page spans bytes the
+  // transaction never locked).
+  EXPECT_EQ(m_.txn_agent->cache_stats().page_hits, hits_before);
+  ASSERT_TRUE(m_.txn_agent->TEnd(*t, process).ok());
+}
+
+TEST_F(TxnAgentCacheTest, CacheDiesWithTheTransaction) {
+  auto process = facility_.CreateProcess();
+  auto t1 = m_.txn_agent->TBegin(process);
+  auto od = m_.txn_agent->TCreate(*t1, naming::ByName("gen"),
+                                  file::LockLevel::kPage, kBlockSize);
+  ASSERT_TRUE(od.ok());
+  ASSERT_TRUE(
+      m_.txn_agent->TPwrite(*t1, *od, 0, Pattern(kBlockSize, 1)).ok());
+  std::vector<std::uint8_t> out(64);
+  ASSERT_TRUE(m_.txn_agent->TPread(*t1, *od, 0, out).ok());
+  ASSERT_TRUE(m_.txn_agent->TEnd(*t1, process).ok());
+
+  // A second transaction updates the file; a third must see the update —
+  // nothing stale can survive from t1's cache (it retired with the agent).
+  auto t2 = m_.txn_agent->TBegin(process);
+  auto od2 = m_.txn_agent->TOpen(*t2, naming::ByName("gen"));
+  const auto fresh = Pattern(64, 0x77);
+  ASSERT_TRUE(m_.txn_agent->TPwrite(*t2, *od2, 0, fresh).ok());
+  ASSERT_TRUE(m_.txn_agent->TEnd(*t2, process).ok());
+
+  auto t3 = m_.txn_agent->TBegin(process);
+  auto od3 = m_.txn_agent->TOpen(*t3, naming::ByName("gen"));
+  std::vector<std::uint8_t> seen(64);
+  ASSERT_TRUE(m_.txn_agent->TPread(*t3, *od3, 0, seen).ok());
+  EXPECT_EQ(seen, fresh);
+  ASSERT_TRUE(m_.txn_agent->TEnd(*t3, process).ok());
+}
+
+TEST_F(TxnAgentCacheTest, ForUpdateReadsAlwaysReachTheService) {
+  auto process = facility_.CreateProcess();
+  auto t = m_.txn_agent->TBegin(process);
+  auto od = m_.txn_agent->TCreate(*t, naming::ByName("upd"),
+                                  file::LockLevel::kPage, kBlockSize);
+  ASSERT_TRUE(od.ok());
+  ASSERT_TRUE(m_.txn_agent->TPwrite(*t, *od, 0, Pattern(kBlockSize)).ok());
+  std::vector<std::uint8_t> out(64);
+  ASSERT_TRUE(m_.txn_agent->TPread(*t, *od, 0, out).ok());  // cached
+  const std::uint64_t service_reads = facility_.files().stats().reads;
+  // kForUpdate must go to the service (it takes the IR lock there).
+  ASSERT_TRUE(m_.txn_agent
+                  ->TPread(*t, *od, 0, out, txn::ReadIntent::kForUpdate)
+                  .ok());
+  EXPECT_GT(facility_.files().stats().reads, service_reads);
+  ASSERT_TRUE(m_.txn_agent->TEnd(*t, process).ok());
+}
+
+}  // namespace
+}  // namespace rhodos::agent
