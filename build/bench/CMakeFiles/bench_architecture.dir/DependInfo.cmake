@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_architecture.cc" "bench/CMakeFiles/bench_architecture.dir/bench_architecture.cc.o" "gcc" "bench/CMakeFiles/bench_architecture.dir/bench_architecture.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rhodos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/agent/CMakeFiles/rhodos_agent.dir/DependInfo.cmake"
+  "/root/repo/build/src/replication/CMakeFiles/rhodos_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/rhodos_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/file/CMakeFiles/rhodos_file.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/rhodos_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rhodos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/rhodos_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rhodos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

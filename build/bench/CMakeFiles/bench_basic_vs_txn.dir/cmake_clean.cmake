@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_basic_vs_txn.dir/bench_basic_vs_txn.cc.o"
+  "CMakeFiles/bench_basic_vs_txn.dir/bench_basic_vs_txn.cc.o.d"
+  "bench_basic_vs_txn"
+  "bench_basic_vs_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_basic_vs_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_basic_vs_txn.
+# This may be replaced when dependencies are built.

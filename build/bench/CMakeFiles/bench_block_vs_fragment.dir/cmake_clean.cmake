@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_vs_fragment.dir/bench_block_vs_fragment.cc.o"
+  "CMakeFiles/bench_block_vs_fragment.dir/bench_block_vs_fragment.cc.o.d"
+  "bench_block_vs_fragment"
+  "bench_block_vs_fragment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_vs_fragment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_block_vs_fragment.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contiguous_read.dir/bench_contiguous_read.cc.o"
+  "CMakeFiles/bench_contiguous_read.dir/bench_contiguous_read.cc.o.d"
+  "bench_contiguous_read"
+  "bench_contiguous_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contiguous_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

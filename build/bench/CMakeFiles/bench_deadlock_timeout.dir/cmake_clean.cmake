@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_deadlock_timeout.dir/bench_deadlock_timeout.cc.o"
+  "CMakeFiles/bench_deadlock_timeout.dir/bench_deadlock_timeout.cc.o.d"
+  "bench_deadlock_timeout"
+  "bench_deadlock_timeout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_deadlock_timeout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fit_placement.dir/bench_fit_placement.cc.o"
+  "CMakeFiles/bench_fit_placement.dir/bench_fit_placement.cc.o.d"
+  "bench_fit_placement"
+  "bench_fit_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fit_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

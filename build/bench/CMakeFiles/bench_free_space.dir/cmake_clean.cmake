@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_free_space.dir/bench_free_space.cc.o"
+  "CMakeFiles/bench_free_space.dir/bench_free_space.cc.o.d"
+  "bench_free_space"
+  "bench_free_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_free_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_idempotency.dir/bench_idempotency.cc.o"
+  "CMakeFiles/bench_idempotency.dir/bench_idempotency.cc.o.d"
+  "bench_idempotency"
+  "bench_idempotency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_idempotency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_granularity.dir/bench_lock_granularity.cc.o"
+  "CMakeFiles/bench_lock_granularity.dir/bench_lock_granularity.cc.o.d"
+  "bench_lock_granularity"
+  "bench_lock_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

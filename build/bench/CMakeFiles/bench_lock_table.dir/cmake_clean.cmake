@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lock_table.dir/bench_lock_table.cc.o"
+  "CMakeFiles/bench_lock_table.dir/bench_lock_table.cc.o.d"
+  "bench_lock_table"
+  "bench_lock_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lock_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_small_file_refs.dir/bench_small_file_refs.cc.o"
+  "CMakeFiles/bench_small_file_refs.dir/bench_small_file_refs.cc.o.d"
+  "bench_small_file_refs"
+  "bench_small_file_refs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_small_file_refs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_small_file_refs.
+# This may be replaced when dependencies are built.

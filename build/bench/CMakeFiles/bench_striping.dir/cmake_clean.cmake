@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_striping.dir/bench_striping.cc.o"
+  "CMakeFiles/bench_striping.dir/bench_striping.cc.o.d"
+  "bench_striping"
+  "bench_striping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

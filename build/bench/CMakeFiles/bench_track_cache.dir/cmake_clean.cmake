@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_track_cache.dir/bench_track_cache.cc.o"
+  "CMakeFiles/bench_track_cache.dir/bench_track_cache.cc.o.d"
+  "bench_track_cache"
+  "bench_track_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_track_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wal_vs_shadow.dir/bench_wal_vs_shadow.cc.o"
+  "CMakeFiles/bench_wal_vs_shadow.dir/bench_wal_vs_shadow.cc.o.d"
+  "bench_wal_vs_shadow"
+  "bench_wal_vs_shadow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wal_vs_shadow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

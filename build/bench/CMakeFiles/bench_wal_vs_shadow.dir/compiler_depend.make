@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_wal_vs_shadow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_wal_vs_shadow.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_write_policy.dir/bench_write_policy.cc.o"
+  "CMakeFiles/bench_write_policy.dir/bench_write_policy.cc.o.d"
+  "bench_write_policy"
+  "bench_write_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_write_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/direct_disk_access.dir/direct_disk_access.cpp.o"
+  "CMakeFiles/direct_disk_access.dir/direct_disk_access.cpp.o.d"
+  "direct_disk_access"
+  "direct_disk_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/direct_disk_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

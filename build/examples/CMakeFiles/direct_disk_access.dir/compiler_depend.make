@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for direct_disk_access.
+# This may be replaced when dependencies are built.

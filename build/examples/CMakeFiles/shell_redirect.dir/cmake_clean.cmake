@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shell_redirect.dir/shell_redirect.cpp.o"
+  "CMakeFiles/shell_redirect.dir/shell_redirect.cpp.o.d"
+  "shell_redirect"
+  "shell_redirect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shell_redirect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

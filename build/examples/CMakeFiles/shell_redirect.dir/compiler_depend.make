@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shell_redirect.
+# This may be replaced when dependencies are built.

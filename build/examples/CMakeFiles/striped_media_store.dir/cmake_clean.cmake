@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/striped_media_store.dir/striped_media_store.cpp.o"
+  "CMakeFiles/striped_media_store.dir/striped_media_store.cpp.o.d"
+  "striped_media_store"
+  "striped_media_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/striped_media_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agent/device_agent.cc" "src/agent/CMakeFiles/rhodos_agent.dir/device_agent.cc.o" "gcc" "src/agent/CMakeFiles/rhodos_agent.dir/device_agent.cc.o.d"
+  "/root/repo/src/agent/file_agent.cc" "src/agent/CMakeFiles/rhodos_agent.dir/file_agent.cc.o" "gcc" "src/agent/CMakeFiles/rhodos_agent.dir/file_agent.cc.o.d"
+  "/root/repo/src/agent/file_service_server.cc" "src/agent/CMakeFiles/rhodos_agent.dir/file_service_server.cc.o" "gcc" "src/agent/CMakeFiles/rhodos_agent.dir/file_service_server.cc.o.d"
+  "/root/repo/src/agent/fs_protocol.cc" "src/agent/CMakeFiles/rhodos_agent.dir/fs_protocol.cc.o" "gcc" "src/agent/CMakeFiles/rhodos_agent.dir/fs_protocol.cc.o.d"
+  "/root/repo/src/agent/process.cc" "src/agent/CMakeFiles/rhodos_agent.dir/process.cc.o" "gcc" "src/agent/CMakeFiles/rhodos_agent.dir/process.cc.o.d"
+  "/root/repo/src/agent/transaction_agent.cc" "src/agent/CMakeFiles/rhodos_agent.dir/transaction_agent.cc.o" "gcc" "src/agent/CMakeFiles/rhodos_agent.dir/transaction_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhodos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rhodos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/file/CMakeFiles/rhodos_file.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/rhodos_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/naming/CMakeFiles/rhodos_naming.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/rhodos_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

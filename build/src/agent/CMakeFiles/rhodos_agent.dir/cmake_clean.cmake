@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhodos_agent.dir/device_agent.cc.o"
+  "CMakeFiles/rhodos_agent.dir/device_agent.cc.o.d"
+  "CMakeFiles/rhodos_agent.dir/file_agent.cc.o"
+  "CMakeFiles/rhodos_agent.dir/file_agent.cc.o.d"
+  "CMakeFiles/rhodos_agent.dir/file_service_server.cc.o"
+  "CMakeFiles/rhodos_agent.dir/file_service_server.cc.o.d"
+  "CMakeFiles/rhodos_agent.dir/fs_protocol.cc.o"
+  "CMakeFiles/rhodos_agent.dir/fs_protocol.cc.o.d"
+  "CMakeFiles/rhodos_agent.dir/process.cc.o"
+  "CMakeFiles/rhodos_agent.dir/process.cc.o.d"
+  "CMakeFiles/rhodos_agent.dir/transaction_agent.cc.o"
+  "CMakeFiles/rhodos_agent.dir/transaction_agent.cc.o.d"
+  "librhodos_agent.a"
+  "librhodos_agent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhodos_agent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhodos_common.dir/result.cc.o"
+  "CMakeFiles/rhodos_common.dir/result.cc.o.d"
+  "librhodos_common.a"
+  "librhodos_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhodos_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

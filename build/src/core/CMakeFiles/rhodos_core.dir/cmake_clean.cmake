@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhodos_core.dir/facility.cc.o"
+  "CMakeFiles/rhodos_core.dir/facility.cc.o.d"
+  "librhodos_core.a"
+  "librhodos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhodos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

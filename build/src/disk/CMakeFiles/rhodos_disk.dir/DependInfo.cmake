@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disk/bitmap.cc" "src/disk/CMakeFiles/rhodos_disk.dir/bitmap.cc.o" "gcc" "src/disk/CMakeFiles/rhodos_disk.dir/bitmap.cc.o.d"
+  "/root/repo/src/disk/disk_lease.cc" "src/disk/CMakeFiles/rhodos_disk.dir/disk_lease.cc.o" "gcc" "src/disk/CMakeFiles/rhodos_disk.dir/disk_lease.cc.o.d"
+  "/root/repo/src/disk/disk_registry.cc" "src/disk/CMakeFiles/rhodos_disk.dir/disk_registry.cc.o" "gcc" "src/disk/CMakeFiles/rhodos_disk.dir/disk_registry.cc.o.d"
+  "/root/repo/src/disk/disk_server.cc" "src/disk/CMakeFiles/rhodos_disk.dir/disk_server.cc.o" "gcc" "src/disk/CMakeFiles/rhodos_disk.dir/disk_server.cc.o.d"
+  "/root/repo/src/disk/free_space_array.cc" "src/disk/CMakeFiles/rhodos_disk.dir/free_space_array.cc.o" "gcc" "src/disk/CMakeFiles/rhodos_disk.dir/free_space_array.cc.o.d"
+  "/root/repo/src/disk/track_cache.cc" "src/disk/CMakeFiles/rhodos_disk.dir/track_cache.cc.o" "gcc" "src/disk/CMakeFiles/rhodos_disk.dir/track_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhodos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rhodos_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

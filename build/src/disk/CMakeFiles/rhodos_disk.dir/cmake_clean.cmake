@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhodos_disk.dir/bitmap.cc.o"
+  "CMakeFiles/rhodos_disk.dir/bitmap.cc.o.d"
+  "CMakeFiles/rhodos_disk.dir/disk_lease.cc.o"
+  "CMakeFiles/rhodos_disk.dir/disk_lease.cc.o.d"
+  "CMakeFiles/rhodos_disk.dir/disk_registry.cc.o"
+  "CMakeFiles/rhodos_disk.dir/disk_registry.cc.o.d"
+  "CMakeFiles/rhodos_disk.dir/disk_server.cc.o"
+  "CMakeFiles/rhodos_disk.dir/disk_server.cc.o.d"
+  "CMakeFiles/rhodos_disk.dir/free_space_array.cc.o"
+  "CMakeFiles/rhodos_disk.dir/free_space_array.cc.o.d"
+  "CMakeFiles/rhodos_disk.dir/track_cache.cc.o"
+  "CMakeFiles/rhodos_disk.dir/track_cache.cc.o.d"
+  "librhodos_disk.a"
+  "librhodos_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhodos_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

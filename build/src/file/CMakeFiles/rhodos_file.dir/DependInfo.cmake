@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/file/file_index_table.cc" "src/file/CMakeFiles/rhodos_file.dir/file_index_table.cc.o" "gcc" "src/file/CMakeFiles/rhodos_file.dir/file_index_table.cc.o.d"
+  "/root/repo/src/file/file_service.cc" "src/file/CMakeFiles/rhodos_file.dir/file_service.cc.o" "gcc" "src/file/CMakeFiles/rhodos_file.dir/file_service.cc.o.d"
+  "/root/repo/src/file/fsck.cc" "src/file/CMakeFiles/rhodos_file.dir/fsck.cc.o" "gcc" "src/file/CMakeFiles/rhodos_file.dir/fsck.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhodos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rhodos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/rhodos_disk.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

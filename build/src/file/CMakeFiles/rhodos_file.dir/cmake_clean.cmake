@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhodos_file.dir/file_index_table.cc.o"
+  "CMakeFiles/rhodos_file.dir/file_index_table.cc.o.d"
+  "CMakeFiles/rhodos_file.dir/file_service.cc.o"
+  "CMakeFiles/rhodos_file.dir/file_service.cc.o.d"
+  "CMakeFiles/rhodos_file.dir/fsck.cc.o"
+  "CMakeFiles/rhodos_file.dir/fsck.cc.o.d"
+  "librhodos_file.a"
+  "librhodos_file.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhodos_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

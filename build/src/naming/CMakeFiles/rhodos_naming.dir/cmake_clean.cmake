@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhodos_naming.dir/naming_service.cc.o"
+  "CMakeFiles/rhodos_naming.dir/naming_service.cc.o.d"
+  "librhodos_naming.a"
+  "librhodos_naming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhodos_naming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

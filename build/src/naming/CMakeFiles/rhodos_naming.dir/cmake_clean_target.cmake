@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librhodos_naming.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhodos_replication.dir/replication_service.cc.o"
+  "CMakeFiles/rhodos_replication.dir/replication_service.cc.o.d"
+  "librhodos_replication.a"
+  "librhodos_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhodos_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

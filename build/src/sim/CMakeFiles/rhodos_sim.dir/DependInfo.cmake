@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/disk_model.cc" "src/sim/CMakeFiles/rhodos_sim.dir/disk_model.cc.o" "gcc" "src/sim/CMakeFiles/rhodos_sim.dir/disk_model.cc.o.d"
+  "/root/repo/src/sim/message_bus.cc" "src/sim/CMakeFiles/rhodos_sim.dir/message_bus.cc.o" "gcc" "src/sim/CMakeFiles/rhodos_sim.dir/message_bus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhodos_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhodos_sim.dir/disk_model.cc.o"
+  "CMakeFiles/rhodos_sim.dir/disk_model.cc.o.d"
+  "CMakeFiles/rhodos_sim.dir/message_bus.cc.o"
+  "CMakeFiles/rhodos_sim.dir/message_bus.cc.o.d"
+  "librhodos_sim.a"
+  "librhodos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhodos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/lock_manager.cc" "src/txn/CMakeFiles/rhodos_txn.dir/lock_manager.cc.o" "gcc" "src/txn/CMakeFiles/rhodos_txn.dir/lock_manager.cc.o.d"
+  "/root/repo/src/txn/transaction_service.cc" "src/txn/CMakeFiles/rhodos_txn.dir/transaction_service.cc.o" "gcc" "src/txn/CMakeFiles/rhodos_txn.dir/transaction_service.cc.o.d"
+  "/root/repo/src/txn/txn_log.cc" "src/txn/CMakeFiles/rhodos_txn.dir/txn_log.cc.o" "gcc" "src/txn/CMakeFiles/rhodos_txn.dir/txn_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rhodos_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rhodos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/rhodos_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/file/CMakeFiles/rhodos_file.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rhodos_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/rhodos_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/rhodos_txn.dir/transaction_service.cc.o"
+  "CMakeFiles/rhodos_txn.dir/transaction_service.cc.o.d"
+  "CMakeFiles/rhodos_txn.dir/txn_log.cc.o"
+  "CMakeFiles/rhodos_txn.dir/txn_log.cc.o.d"
+  "librhodos_txn.a"
+  "librhodos_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rhodos_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

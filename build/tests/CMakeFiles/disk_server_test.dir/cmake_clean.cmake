@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_server_test.dir/disk_server_test.cc.o"
+  "CMakeFiles/disk_server_test.dir/disk_server_test.cc.o.d"
+  "disk_server_test"
+  "disk_server_test.pdb"
+  "disk_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

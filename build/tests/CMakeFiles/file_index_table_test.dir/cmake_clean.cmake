@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_index_table_test.dir/file_index_table_test.cc.o"
+  "CMakeFiles/file_index_table_test.dir/file_index_table_test.cc.o.d"
+  "file_index_table_test"
+  "file_index_table_test.pdb"
+  "file_index_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_index_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

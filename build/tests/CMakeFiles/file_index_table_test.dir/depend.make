@@ -1,0 +1,2 @@
+# Empty dependencies file for file_index_table_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_service_test.dir/file_service_test.cc.o"
+  "CMakeFiles/file_service_test.dir/file_service_test.cc.o.d"
+  "file_service_test"
+  "file_service_test.pdb"
+  "file_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

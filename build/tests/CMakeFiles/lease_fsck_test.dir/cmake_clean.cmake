@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lease_fsck_test.dir/lease_fsck_test.cc.o"
+  "CMakeFiles/lease_fsck_test.dir/lease_fsck_test.cc.o.d"
+  "lease_fsck_test"
+  "lease_fsck_test.pdb"
+  "lease_fsck_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lease_fsck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

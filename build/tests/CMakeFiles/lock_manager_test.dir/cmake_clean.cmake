@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lock_manager_test.dir/lock_manager_test.cc.o"
+  "CMakeFiles/lock_manager_test.dir/lock_manager_test.cc.o.d"
+  "lock_manager_test"
+  "lock_manager_test.pdb"
+  "lock_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lock_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/message_bus_test.dir/message_bus_test.cc.o"
+  "CMakeFiles/message_bus_test.dir/message_bus_test.cc.o.d"
+  "message_bus_test"
+  "message_bus_test.pdb"
+  "message_bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/message_bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_machine_test.dir/multi_machine_test.cc.o"
+  "CMakeFiles/multi_machine_test.dir/multi_machine_test.cc.o.d"
+  "multi_machine_test"
+  "multi_machine_test.pdb"
+  "multi_machine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_machine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

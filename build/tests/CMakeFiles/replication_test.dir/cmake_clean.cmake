@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_test.dir/replication_test.cc.o"
+  "CMakeFiles/replication_test.dir/replication_test.cc.o.d"
+  "replication_test"
+  "replication_test.pdb"
+  "replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

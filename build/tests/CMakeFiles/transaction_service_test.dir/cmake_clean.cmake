@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_service_test.dir/transaction_service_test.cc.o"
+  "CMakeFiles/transaction_service_test.dir/transaction_service_test.cc.o.d"
+  "transaction_service_test"
+  "transaction_service_test.pdb"
+  "transaction_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

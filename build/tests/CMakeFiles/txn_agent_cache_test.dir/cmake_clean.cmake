@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_agent_cache_test.dir/txn_agent_cache_test.cc.o"
+  "CMakeFiles/txn_agent_cache_test.dir/txn_agent_cache_test.cc.o.d"
+  "txn_agent_cache_test"
+  "txn_agent_cache_test.pdb"
+  "txn_agent_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_agent_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for txn_agent_cache_test.
+# This may be replaced when dependencies are built.

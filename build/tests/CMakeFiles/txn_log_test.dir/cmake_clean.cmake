@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_log_test.dir/txn_log_test.cc.o"
+  "CMakeFiles/txn_log_test.dir/txn_log_test.cc.o.d"
+  "txn_log_test"
+  "txn_log_test.pdb"
+  "txn_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

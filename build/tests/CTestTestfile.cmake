@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_model_test[1]_include.cmake")
+include("/root/repo/build/tests/message_bus_test[1]_include.cmake")
+include("/root/repo/build/tests/bitmap_test[1]_include.cmake")
+include("/root/repo/build/tests/free_space_test[1]_include.cmake")
+include("/root/repo/build/tests/disk_server_test[1]_include.cmake")
+include("/root/repo/build/tests/file_index_table_test[1]_include.cmake")
+include("/root/repo/build/tests/file_service_test[1]_include.cmake")
+include("/root/repo/build/tests/lock_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_log_test[1]_include.cmake")
+include("/root/repo/build/tests/transaction_service_test[1]_include.cmake")
+include("/root/repo/build/tests/naming_test[1]_include.cmake")
+include("/root/repo/build/tests/replication_test[1]_include.cmake")
+include("/root/repo/build/tests/agent_test[1]_include.cmake")
+include("/root/repo/build/tests/facility_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/lease_fsck_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/geometry_test[1]_include.cmake")
+include("/root/repo/build/tests/txn_agent_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_machine_test[1]_include.cmake")
