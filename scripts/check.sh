@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full check: configure, build, and run the test suite twice — once plain,
+# once under AddressSanitizer + UBSan (RHODOS_SANITIZE=address,undefined).
+#
+# Usage: scripts/check.sh [--plain-only|--sanitize-only]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs=$(nproc 2>/dev/null || echo 4)
+mode="${1:-all}"
+case "$mode" in
+  all|--plain-only|--sanitize-only) ;;
+  *)
+    echo "usage: scripts/check.sh [--plain-only|--sanitize-only]" >&2
+    exit 2
+    ;;
+esac
+
+run_suite() {
+  local dir="$1"
+  shift
+  cmake -B "$dir" -S . "$@" >/dev/null
+  cmake --build "$dir" -j "$jobs"
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+}
+
+if [[ "$mode" != "--sanitize-only" ]]; then
+  echo "== plain build =="
+  run_suite build
+fi
+
+if [[ "$mode" != "--plain-only" ]]; then
+  echo "== sanitized build (address,undefined) =="
+  run_suite build-asan -DRHODOS_SANITIZE=address,undefined
+fi
+
+echo "All checks passed."

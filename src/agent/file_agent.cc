@@ -16,7 +16,15 @@ FileAgent::FileAgent(MachineId machine, sim::MessageBus* bus,
                      std::string fs_address, naming::NamingService* naming,
                      FileAgentConfig config)
     : machine_(machine),
-      rpc_(bus, std::move(fs_address), config.rpc_attempts),
+      // Identify the machine to the bus so FaultPlan partitions can cut a
+      // single caller off from the file service.
+      rpc_(bus, std::move(fs_address),
+           [&config] {
+             sim::RpcRetryConfig r = config.rpc;
+             r.max_attempts = config.rpc_attempts;
+             return r;
+           }(),
+           "machine-" + std::to_string(machine.value)),
       naming_(naming),
       config_(config),
       next_descriptor_(kFirstAgentDescriptor) {}
@@ -264,6 +272,22 @@ Result<std::uint64_t> FileAgent::CachedWrite(OpenHandle& h,
   if (!config_.delayed_write || config_.cache_blocks == 0) {
     RHODOS_ASSIGN_OR_RETURN(std::uint64_t n,
                             ServerPwrite(h.file, offset, in));
+    // A write-through bypasses the cache on the way down, but blocks read
+    // earlier may still be cached: patch them so a later read does not
+    // serve the stale image.
+    std::uint64_t done = 0;
+    while (done < n) {
+      const std::uint64_t pos = offset + done;
+      const std::uint64_t block = pos / kBlockSize;
+      const std::uint64_t in_block = pos % kBlockSize;
+      const std::uint64_t len =
+          std::min<std::uint64_t>(n - done, kBlockSize - in_block);
+      if (CacheEntry* entry = Lookup(h.file, block); entry != nullptr) {
+        std::memcpy(entry->data.data() + in_block, in.data() + done, len);
+        entry->valid_bytes = std::max(entry->valid_bytes, in_block + len);
+      }
+      done += len;
+    }
     h.size = std::max(h.size, offset + n);
     return n;
   }

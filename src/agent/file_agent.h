@@ -34,7 +34,8 @@ enum class SeekWhence : std::uint8_t { kSet = 0, kCurrent = 1, kEnd = 2 };
 struct FileAgentConfig {
   std::size_t cache_blocks = 64;  // client block cache capacity
   bool delayed_write = true;      // false: write through to the server
-  int rpc_attempts = 8;
+  int rpc_attempts = 8;           // shorthand; overrides rpc.max_attempts
+  sim::RpcRetryConfig rpc{};      // backoff/deadline policy for server calls
 };
 
 struct FileAgentStats {
@@ -94,6 +95,9 @@ class FileAgent {
 
   const FileAgentStats& stats() const { return stats_; }
   std::uint64_t rpc_retries() const { return rpc_.retries(); }
+  const sim::RpcHealth& rpc_health() const { return rpc_.health(); }
+  // Circuit-breaker verdict on the file service, from this agent's seat.
+  bool ServerSuspectedDead() const { return rpc_.SuspectedDead(); }
   MachineId machine() const { return machine_; }
 
  private:

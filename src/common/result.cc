@@ -30,6 +30,7 @@ std::string_view ErrorCodeName(ErrorCode code) {
     case ErrorCode::kAmbiguousName: return "AMBIGUOUS_NAME";
     case ErrorCode::kMessageDropped: return "MESSAGE_DROPPED";
     case ErrorCode::kNotConnected: return "NOT_CONNECTED";
+    case ErrorCode::kTimeout: return "TIMEOUT";
   }
   return "UNKNOWN";
 }

@@ -50,6 +50,7 @@ enum class ErrorCode : std::uint16_t {
   // Network
   kMessageDropped,
   kNotConnected,
+  kTimeout,  // retry/deadline budget exhausted without an answer
 };
 
 std::string_view ErrorCodeName(ErrorCode code);

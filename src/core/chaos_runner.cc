@@ -1,0 +1,309 @@
+#include "core/chaos_runner.h"
+
+#include <algorithm>
+
+#include "file/fsck.h"
+
+namespace rhodos::core {
+
+using replication::GroupId;
+
+ChaosRunner::ChaosRunner(DistributedFileFacility* facility,
+                         ChaosWorkloadConfig config)
+    : f_(facility), config_(config), rng_(config.seed) {}
+
+std::vector<std::uint8_t> ChaosRunner::OpPattern(std::uint64_t op) const {
+  std::vector<std::uint8_t> v(config_.region_bytes);
+  // Cheap per-op pattern: mixes the workload seed and the op ordinal so two
+  // runs with the same seed write byte-identical data.
+  const std::uint64_t base = config_.seed * 1000003ULL + op * 2654435761ULL;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<std::uint8_t>(base + i * 131ULL);
+  }
+  return v;
+}
+
+Result<ChaosReport> ChaosRunner::Run(sim::FaultPlan plan) {
+  auto& repl = f_->replication();
+  auto& files = f_->files();
+  auto& txns = f_->transactions();
+
+  // --- Setup (before any fault fires) -------------------------------------
+  machine_ = f_->MachineCount() > 0 ? &f_->machine(0) : &f_->AddMachine();
+
+  const std::uint32_t replicas = std::min<std::uint32_t>(
+      std::max<std::uint32_t>(1, config_.replicas_per_group),
+      static_cast<std::uint32_t>(f_->disks().DiskCount()));
+  groups_.clear();
+  for (std::uint32_t i = 0; i < config_.replica_groups; ++i) {
+    // Transaction-typed replicas write through, so a replica ack means the
+    // bytes are on the platter — the durability the invariants check.
+    RHODOS_ASSIGN_OR_RETURN(
+        GroupId g, repl.CreateReplicated(file::ServiceType::kTransaction,
+                                         replicas, config_.region_bytes));
+    groups_.push_back(g);
+  }
+  group_oracle_.assign(groups_.size(), {});
+
+  txn_files_.clear();
+  for (std::uint32_t i = 0; i < config_.txn_files; ++i) {
+    RHODOS_ASSIGN_OR_RETURN(FileId id,
+                            files.Create(file::ServiceType::kTransaction,
+                                         config_.region_bytes));
+    RHODOS_RETURN_IF_ERROR(files.SetLockLevel(id, file::LockLevel::kPage));
+    txn_files_.push_back(id);
+  }
+  txn_oracle_.assign(txn_files_.size(), {});
+
+  agent_files_.clear();
+  agent_file_ids_.clear();
+  for (std::uint32_t i = 0; i < config_.agent_files; ++i) {
+    RHODOS_ASSIGN_OR_RETURN(
+        ObjectDescriptor od,
+        machine_->file_agent->Create(
+            naming::ByName("chaos-" + std::to_string(config_.seed) + "-" +
+                           std::to_string(i)),
+            file::ServiceType::kBasic, config_.region_bytes));
+    RHODOS_ASSIGN_OR_RETURN(FileId id, machine_->file_agent->FileOf(od));
+    agent_files_.push_back(od);
+    agent_file_ids_.push_back(id);
+  }
+  agent_oracle_.assign(agent_files_.size(), {});
+
+  // --- The storm -----------------------------------------------------------
+  f_->bus().SetFaultPlan(std::move(plan));
+
+  ChaosReport report;
+  for (int op = 0; op < config_.operations; ++op) {
+    f_->clock().Advance(config_.time_per_op);
+    f_->bus().PumpFaults();   // scheduled faults fire as time passes
+    f_->recovery().Tick();    // ...and the control loop reacts
+    ++report.operations;
+
+    const std::uint64_t kind = rng_.Below(10);
+    if (kind < 3 && !groups_.empty()) {
+      StepReplicatedWrite(rng_.Below(groups_.size()), op, report);
+    } else if (kind < 5 && !groups_.empty()) {
+      StepReplicatedRead(rng_.Below(groups_.size()), report);
+    } else if (kind < 7 && !txn_files_.empty()) {
+      StepTxnCommit(rng_.Below(txn_files_.size()), op, report);
+    } else if (kind < 9 && !agent_files_.empty()) {
+      StepAgentWrite(rng_.Below(agent_files_.size()), op, report);
+    } else if (!agent_files_.empty()) {
+      StepAgentRead(rng_.Below(agent_files_.size()), report);
+    }
+  }
+
+  report.failovers = repl.stats().failovers;
+  report.auto_repairs = f_->recovery().stats().auto_repairs;
+  report.disk_failures_seen = f_->recovery().stats().disk_failures_detected;
+  report.disk_recoveries_seen =
+      f_->recovery().stats().disk_recoveries_detected;
+
+  HealAndRecover(report);
+  Verify(report);
+  report.completed = true;
+  (void)txns;
+  return report;
+}
+
+void ChaosRunner::StepReplicatedWrite(std::size_t target, std::uint64_t op,
+                                      ChaosReport& report) {
+  ++report.replicated_writes;
+  auto data = OpPattern(op);
+  auto n = f_->replication().Write(groups_[target], 0, data);
+  Oracle& o = group_oracle_[target];
+  if (n.ok()) {
+    o.data = std::move(data);
+    o.known = true;
+  } else {
+    // A failed write-all may have torn a replica; nobody can say which
+    // bytes landed until the next successful write re-establishes truth.
+    o.known = false;
+    ++report.op_failures;
+  }
+}
+
+void ChaosRunner::StepReplicatedRead(std::size_t target,
+                                     ChaosReport& report) {
+  ++report.replicated_reads;
+  const Oracle& o = group_oracle_[target];
+  std::vector<std::uint8_t> out(config_.region_bytes);
+  auto n = f_->replication().Read(groups_[target], 0, out);
+  if (!n.ok()) {
+    ++report.op_failures;
+    return;
+  }
+  if (o.known && (*n != o.data.size() ||
+                  !std::equal(o.data.begin(), o.data.end(), out.begin()))) {
+    ++report.corrupt_reads;  // I1: success with wrong bytes
+  }
+}
+
+void ChaosRunner::StepTxnCommit(std::size_t target, std::uint64_t op,
+                                ChaosReport& report) {
+  auto& txns = f_->transactions();
+  auto t = txns.Begin(ProcessId{1000 + target});
+  if (!t.ok()) {
+    ++report.op_failures;
+    return;
+  }
+  auto data = OpPattern(op);
+  auto w = txns.TWrite(*t, txn_files_[target], 0, data);
+  if (!w.ok()) {
+    (void)txns.Abort(*t);
+    ++report.txn_aborts;
+    ++report.op_failures;
+    return;
+  }
+  const std::uint64_t commits_before = txns.stats().commits;
+  Status end = txns.End(*t);
+  // End() may fail AFTER the commit point (a disk died mid-apply); the
+  // stats tell the truth: if the commit counted, recovery must redo it and
+  // the oracle expects the new bytes (I2).
+  if (txns.stats().commits > commits_before) {
+    ++report.txn_commits;
+    txn_oracle_[target].data = std::move(data);
+    txn_oracle_[target].known = true;
+    if (!end.ok()) ++report.op_failures;
+  } else {
+    ++report.txn_aborts;
+    ++report.op_failures;
+  }
+}
+
+void ChaosRunner::StepAgentWrite(std::size_t target, std::uint64_t op,
+                                 ChaosReport& report) {
+  ++report.agent_writes;
+  auto data = OpPattern(op);
+  auto n = machine_->file_agent->Pwrite(agent_files_[target], 0, data);
+  Oracle& o = agent_oracle_[target];
+  if (n.ok() && *n == data.size()) {
+    o.data = std::move(data);
+    o.known = true;
+  } else {
+    o.known = false;
+    ++report.op_failures;
+  }
+}
+
+void ChaosRunner::StepAgentRead(std::size_t target, ChaosReport& report) {
+  ++report.agent_reads;
+  const Oracle& o = agent_oracle_[target];
+  std::vector<std::uint8_t> out(config_.region_bytes);
+  auto n = machine_->file_agent->Pread(agent_files_[target], 0, out);
+  if (!n.ok()) {
+    ++report.op_failures;
+    return;
+  }
+  if (o.known && (*n != o.data.size() ||
+                  !std::equal(o.data.begin(), o.data.end(), out.begin()))) {
+    ++report.corrupt_reads;
+  }
+}
+
+void ChaosRunner::HealAndRecover(ChaosReport& report) {
+  // End of the storm: cancel pending faults, lift partitions, restart every
+  // dead disk, replay the intention log, repair every stale replica.
+  f_->bus().ClearFaults();
+  for (const auto& disk : f_->disks().disks()) {
+    if (disk->crashed()) (void)f_->RecoverDisk(disk->id());
+  }
+  (void)f_->transactions().Recover();
+  f_->recovery().Tick();  // observe the recoveries (auto-repairs fire here)
+  (void)f_->recovery().RepairAllStale();
+  (void)machine_->file_agent->FlushAll();
+  (void)f_->files().FlushAll();
+  report.auto_repairs = f_->recovery().stats().auto_repairs;
+}
+
+void ChaosRunner::Verify(ChaosReport& report) {
+  auto& repl = f_->replication();
+  auto& files = f_->files();
+
+  // I3: convergence, and I1 re-checked against the post-recovery volume.
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    auto converged = repl.Converged(groups_[i]);
+    if (!converged.ok() || !*converged) {
+      ++report.unconverged_groups;
+      continue;
+    }
+    const Oracle& o = group_oracle_[i];
+    if (!o.known) continue;
+    // Every single replica must hold the oracle bytes, not just read-one.
+    auto replicas = repl.Replicas(groups_[i]);
+    if (!replicas.ok()) {
+      ++report.replica_mismatches;
+      continue;
+    }
+    for (const auto& r : *replicas) {
+      std::vector<std::uint8_t> out(o.data.size());
+      auto n = files.Read(r.file, 0, out);
+      if (!n.ok() || *n != o.data.size() || out != o.data) {
+        ++report.replica_mismatches;
+      }
+    }
+  }
+
+  // I2: committed transaction data is durable.
+  for (std::size_t i = 0; i < txn_files_.size(); ++i) {
+    const Oracle& o = txn_oracle_[i];
+    if (!o.known) continue;
+    std::vector<std::uint8_t> out(o.data.size());
+    auto n = files.Read(txn_files_[i], 0, out);
+    if (!n.ok() || *n != o.data.size() || out != o.data) {
+      ++report.committed_data_lost;
+    }
+  }
+
+  // Agent files: last confirmed write must be readable through the agent.
+  for (std::size_t i = 0; i < agent_files_.size(); ++i) {
+    const Oracle& o = agent_oracle_[i];
+    if (!o.known) continue;
+    std::vector<std::uint8_t> out(o.data.size());
+    auto n = machine_->file_agent->Pread(agent_files_[i], 0, out);
+    if (!n.ok() || *n != o.data.size() || out != o.data) {
+      ++report.committed_data_lost;
+    }
+  }
+
+  // I4: structural audit over every file the chaos touched.
+  std::vector<FileId> audit;
+  for (GroupId g : groups_) {
+    auto replicas = repl.Replicas(g);
+    if (replicas.ok()) {
+      for (const auto& r : *replicas) audit.push_back(r.file);
+    }
+  }
+  audit.insert(audit.end(), txn_files_.begin(), txn_files_.end());
+  audit.insert(audit.end(), agent_file_ids_.begin(), agent_file_ids_.end());
+  const file::AuditReport fsck = file::AuditFiles(files, audit);
+  report.fsck_issues = fsck.issues.size();
+  report.fsck_clean = fsck.clean();
+}
+
+std::string ChaosReport::Summary() const {
+  std::string s;
+  s += "ops=" + std::to_string(operations);
+  s += " failed=" + std::to_string(op_failures);
+  s += " repl_w=" + std::to_string(replicated_writes);
+  s += " repl_r=" + std::to_string(replicated_reads);
+  s += " commits=" + std::to_string(txn_commits);
+  s += " aborts=" + std::to_string(txn_aborts);
+  s += " agent_w=" + std::to_string(agent_writes);
+  s += " agent_r=" + std::to_string(agent_reads);
+  s += " | failovers=" + std::to_string(failovers);
+  s += " auto_repairs=" + std::to_string(auto_repairs);
+  s += " disk_down=" + std::to_string(disk_failures_seen);
+  s += " disk_up=" + std::to_string(disk_recoveries_seen);
+  s += " | corrupt=" + std::to_string(corrupt_reads);
+  s += " lost=" + std::to_string(committed_data_lost);
+  s += " mismatch=" + std::to_string(replica_mismatches);
+  s += " unconverged=" + std::to_string(unconverged_groups);
+  s += " fsck=" + (fsck_clean ? std::string("clean")
+                              : std::to_string(fsck_issues) + " issues");
+  s += ok() ? " [OK]" : " [VIOLATED]";
+  return s;
+}
+
+}  // namespace rhodos::core

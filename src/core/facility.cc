@@ -1,5 +1,7 @@
 #include "core/facility.h"
 
+#include <cstdlib>
+
 namespace rhodos::core {
 
 DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
@@ -21,8 +23,37 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
                                                     config_.txn);
   replication_ =
       std::make_unique<replication::ReplicationService>(files_.get());
+  recovery_ = std::make_unique<recovery::RecoveryManager>(
+      &disks_, replication_.get());
+  detector_ = std::make_unique<recovery::FailureDetector>(&bus_);
+  detector_->Watch(kFileServiceAddress);
   file_server_ = std::make_unique<agent::FileServiceServer>(
       files_.get(), &bus_, kFileServiceAddress);
+  // FaultPlan disk events name disks by DiskFaultTarget(id); the bus knows
+  // nothing about disks, so it hands those events back to the facility.
+  bus_.SetFaultHandler([this](const sim::FaultEvent& ev) {
+    const std::string prefix = "disk-";
+    if (ev.target.rfind(prefix, 0) != 0) return;
+    const DiskId disk{static_cast<std::uint32_t>(
+        std::strtoul(ev.target.c_str() + prefix.size(), nullptr, 10))};
+    if (ev.action == sim::FaultAction::kDiskCrash) {
+      (void)CrashDisk(disk);
+    } else if (ev.action == sim::FaultAction::kDiskRecover) {
+      (void)RecoverDisk(disk);
+    }
+  });
+}
+
+Status DistributedFileFacility::CrashDisk(DiskId disk) {
+  RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server, disks_.Get(disk));
+  server->Crash();
+  return OkStatus();
+}
+
+Status DistributedFileFacility::RecoverDisk(DiskId disk) {
+  RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server, disks_.Get(disk));
+  if (server->crashed()) return server->Recover();
+  return OkStatus();
 }
 
 Machine& DistributedFileFacility::AddMachine() {

@@ -29,6 +29,8 @@
 #include "disk/disk_registry.h"
 #include "file/file_service.h"
 #include "naming/naming_service.h"
+#include "recovery/failure_detector.h"
+#include "recovery/recovery_manager.h"
 #include "replication/replication_service.h"
 #include "sim/message_bus.h"
 #include "txn/transaction_service.h"
@@ -73,6 +75,8 @@ class DistributedFileFacility {
   txn::TransactionService& transactions() { return *txns_; }
   naming::NamingService& naming() { return naming_; }
   replication::ReplicationService& replication() { return *replication_; }
+  recovery::RecoveryManager& recovery() { return *recovery_; }
+  recovery::FailureDetector& detector() { return *detector_; }
   sim::MessageBus& bus() { return bus_; }
   agent::FileServiceServer& file_server() { return *file_server_; }
   const FacilityConfig& config() const { return config_; }
@@ -105,6 +109,11 @@ class DistributedFileFacility {
   // Brings disks and services back and runs transaction recovery.
   Status RecoverServers();
 
+  // Single-disk failure controls (the chaos harness's knobs; also reachable
+  // through FaultPlan kDiskCrash/kDiskRecover events on the bus).
+  Status CrashDisk(DiskId disk);
+  Status RecoverDisk(DiskId disk);
+
   void ResetStats();
 
  private:
@@ -116,6 +125,8 @@ class DistributedFileFacility {
   std::unique_ptr<txn::TransactionService> txns_;
   naming::NamingService naming_;
   std::unique_ptr<replication::ReplicationService> replication_;
+  std::unique_ptr<recovery::RecoveryManager> recovery_;
+  std::unique_ptr<recovery::FailureDetector> detector_;
   std::unique_ptr<agent::FileServiceServer> file_server_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::uint64_t next_pid_{1};

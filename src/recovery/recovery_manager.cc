@@ -1,0 +1,57 @@
+#include "recovery/recovery_manager.h"
+
+namespace rhodos::recovery {
+
+void RecoveryManager::RepairGroupsOnDisk(DiskId disk) {
+  for (replication::GroupId g : replication_->GroupsOnDisk(disk)) {
+    auto converged = replication_->Converged(g);
+    if (converged.ok() && *converged) continue;
+    if (replication_->Repair(g).ok()) {
+      ++stats_.auto_repairs;
+    } else {
+      ++stats_.repair_failures;
+    }
+  }
+}
+
+void RecoveryManager::Tick() {
+  ++stats_.ticks;
+  const auto& disks = disks_->disks();
+  // Disks added since the last tick start out believed-up, so a disk that
+  // crashed before the manager's first look still produces a failure edge.
+  if (disk_up_.size() < disks.size()) disk_up_.resize(disks.size(), true);
+
+  for (std::size_t i = 0; i < disks.size(); ++i) {
+    const bool up = !disks[i]->crashed();
+    const bool was_up = disk_up_[i];
+    disk_up_[i] = up;
+    if (was_up && !up) {
+      ++stats_.disk_failures_detected;
+      stats_.replicas_marked_down += replication_->MarkDiskDown(disks[i]->id());
+    } else if (!was_up && up) {
+      ++stats_.disk_recoveries_detected;
+      if (config_.auto_repair) RepairGroupsOnDisk(disks[i]->id());
+    }
+  }
+}
+
+std::size_t RecoveryManager::RepairAllStale() {
+  std::size_t repaired = 0;
+  for (replication::GroupId g : replication_->GroupIds()) {
+    auto converged = replication_->Converged(g);
+    if (converged.ok() && *converged) continue;
+    if (replication_->Repair(g).ok()) {
+      ++repaired;
+      ++stats_.auto_repairs;
+    } else {
+      ++stats_.repair_failures;
+    }
+  }
+  return repaired;
+}
+
+bool RecoveryManager::DiskBelievedUp(DiskId disk) const {
+  return disk.value >= disk_up_.size() || disk_up_[disk.value];
+}
+
+}  // namespace rhodos::recovery

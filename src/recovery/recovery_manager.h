@@ -1,0 +1,75 @@
+// Recovery orchestrator: turns failure-detector verdicts into routing and
+// repair actions.
+//
+// The paper requires "the provision to support the concept of file
+// replication" for availability (§2.1); availability in practice is a
+// control loop, not a data structure. Each Tick() the manager:
+//
+//  * polls every disk server for liveness (the per-disk analogue of the
+//    bus-level failure detector);
+//  * on a crash edge, marks all replicas on that disk suspected, so the
+//    replication service's read path fails over immediately instead of
+//    discovering the corpse one failed read at a time;
+//  * on a recovery edge, automatically invokes ReplicationService::Repair()
+//    for every group with a replica on the healed disk — the "disk returns
+//    to service" path runs without an operator.
+//
+// Polling disks directly (rather than through the bus) is deliberate: disk
+// servers are local to the file service machine in the paper's
+// architecture, so their liveness is observable without network ambiguity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/disk_registry.h"
+#include "recovery/failure_detector.h"
+#include "replication/replication_service.h"
+
+namespace rhodos::recovery {
+
+struct RecoveryConfig {
+  bool auto_repair = true;  // repair groups when their disk comes back
+};
+
+struct RecoveryStats {
+  std::uint64_t ticks = 0;
+  std::uint64_t disk_failures_detected = 0;
+  std::uint64_t disk_recoveries_detected = 0;
+  std::uint64_t replicas_marked_down = 0;
+  std::uint64_t auto_repairs = 0;     // successful Repair() invocations
+  std::uint64_t repair_failures = 0;  // Repair() attempts that errored
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(disk::DiskRegistry* disks,
+                  replication::ReplicationService* replication,
+                  RecoveryConfig config = {})
+      : disks_(disks), replication_(replication), config_(config) {}
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  // One control-loop round: poll disks, mark/repair as edges dictate.
+  // Deterministic: state depends only on the disks' crash flags.
+  void Tick();
+
+  // Forces a repair sweep over every group that has not converged (the
+  // end-of-chaos "make the volume whole" pass). Returns groups repaired.
+  std::size_t RepairAllStale();
+
+  bool DiskBelievedUp(DiskId disk) const;
+  const RecoveryStats& stats() const { return stats_; }
+
+ private:
+  void RepairGroupsOnDisk(DiskId disk);
+
+  disk::DiskRegistry* disks_;
+  replication::ReplicationService* replication_;
+  RecoveryConfig config_;
+  std::vector<bool> disk_up_;  // last observed liveness, per disk index
+  RecoveryStats stats_;
+};
+
+}  // namespace rhodos::recovery

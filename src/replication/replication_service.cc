@@ -106,10 +106,14 @@ Result<std::uint64_t> ReplicationService::Read(GroupId group,
 
 Status ReplicationService::Repair(GroupId group) {
   RHODOS_ASSIGN_OR_RETURN(Group * g, Find(group));
-  // Find the freshest readable replica.
+  // Find the freshest readable replica. Prefer one nobody suspects: a
+  // suspected replica at the current version may carry a torn write from
+  // the failure that got it suspected, so it is a source of last resort.
   const ReplicaInfo* source = nullptr;
-  for (const ReplicaInfo& r : g->replicas) {
-    if (r.version == g->version) {
+  for (int pass = 0; pass < 2 && source == nullptr; ++pass) {
+    for (const ReplicaInfo& r : g->replicas) {
+      if (r.version != g->version) continue;
+      if (pass == 0 && r.suspected_down) continue;
       auto attrs = files_->GetAttributes(r.file);
       if (attrs.ok()) {
         source = &r;
@@ -149,6 +153,64 @@ Status ReplicationService::Repair(GroupId group) {
     }
   }
   return OkStatus();
+}
+
+std::size_t ReplicationService::MarkDiskDown(DiskId disk) {
+  std::size_t marked = 0;
+  for (auto& [id, g] : groups_) {
+    for (ReplicaInfo& r : g.replicas) {
+      if (r.disk == disk && !r.suspected_down) {
+        r.suspected_down = true;
+        ++marked;
+      }
+    }
+  }
+  return marked;
+}
+
+std::size_t ReplicationService::MarkDiskUp(DiskId disk) {
+  std::size_t cleared = 0;
+  for (auto& [id, g] : groups_) {
+    for (ReplicaInfo& r : g.replicas) {
+      if (r.disk == disk && r.suspected_down && r.version == g.version) {
+        r.suspected_down = false;
+        ++cleared;
+      }
+    }
+  }
+  return cleared;
+}
+
+std::vector<GroupId> ReplicationService::GroupsOnDisk(DiskId disk) const {
+  std::vector<GroupId> out;
+  for (const auto& [id, g] : groups_) {
+    for (const ReplicaInfo& r : g.replicas) {
+      if (r.disk == disk) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](GroupId a, GroupId b) { return a.value < b.value; });
+  return out;
+}
+
+std::vector<GroupId> ReplicationService::GroupIds() const {
+  std::vector<GroupId> out;
+  out.reserve(groups_.size());
+  for (const auto& [id, g] : groups_) out.push_back(id);
+  std::sort(out.begin(), out.end(),
+            [](GroupId a, GroupId b) { return a.value < b.value; });
+  return out;
+}
+
+Result<bool> ReplicationService::Converged(GroupId group) const {
+  RHODOS_ASSIGN_OR_RETURN(const Group* g, Find(group));
+  for (const ReplicaInfo& r : g->replicas) {
+    if (r.version != g->version || r.suspected_down) return false;
+  }
+  return true;
 }
 
 Result<std::vector<ReplicaInfo>> ReplicationService::Replicas(

@@ -67,6 +67,29 @@ class ReplicationService {
   // Copies the freshest replica's content over stale/damaged ones.
   Status Repair(GroupId group);
 
+  // --- Failure-detector hooks -------------------------------------------------
+  // The recovery orchestrator watches disks and steers the read path by
+  // flipping ReplicaInfo::suspected_down; reads then route around dead
+  // replicas without having to fail against them first.
+
+  // Marks every replica living on `disk` suspected (disk reported crashed).
+  // Returns the number of replicas newly marked.
+  std::size_t MarkDiskDown(DiskId disk);
+
+  // Clears suspicion for CURRENT-version replicas on `disk` (disk back in
+  // service; stale replicas stay suspect until Repair() catches them up).
+  std::size_t MarkDiskUp(DiskId disk);
+
+  // Groups with at least one replica on `disk` (repair targeting).
+  std::vector<GroupId> GroupsOnDisk(DiskId disk) const;
+
+  // All replica groups, creation-ordered (audits and chaos sweeps).
+  std::vector<GroupId> GroupIds() const;
+
+  // True when every replica acknowledges the group's current version and
+  // none is suspected down.
+  Result<bool> Converged(GroupId group) const;
+
   // Introspection.
   Result<std::vector<ReplicaInfo>> Replicas(GroupId group) const;
   Result<std::uint64_t> CurrentVersion(GroupId group) const;

@@ -187,15 +187,17 @@ Status LockManager::SetLock(LockLevel level, TxnId txn, ProcessId process,
     }
     const auto wait_result = cv_.wait_for(lk, config_.lt);
     if (wait_result == std::cv_status::timeout) {
-      // Our invulnerability grace for the holders has expired.
-      rec_it->retry_count += 1;
-      BreakLapsedHolders(level, *rec_it);
-      // If our own records were just erased (we were a victim of a
-      // concurrent break), rec_it is dangling; the broken_ check at the top
-      // of the loop handles it — but we must re-find our record first.
+      // If our own records were erased while we slept (a concurrent waiter
+      // broke us), rec_it is dangling — check before touching it.
       if (broken_.count(txn) != 0) {
         return {ErrorCode::kTxnAborted, "transaction broken while waiting"};
       }
+      // Our invulnerability grace for the holders has expired.
+      rec_it->retry_count += 1;
+      BreakLapsedHolders(level, *rec_it);
+      // BreakLapsedHolders only erases OTHER transactions' records, so
+      // rec_it is still valid here; but we may have broken a holder whose
+      // departure grants us — loop around and re-test.
     }
   }
 }

@@ -1,0 +1,137 @@
+// Chaos tests: seeded fault plans against the assembled facility. Each run
+// drives the mixed workload through a storm, heals the world, and the
+// ChaosReport's invariants (no corrupt success, committed durability,
+// convergence, clean fsck) must all hold. Everything is deterministic given
+// (workload seed, fault plan), which the last test pins down.
+#include <gtest/gtest.h>
+
+#include "core/chaos_runner.h"
+
+namespace rhodos::core {
+namespace {
+
+FacilityConfig SmallConfig() {
+  FacilityConfig cfg;
+  cfg.disk_count = 3;
+  cfg.geometry.total_fragments = 4096;
+  cfg.geometry.fragments_per_track = 32;
+  return cfg;
+}
+
+TEST(ChaosTest, CleanRunViolatesNothing) {
+  // Control: no faults. The workload must complete with zero failures —
+  // if this breaks, the harness itself is wrong, not the fault tolerance.
+  DistributedFileFacility f(SmallConfig());
+  ChaosWorkloadConfig wl;
+  wl.seed = 7;
+  wl.operations = 200;
+  ChaosRunner runner(&f, wl);
+  auto report = runner.Run(sim::FaultPlan{});
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_EQ(report->op_failures, 0u) << report->Summary();
+  EXPECT_GT(report->txn_commits, 0u);
+}
+
+TEST(ChaosTest, SurvivesDiskCrashesMidTransaction) {
+  // Two disks die and return at staggered times while transactions commit
+  // against files on them. Disk 0 carries the intention log and stays up.
+  DistributedFileFacility f(SmallConfig());
+  ChaosWorkloadConfig wl;
+  wl.seed = 11;
+  wl.operations = 300;
+  ChaosRunner runner(&f, wl);
+  sim::FaultPlan plan;
+  plan.DiskCrash(100 * kSimMillisecond, 1)
+      .DiskRecover(300 * kSimMillisecond, 1)
+      .DiskCrash(350 * kSimMillisecond, 2)
+      .DiskRecover(450 * kSimMillisecond, 2);
+  auto report = runner.Run(std::move(plan));
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  // The faults actually bit, and the control loop actually reacted.
+  EXPECT_GT(report->op_failures, 0u) << report->Summary();
+  EXPECT_GE(report->disk_failures_seen, 2u);
+  EXPECT_GE(report->disk_recoveries_seen, 2u);
+  EXPECT_GT(report->txn_commits, 0u);
+}
+
+TEST(ChaosTest, SurvivesFileServiceOutageDuringWrites) {
+  // The file service goes dark for 160ms of simulated time while agents
+  // write through it (no delayed-write shelter), under a tight RPC
+  // deadline; then a disk dies and returns for good measure.
+  FacilityConfig cfg = SmallConfig();
+  cfg.agent.delayed_write = false;
+  cfg.agent.rpc.deadline = 30 * kSimMillisecond;
+  DistributedFileFacility f(cfg);
+  ChaosWorkloadConfig wl;
+  wl.seed = 22;
+  wl.operations = 300;
+  ChaosRunner runner(&f, wl);
+  sim::FaultPlan plan;
+  plan.ServiceDown(100 * kSimMillisecond, kFileServiceAddress)
+      .ServiceUp(260 * kSimMillisecond, kFileServiceAddress)
+      .DiskCrash(320 * kSimMillisecond, 1)
+      .DiskRecover(420 * kSimMillisecond, 1);
+  auto report = runner.Run(std::move(plan));
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_GT(report->op_failures, 0u) << report->Summary();
+  EXPECT_GE(report->disk_failures_seen, 1u);
+}
+
+TEST(ChaosTest, SurvivesPartitionWithReplyLoss) {
+  // The client machine is partitioned from the file service while the
+  // network drops a tenth of all messages — including replies to requests
+  // the server already executed — and a disk fails under a replica.
+  FacilityConfig cfg = SmallConfig();
+  cfg.network.drop_rate = 0.1;
+  cfg.agent.delayed_write = false;
+  DistributedFileFacility f(cfg);
+  ChaosWorkloadConfig wl;
+  wl.seed = 33;
+  wl.operations = 250;
+  ChaosRunner runner(&f, wl);
+  sim::FaultPlan plan;
+  // Disk service time dominates the simulated clock (~16ms/op), so the
+  // windows are sized against that scale, not the 2ms/op workload tick.
+  plan.Partition(300 * kSimMillisecond, "machine-0", kFileServiceAddress)
+      .Heal(1500 * kSimMillisecond, "machine-0", kFileServiceAddress)
+      .DiskCrash(2000 * kSimMillisecond, 2)
+      .DiskRecover(2800 * kSimMillisecond, 2);
+  auto report = runner.Run(std::move(plan));
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  EXPECT_GE(report->disk_failures_seen, 1u);
+  // The partition and the lossy link really bit at the network layer; the
+  // agent's backoff retries outlasted the partition window, so no operation
+  // failed end to end — the masking worked, and it was not free.
+  EXPECT_GT(f.bus().stats().rejected_partitioned, 0u);
+  EXPECT_GT(f.bus().stats().drops_request + f.bus().stats().drops_reply, 0u);
+  EXPECT_GT(f.machine(0).file_agent->rpc_retries(), 0u);
+}
+
+TEST(ChaosTest, DeterministicGivenSeedAndPlan) {
+  auto run = [] {
+    DistributedFileFacility f(SmallConfig());
+    ChaosWorkloadConfig wl;
+    wl.seed = 11;
+    wl.operations = 300;
+    sim::FaultPlan plan;
+    plan.DiskCrash(100 * kSimMillisecond, 1)
+        .DiskRecover(300 * kSimMillisecond, 1)
+        .DiskCrash(350 * kSimMillisecond, 2)
+        .DiskRecover(450 * kSimMillisecond, 2);
+    ChaosRunner runner(&f, wl);
+    auto report = runner.Run(std::move(plan));
+    EXPECT_TRUE(report.ok());
+    return report.ok() ? report->Summary() : std::string("setup failed");
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, "setup failed");
+}
+
+}  // namespace
+}  // namespace rhodos::core

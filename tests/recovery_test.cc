@@ -1,0 +1,217 @@
+// Tests for the failure detector and the recovery orchestrator: the probe
+// state machine, replica routing when a disk dies, and automatic repair —
+// with no manual Repair() call — when the disk returns to service.
+#include <gtest/gtest.h>
+
+#include "core/facility.h"
+#include "recovery/failure_detector.h"
+#include "recovery/recovery_manager.h"
+
+namespace rhodos::recovery {
+namespace {
+
+sim::Payload Echo(std::uint32_t opcode, std::span<const std::uint8_t> req) {
+  sim::Payload reply{static_cast<std::uint8_t>(opcode)};
+  reply.insert(reply.end(), req.begin(), req.end());
+  return reply;
+}
+
+core::FacilityConfig SmallConfig() {
+  core::FacilityConfig cfg;
+  cfg.disk_count = 3;
+  cfg.geometry.total_fragments = 4096;
+  cfg.geometry.fragments_per_track = 32;
+  return cfg;
+}
+
+std::vector<std::uint8_t> Fill(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 7);
+  }
+  return v;
+}
+
+TEST(FailureDetectorTest, RunsTheThreeStateMachine) {
+  SimClock clock;
+  sim::MessageBus bus(&clock);
+  bus.RegisterService("svc", Echo);
+  FailureDetector fd(&bus);  // suspect after 1 miss, down after 3
+  fd.Watch("svc");
+  EXPECT_EQ(fd.StateOf("svc"), ServiceState::kUnknown);
+
+  fd.ProbeAll();
+  EXPECT_EQ(fd.StateOf("svc"), ServiceState::kHealthy);
+  EXPECT_TRUE(fd.AllHealthy());
+
+  bus.SetServiceDown("svc");
+  fd.ProbeAll();
+  EXPECT_EQ(fd.StateOf("svc"), ServiceState::kSuspected);
+  fd.ProbeAll();
+  EXPECT_EQ(fd.StateOf("svc"), ServiceState::kSuspected);
+  fd.ProbeAll();
+  EXPECT_EQ(fd.StateOf("svc"), ServiceState::kDown);
+  EXPECT_FALSE(fd.AllHealthy());
+  EXPECT_EQ(fd.stats().suspicions, 1u);
+  EXPECT_EQ(fd.stats().declared_down, 1u);
+
+  bus.SetServiceUp("svc");
+  fd.ProbeAll();
+  EXPECT_EQ(fd.StateOf("svc"), ServiceState::kHealthy);
+  EXPECT_EQ(fd.stats().recoveries, 1u);
+  EXPECT_GT(bus.stats().probes, 0u);
+}
+
+TEST(FailureDetectorTest, PartitionLooksLikeDeath) {
+  // Timeout-based detection cannot tell a partition from a crash — and the
+  // detector does not pretend to.
+  SimClock clock;
+  sim::MessageBus bus(&clock);
+  bus.RegisterService("svc", Echo);
+  FailureDetector fd(&bus);
+  fd.Watch("svc");
+  fd.ProbeAll();
+  ASSERT_EQ(fd.StateOf("svc"), ServiceState::kHealthy);
+
+  bus.PartitionPair("", "svc");  // everyone, including the detector
+  for (int i = 0; i < 3; ++i) fd.ProbeAll();
+  EXPECT_EQ(fd.StateOf("svc"), ServiceState::kDown);
+
+  bus.HealPair("", "svc");
+  fd.ProbeAll();
+  EXPECT_EQ(fd.StateOf("svc"), ServiceState::kHealthy);
+}
+
+TEST(FailureDetectorTest, FacilityWatchesItsFileService) {
+  core::DistributedFileFacility f(SmallConfig());
+  f.detector().ProbeAll();
+  EXPECT_EQ(f.detector().StateOf(core::kFileServiceAddress),
+            ServiceState::kHealthy);
+
+  f.bus().SetServiceDown(core::kFileServiceAddress);
+  for (int i = 0; i < 3; ++i) f.detector().ProbeAll();
+  EXPECT_EQ(f.detector().StateOf(core::kFileServiceAddress),
+            ServiceState::kDown);
+
+  f.bus().SetServiceUp(core::kFileServiceAddress);
+  f.detector().ProbeAll();
+  EXPECT_EQ(f.detector().StateOf(core::kFileServiceAddress),
+            ServiceState::kHealthy);
+}
+
+TEST(RecoveryManagerTest, DiskCrashMarksItsReplicasSuspected) {
+  core::DistributedFileFacility f(SmallConfig());
+  auto g = f.replication().CreateReplicated(file::ServiceType::kTransaction,
+                                            3, 4096);
+  ASSERT_TRUE(g.ok());
+  const auto v1 = Fill(4096, 0x11);
+  ASSERT_TRUE(f.replication().Write(*g, 0, v1).ok());
+
+  auto reps = f.replication().Replicas(*g);
+  ASSERT_TRUE(reps.ok());
+  ASSERT_EQ(reps->size(), 3u);
+  const DiskId dead = (*reps)[0].disk;
+
+  ASSERT_TRUE(f.CrashDisk(dead).ok());
+  f.recovery().Tick();
+  EXPECT_EQ(f.recovery().stats().disk_failures_detected, 1u);
+  EXPECT_GE(f.recovery().stats().replicas_marked_down, 1u);
+  EXPECT_FALSE(f.recovery().DiskBelievedUp(dead));
+
+  reps = f.replication().Replicas(*g);
+  ASSERT_TRUE(reps.ok());
+  for (const auto& r : *reps) {
+    EXPECT_EQ(r.suspected_down, r.disk == dead);
+  }
+}
+
+TEST(RecoveryManagerTest, ReadFailsOverAndRepairRunsAutomatically) {
+  // The acceptance path: crash the disk under the group's first replica,
+  // read around the corpse, write while degraded, bring the disk back —
+  // and the control loop repairs the stale replica on its own.
+  core::DistributedFileFacility f(SmallConfig());
+  auto& repl = f.replication();
+  auto g = repl.CreateReplicated(file::ServiceType::kTransaction, 3, 4096);
+  ASSERT_TRUE(g.ok());
+  const auto v1 = Fill(4096, 0x11);
+  const auto v2 = Fill(4096, 0x22);
+  ASSERT_TRUE(repl.Write(*g, 0, v1).ok());
+
+  auto reps = repl.Replicas(*g);
+  ASSERT_TRUE(reps.ok());
+  const DiskId dead = (*reps)[0].disk;
+  ASSERT_TRUE(f.CrashDisk(dead).ok());
+  f.recovery().Tick();
+
+  // Reads route around the suspected replica immediately.
+  const std::uint64_t failovers_before = repl.stats().failovers;
+  std::vector<std::uint8_t> out(4096);
+  ASSERT_TRUE(repl.Read(*g, 0, out).ok());
+  EXPECT_EQ(out, v1);
+  EXPECT_GT(repl.stats().failovers, failovers_before);
+
+  // A degraded write still succeeds on the survivors.
+  ASSERT_TRUE(repl.Write(*g, 0, v2).ok());
+  EXPECT_GE(repl.stats().degraded_writes, 1u);
+  auto converged = repl.Converged(*g);
+  ASSERT_TRUE(converged.ok());
+  EXPECT_FALSE(*converged);
+
+  // The disk returns; the next tick notices and repairs. Nobody calls
+  // Repair() by hand.
+  const std::uint64_t repairs_before = repl.stats().repairs;
+  ASSERT_TRUE(f.RecoverDisk(dead).ok());
+  f.recovery().Tick();
+  EXPECT_EQ(f.recovery().stats().disk_recoveries_detected, 1u);
+  EXPECT_GE(f.recovery().stats().auto_repairs, 1u);
+  EXPECT_GT(repl.stats().repairs, repairs_before);
+  EXPECT_TRUE(f.recovery().DiskBelievedUp(dead));
+
+  converged = repl.Converged(*g);
+  ASSERT_TRUE(converged.ok());
+  EXPECT_TRUE(*converged);
+  // Every replica — including the once-dead one — now holds v2.
+  reps = repl.Replicas(*g);
+  ASSERT_TRUE(reps.ok());
+  for (const auto& r : *reps) {
+    std::vector<std::uint8_t> copy(4096);
+    ASSERT_TRUE(f.files().Read(r.file, 0, copy).ok());
+    EXPECT_EQ(copy, v2) << "replica on disk " << r.disk.value;
+  }
+}
+
+TEST(RecoveryManagerTest, RepairAllStaleSweepsEveryGroup) {
+  core::DistributedFileFacility f(SmallConfig());
+  auto& repl = f.replication();
+  auto g1 = repl.CreateReplicated(file::ServiceType::kTransaction, 3, 4096);
+  auto g2 = repl.CreateReplicated(file::ServiceType::kTransaction, 3, 4096);
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  ASSERT_TRUE(repl.Write(*g1, 0, Fill(4096, 1)).ok());
+  ASSERT_TRUE(repl.Write(*g2, 0, Fill(4096, 2)).ok());
+
+  // Both groups lose the replica on disk 1 for one write round.
+  ASSERT_TRUE(f.CrashDisk(DiskId{1}).ok());
+  ASSERT_TRUE(repl.Write(*g1, 0, Fill(4096, 3)).ok());
+  ASSERT_TRUE(repl.Write(*g2, 0, Fill(4096, 4)).ok());
+  ASSERT_TRUE(f.RecoverDisk(DiskId{1}).ok());
+
+  EXPECT_EQ(f.recovery().RepairAllStale(), 2u);
+  auto c1 = repl.Converged(*g1);
+  auto c2 = repl.Converged(*g2);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_TRUE(*c1);
+  EXPECT_TRUE(*c2);
+}
+
+TEST(RecoveryManagerTest, TickIsQuietWhenNothingIsWrong) {
+  core::DistributedFileFacility f(SmallConfig());
+  for (int i = 0; i < 5; ++i) f.recovery().Tick();
+  EXPECT_EQ(f.recovery().stats().ticks, 5u);
+  EXPECT_EQ(f.recovery().stats().disk_failures_detected, 0u);
+  EXPECT_EQ(f.recovery().stats().auto_repairs, 0u);
+}
+
+}  // namespace
+}  // namespace rhodos::recovery

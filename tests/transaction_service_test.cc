@@ -369,6 +369,47 @@ TEST_F(TxnServiceTest, RecoveryIsIdempotent) {
   EXPECT_EQ(out, Pattern(kBlockSize, 0xBC));
 }
 
+TEST_F(TxnServiceTest, TornIntentionLogIsNeverPartiallyReplayed) {
+  // Power dies part-way through End()'s append to the intentions list: the
+  // log tail is torn. Whatever recovery makes of it, the answer must be
+  // all-or-nothing — the full redo, or the untouched old image. Sweep the
+  // crash point across the first several stable-store writes of End().
+  for (std::int64_t crash_after = 0; crash_after < 6; ++crash_after) {
+    Rebuild(TxnServiceConfig{});
+    const FileId file = MakeFile(LockLevel::kPage, kBlockSize, 0xA1);
+    const auto old_bytes = Pattern(kBlockSize, 0xA1);
+    const auto new_bytes = Pattern(kBlockSize, 0xB2);
+
+    auto t = txn_->Begin(ProcessId{1});
+    ASSERT_TRUE(txn_->TWrite(*t, file, 0, new_bytes).ok());
+
+    auto d0 = disks_->Get(DiskId{0});
+    ASSERT_TRUE(d0.ok());
+    // The intentions list lives on the stable store; tear it there.
+    sim::DiskFaultPlan tear;
+    tear.crash_after_writes = crash_after;
+    (*d0)->stable_device().SetFaultPlan(tear);
+    const Status end = txn_->End(*t);  // dies at some log append (or not)
+
+    disks_->CrashAll();
+    files_->Crash();
+    ASSERT_TRUE(disks_->RecoverAll().ok());
+    Restart();
+    ASSERT_TRUE(txn_->Recover().ok());
+
+    std::vector<std::uint8_t> out(kBlockSize);
+    ASSERT_TRUE(files_->Read(file, 0, out).ok());
+    const bool all_old = out == old_bytes;
+    const bool all_new = out == new_bytes;
+    EXPECT_TRUE(all_old || all_new)
+        << "partial replay with crash_after_writes=" << crash_after;
+    if (end.ok()) {
+      // A successful End() is a durability promise: only the new image will do.
+      EXPECT_TRUE(all_new) << "crash_after_writes=" << crash_after;
+    }
+  }
+}
+
 TEST_F(TxnServiceTest, LogTruncatesAtQuiescence) {
   const FileId file = MakeFile(LockLevel::kPage, kBlockSize);
   auto t = txn_->Begin(ProcessId{1});
