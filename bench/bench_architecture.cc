@@ -132,4 +132,4 @@ BENCHMARK(BM_L4_ColdFromPlatter)->Iterations(20);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

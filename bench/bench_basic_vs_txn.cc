@@ -120,4 +120,4 @@ BENCHMARK(BM_OneTxnBatchingAllUpdates)->Iterations(3);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

@@ -102,4 +102,4 @@ BENCHMARK(BM_BulkData_Blocks)->Iterations(3);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

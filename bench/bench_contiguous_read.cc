@@ -77,4 +77,4 @@ BENCHMARK(BM_FragmentedLayout)->Arg(1)->Arg(4)->Arg(16)->Arg(64)
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

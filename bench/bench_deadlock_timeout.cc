@@ -161,4 +161,4 @@ BENCHMARK(BM_DeadlockResolutionTime)->Arg(5)->Arg(20)->Arg(80)
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

@@ -125,4 +125,4 @@ BENCHMARK(BM_TimeToRepair)
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

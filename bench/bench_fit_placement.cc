@@ -147,4 +147,4 @@ BENCHMARK(BM_ClusteredTables_TrackBurn)->Iterations(1);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

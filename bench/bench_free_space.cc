@@ -11,6 +11,7 @@
 
 #include <algorithm>
 
+#include "bench/bench_util.h"
 #include "common/rng.h"
 #include "common/sim_clock.h"
 #include "disk/disk_server.h"
@@ -140,4 +141,4 @@ BENCHMARK(BM_AvailabilityProbe_BitmapScan);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

@@ -96,4 +96,4 @@ BENCHMARK(BM_ServerStatePerClient)->Iterations(1);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

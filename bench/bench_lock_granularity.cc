@@ -111,4 +111,4 @@ BENCHMARK(BM_FileLocking)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "txn/lock_manager.h"
 
 namespace rhodos::txn {
@@ -137,8 +138,12 @@ BENCHMARK(BM_SeparateVsSharedTables)
 }  // namespace rhodos::txn
 
 int main(int argc, char** argv) {
+  rhodos::obs::MetricsRegistry drain;
+  rhodos::obs::SetGlobalMetricsDrain(&drain);
   rhodos::txn::PrintTable1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  rhodos::obs::SetGlobalMetricsDrain(nullptr);
+  rhodos::bench::WriteMetricsJson(argv[0], drain);
   return 0;
 }

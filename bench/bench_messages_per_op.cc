@@ -1,0 +1,121 @@
+// E16 — messages per operation, regenerated from the MetricsRegistry.
+//
+// The paper's agent layer exists to keep client operations off the
+// network: "caching at each level" (§2.2) means a warm read or a
+// delayed write costs ZERO messages, and the idempotent protocol (§3)
+// means every cold operation is a fixed, small number of request/reply
+// exchanges. This bench measures the exchange count per open / read /
+// write straight from the facility's metrics registry (`bus.calls` in
+// `Facility::StatsSnapshot()`), not from ad-hoc bus counters — the same
+// numbers an operator would read out of DumpStats().
+#include <cstdint>
+
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+constexpr std::size_t kBlock = 8 * 1024;  // one service block
+
+std::uint64_t BusCalls(core::DistributedFileFacility& f) {
+  for (const auto& [name, v] : f.StatsSnapshot().counters) {
+    if (name == "bus.calls") return v;
+  }
+  return 0;
+}
+
+struct Client {
+  core::DistributedFileFacility facility;
+  core::Machine* machine = nullptr;
+
+  explicit Client(bool delayed_write) : facility([&] {
+    core::FacilityConfig c = DefaultFacility();
+    c.agent.delayed_write = delayed_write;
+    return c;
+  }()) {
+    machine = &facility.AddMachine();
+    auto od = *machine->file_agent->Create(naming::ByName("target"),
+                                           file::ServiceType::kBasic);
+    (void)machine->file_agent->Write(od, Pattern(4 * kBlock));
+    (void)machine->file_agent->Close(od);
+  }
+};
+
+// Exchanges to open an existing file by attributed name (resolution +
+// open + attribute fetch) and close it again.
+void BM_MessagesPerOpen(benchmark::State& state) {
+  Client c(/*delayed_write=*/true);
+  std::uint64_t ops = 0, calls = 0;
+  for (auto _ : state) {
+    c.facility.ResetStats();
+    auto od = c.machine->file_agent->Open(naming::ByName("target"));
+    if (!od.ok()) state.SkipWithError("open failed");
+    calls += BusCalls(c.facility);
+    (void)c.machine->file_agent->Close(*od);
+    ++ops;
+  }
+  state.counters["msgs_per_open"] =
+      static_cast<double>(calls) / static_cast<double>(ops);
+}
+BENCHMARK(BM_MessagesPerOpen)->Iterations(16);
+
+// One-block positional read: first cold (descends to the service), then
+// warm (the agent cache answers — the §2.2 zero-message case).
+void BM_MessagesPerRead(benchmark::State& state) {
+  const bool warm = state.range(0) == 1;
+  Client c(/*delayed_write=*/true);
+  auto od = *c.machine->file_agent->Open(naming::ByName("target"));
+  std::vector<std::uint8_t> out(kBlock);
+  // Warm the agent cache once for the warm case.
+  if (warm) (void)c.machine->file_agent->Pread(od, 0, out);
+  std::uint64_t ops = 0, calls = 0;
+  for (auto _ : state) {
+    ObjectDescriptor target = od;
+    if (!warm) {
+      c.machine->file_agent->Crash();  // drop the agent cache
+      target = *c.machine->file_agent->Open(naming::ByName("target"));
+    }
+    c.facility.ResetStats();
+    if (!c.machine->file_agent->Pread(target, 0, out).ok()) {
+      state.SkipWithError("read failed");
+    }
+    calls += BusCalls(c.facility);
+    ++ops;
+  }
+  state.counters["msgs_per_read"] =
+      static_cast<double>(calls) / static_cast<double>(ops);
+}
+BENCHMARK(BM_MessagesPerRead)
+    ->Arg(0)  // cold: agent cache dropped first
+    ->Arg(1)  // warm: served from the agent cache
+    ->Iterations(16);
+
+// One-block positional write under both agent policies: delayed write
+// buffers locally (0 messages until close), write-through pays per write.
+void BM_MessagesPerWrite(benchmark::State& state) {
+  const bool delayed = state.range(0) == 1;
+  Client c(delayed);
+  auto od = *c.machine->file_agent->Open(naming::ByName("target"));
+  const auto data = Pattern(kBlock);
+  std::uint64_t ops = 0, calls = 0;
+  for (auto _ : state) {
+    c.facility.ResetStats();
+    if (!c.machine->file_agent->Pwrite(od, 0, data).ok()) {
+      state.SkipWithError("write failed");
+    }
+    calls += BusCalls(c.facility);
+    ++ops;
+  }
+  state.counters["msgs_per_write"] =
+      static_cast<double>(calls) / static_cast<double>(ops);
+  (void)c.machine->file_agent->Close(od);
+}
+BENCHMARK(BM_MessagesPerWrite)
+    ->Arg(0)  // write-through
+    ->Arg(1)  // delayed write
+    ->Iterations(16);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+RHODOS_BENCH_MAIN();

@@ -86,4 +86,4 @@ BENCHMARK(BM_TableAndFirstBlockTogether)->Iterations(5);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

@@ -159,4 +159,4 @@ BENCHMARK(BM_IndexTableLoss_NoStableFallback)->Iterations(3);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

@@ -103,4 +103,4 @@ BENCHMARK(BM_FileLargerThanOneDisk)->Iterations(1);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

@@ -105,4 +105,4 @@ BENCHMARK(BM_WarmRereads)->Iterations(10);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

@@ -10,9 +10,46 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "core/facility.h"
+#include "obs/metrics.h"
+
+namespace rhodos::bench {
+
+// Writes `registry`'s snapshot to <argv0>.metrics.json. Every bench binary
+// emits this file (see EXPERIMENTS.md): the drained metrics of every
+// facility the bench constructed, aggregated.
+inline void WriteMetricsJson(const char* argv0,
+                             const obs::MetricsRegistry& registry) {
+  const std::string path = std::string(argv0) + ".metrics.json";
+  std::ofstream out(path);
+  out << registry.Snapshot().ToJson() << '\n';
+  out.close();
+  std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+}
+
+}  // namespace rhodos::bench
+
+// Drop-in replacement for BENCHMARK_MAIN(): installs a process-wide
+// metrics drain so every facility a bench builds contributes its final
+// StatsSnapshot(), then writes <binary>.metrics.json on exit.
+#define RHODOS_BENCH_MAIN()                                                  \
+  int main(int argc, char** argv) {                                          \
+    rhodos::obs::MetricsRegistry rhodos_bench_drain;                         \
+    rhodos::obs::SetGlobalMetricsDrain(&rhodos_bench_drain);                 \
+    ::benchmark::Initialize(&argc, argv);                                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;      \
+    ::benchmark::RunSpecifiedBenchmarks();                                   \
+    ::benchmark::Shutdown();                                                 \
+    rhodos::obs::SetGlobalMetricsDrain(nullptr);                             \
+    rhodos::bench::WriteMetricsJson(argv[0], rhodos_bench_drain);            \
+    return 0;                                                                \
+  }                                                                          \
+  int rhodos_bench_main_requires_semicolon_
 
 namespace rhodos::bench {
 

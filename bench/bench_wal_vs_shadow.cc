@@ -135,4 +135,4 @@ BENCHMARK(BM_RhodosHybrid_FragmentedFile)->Iterations(2);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

@@ -93,4 +93,4 @@ BENCHMARK(BM_ServiceWriteThrough_TxnFile)->Iterations(3);
 }  // namespace
 }  // namespace rhodos::bench
 
-BENCHMARK_MAIN();
+RHODOS_BENCH_MAIN();

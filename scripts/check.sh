@@ -27,6 +27,25 @@ run_suite() {
 if [[ "$mode" != "--sanitize-only" ]]; then
   echo "== plain build =="
   run_suite build
+
+  echo "== observability: golden metric schema =="
+  # DumpStats() metric names are a documented interface (docs/OBSERVABILITY.md):
+  # any drift from the golden list is a breaking change until both the golden
+  # file and the doc are updated.
+  ./build/examples/trace_dump --schema > build/metrics_schema.out
+  if ! diff -u docs/metrics_schema.golden build/metrics_schema.out; then
+    echo "DumpStats() schema drifted from docs/metrics_schema.golden" >&2
+    exit 1
+  fi
+  while read -r name _kind; do
+    if ! grep -q "$name" docs/OBSERVABILITY.md; then
+      echo "metric $name is not documented in docs/OBSERVABILITY.md" >&2
+      exit 1
+    fi
+  done < docs/metrics_schema.golden
+
+  echo "== observability: trace dump smoke test =="
+  ./build/examples/trace_dump > /dev/null
 fi
 
 if [[ "$mode" != "--plain-only" ]]; then

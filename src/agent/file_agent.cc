@@ -16,6 +16,7 @@ FileAgent::FileAgent(MachineId machine, sim::MessageBus* bus,
                      std::string fs_address, naming::NamingService* naming,
                      FileAgentConfig config)
     : machine_(machine),
+      bus_(bus),
       // Identify the machine to the bus so FaultPlan partitions can cut a
       // single caller off from the file service.
       rpc_(bus, std::move(fs_address),
@@ -55,6 +56,8 @@ Result<sim::Payload> FileAgent::Call(FsOp op,
 Result<ObjectDescriptor> FileAgent::Create(const naming::AttributedName& name,
                                            file::ServiceType type,
                                            std::uint64_t size_hint) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "create");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   CreateRequest req{NextToken(), type, size_hint};
   const auto body = req.Encode();
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kCreate, body));
@@ -67,11 +70,14 @@ Result<ObjectDescriptor> FileAgent::Create(const naming::AttributedName& name,
 }
 
 Result<ObjectDescriptor> FileAgent::Open(const naming::AttributedName& name) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "open");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
   return OpenById(file);
 }
 
 Result<ObjectDescriptor> FileAgent::OpenById(FileId file) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "open_by_id");
   FileRequest req{0, file};
   const auto body = req.Encode();
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kOpen, body));
@@ -94,6 +100,8 @@ Result<ObjectDescriptor> FileAgent::OpenById(FileId file) {
 }
 
 Status FileAgent::Close(ObjectDescriptor od) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "close");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
   RHODOS_RETURN_IF_ERROR(Flush(od));
   FileRequest req{0, h->file};
@@ -106,6 +114,8 @@ Status FileAgent::Close(ObjectDescriptor od) {
 }
 
 Status FileAgent::Delete(const naming::AttributedName& name) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "delete");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
   FileRequest req{NextToken(), file};
   const auto body = req.Encode();
@@ -118,6 +128,7 @@ Status FileAgent::Delete(const naming::AttributedName& name) {
     if (it->first.file == file) {
       lru_.erase(it->second.lru_pos);
       it = cache_.erase(it);
+      ++stats_.invalidations;
     } else {
       ++it;
     }
@@ -328,6 +339,8 @@ Result<std::uint64_t> FileAgent::CachedWrite(OpenHandle& h,
 Result<std::uint64_t> FileAgent::Pread(ObjectDescriptor od,
                                        std::uint64_t offset,
                                        std::span<std::uint8_t> out) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "pread");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
   return CachedRead(*h, offset, out);
 }
@@ -335,12 +348,16 @@ Result<std::uint64_t> FileAgent::Pread(ObjectDescriptor od,
 Result<std::uint64_t> FileAgent::Pwrite(ObjectDescriptor od,
                                         std::uint64_t offset,
                                         std::span<const std::uint8_t> in) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "pwrite");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
   return CachedWrite(*h, offset, in);
 }
 
 Result<std::uint64_t> FileAgent::Read(ObjectDescriptor od,
                                       std::span<std::uint8_t> out) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "read");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
   RHODOS_ASSIGN_OR_RETURN(std::uint64_t n, CachedRead(*h, h->cursor, out));
   h->cursor += n;
@@ -349,6 +366,8 @@ Result<std::uint64_t> FileAgent::Read(ObjectDescriptor od,
 
 Result<std::uint64_t> FileAgent::Write(ObjectDescriptor od,
                                        std::span<const std::uint8_t> in) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "write");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
   RHODOS_ASSIGN_OR_RETURN(std::uint64_t n, CachedWrite(*h, h->cursor, in));
   h->cursor += n;
@@ -375,6 +394,8 @@ Result<std::int64_t> FileAgent::Lseek(ObjectDescriptor od,
 }
 
 Result<file::FileAttributes> FileAgent::GetAttribute(ObjectDescriptor od) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "getattr");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
   FileRequest req{0, h->file};
   const auto body = req.Encode();
@@ -388,6 +409,7 @@ Result<file::FileAttributes> FileAgent::GetAttribute(ObjectDescriptor od) {
 }
 
 Status FileAgent::Flush(ObjectDescriptor od) {
+  obs::OpScope op(obs::TracerOf(Obs()), "agent", "flush");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
   for (auto& [key, entry] : cache_) {
     if (key.file == h->file && entry.dirty) {
@@ -413,6 +435,7 @@ Result<FileId> FileAgent::FileOf(ObjectDescriptor od) const {
 }
 
 void FileAgent::Crash() {
+  stats_.invalidations += cache_.size();
   handles_.clear();
   cache_.clear();
   lru_.clear();

@@ -43,6 +43,7 @@ struct FileAgentStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t descriptors_issued = 0;
   std::uint64_t writebacks = 0;    // dirty blocks pushed to the server
+  std::uint64_t invalidations = 0;  // cached blocks dropped (delete, crash)
 };
 
 class FileAgent {
@@ -150,7 +151,11 @@ class FileAgent {
 
   std::uint64_t NextToken();
 
+  // The facility's observability bundle travels on the bus; null-safe.
+  obs::Observability* Obs() const { return bus_->observability(); }
+
   MachineId machine_;
+  sim::MessageBus* bus_;
   sim::RpcClient rpc_;
   naming::NamingService* naming_;
   FileAgentConfig config_;

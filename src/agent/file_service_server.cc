@@ -10,6 +10,21 @@ sim::Payload ErrorReply(const Error& error) {
   return std::move(out).Take();
 }
 
+std::string_view OpName(FsOp op) {
+  switch (op) {
+    case FsOp::kCreate: return "create";
+    case FsOp::kDelete: return "delete";
+    case FsOp::kOpen: return "open";
+    case FsOp::kClose: return "close";
+    case FsOp::kPread: return "pread";
+    case FsOp::kPwrite: return "pwrite";
+    case FsOp::kGetAttr: return "getattr";
+    case FsOp::kResize: return "resize";
+    case FsOp::kFlush: return "flush";
+  }
+  return "unknown";
+}
+
 }  // namespace
 
 FileServiceServer::FileServiceServer(file::FileService* service,
@@ -47,6 +62,8 @@ void FileServiceServer::RememberToken(std::uint64_t token,
 sim::Payload FileServiceServer::Handle(std::uint32_t opcode,
                                        std::span<const std::uint8_t> request) {
   ++stats_.requests;
+  obs::SpanScope span(obs::TracerOf(bus_->observability()), "service",
+                      OpName(static_cast<FsOp>(opcode)));
   switch (static_cast<FsOp>(opcode)) {
     case FsOp::kCreate: return HandleCreate(request);
     case FsOp::kDelete: return HandleDelete(request);

@@ -24,6 +24,7 @@ Result<TransactionAgentHost::Handle*> TransactionAgentHost::HandleOf(
 }
 
 Result<TxnId> TransactionAgentHost::TBegin(ProcessContext& process) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "tbegin");
   if (agent_ == nullptr) {
     // "The first request to initiate a transaction in a client's machine
     // brings this process into existence."
@@ -53,6 +54,7 @@ void TransactionAgentHost::RetireIfIdle(TxnId txn, ProcessContext& process) {
 Result<ObjectDescriptor> TransactionAgentHost::TCreate(
     TxnId txn, const naming::AttributedName& name, file::LockLevel level,
     std::uint64_t size_hint) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "tcreate");
   RHODOS_ASSIGN_OR_RETURN(Agent * agent, Alive());
   RHODOS_ASSIGN_OR_RETURN(FileId file,
                           service_->TCreate(txn, level, size_hint));
@@ -65,6 +67,7 @@ Result<ObjectDescriptor> TransactionAgentHost::TCreate(
 
 Result<ObjectDescriptor> TransactionAgentHost::TOpen(
     TxnId txn, const naming::AttributedName& name) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "topen");
   RHODOS_ASSIGN_OR_RETURN(Agent * agent, Alive());
   RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
   RHODOS_RETURN_IF_ERROR(service_->TOpen(txn, file));
@@ -75,6 +78,7 @@ Result<ObjectDescriptor> TransactionAgentHost::TOpen(
 }
 
 Status TransactionAgentHost::TClose(TxnId txn, ObjectDescriptor od) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "tclose");
   RHODOS_ASSIGN_OR_RETURN(Agent * agent, Alive());
   auto it = agent->handles.find(od);
   if (it == agent->handles.end()) {
@@ -87,6 +91,7 @@ Status TransactionAgentHost::TClose(TxnId txn, ObjectDescriptor od) {
 
 Status TransactionAgentHost::TDelete(TxnId txn,
                                      const naming::AttributedName& name) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "tdelete");
   RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
   RHODOS_RETURN_IF_ERROR(service_->TDelete(txn, file));
   // The name disappears when the delete commits; unregister optimistically
@@ -177,6 +182,7 @@ Result<std::uint64_t> TransactionAgentHost::CachedWrite(
 Result<std::uint64_t> TransactionAgentHost::TPread(
     TxnId txn, ObjectDescriptor od, std::uint64_t offset,
     std::span<std::uint8_t> out, txn::ReadIntent intent) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "tpread");
   RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
   return CachedRead(txn, h->file, offset, out, intent);
 }
@@ -184,6 +190,7 @@ Result<std::uint64_t> TransactionAgentHost::TPread(
 Result<std::uint64_t> TransactionAgentHost::TPwrite(
     TxnId txn, ObjectDescriptor od, std::uint64_t offset,
     std::span<const std::uint8_t> in) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "tpwrite");
   RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
   return CachedWrite(txn, h->file, offset, in);
 }
@@ -192,6 +199,7 @@ Result<std::uint64_t> TransactionAgentHost::TRead(TxnId txn,
                                                   ObjectDescriptor od,
                                                   std::span<std::uint8_t> out,
                                                   txn::ReadIntent intent) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "tread");
   RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
   RHODOS_ASSIGN_OR_RETURN(std::uint64_t n,
                           CachedRead(txn, h->file, h->cursor, out, intent));
@@ -201,6 +209,7 @@ Result<std::uint64_t> TransactionAgentHost::TRead(TxnId txn,
 
 Result<std::uint64_t> TransactionAgentHost::TWrite(
     TxnId txn, ObjectDescriptor od, std::span<const std::uint8_t> in) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "twrite");
   RHODOS_ASSIGN_OR_RETURN(Handle * h, HandleOf(od));
   RHODOS_ASSIGN_OR_RETURN(std::uint64_t n,
                           CachedWrite(txn, h->file, h->cursor, in));
@@ -240,12 +249,14 @@ Result<file::FileAttributes> TransactionAgentHost::TGetAttribute(
 }
 
 Status TransactionAgentHost::TEnd(TxnId txn, ProcessContext& process) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "tend");
   Status result = service_->End(txn);
   RetireIfIdle(txn, process);
   return result;
 }
 
 Status TransactionAgentHost::TAbort(TxnId txn, ProcessContext& process) {
+  obs::OpScope op(obs::TracerOf(obs_), "txn_agent", "tabort");
   Status result = service_->Abort(txn);
   RetireIfIdle(txn, process);
   return result;

@@ -91,6 +91,9 @@ class TransactionAgentHost {
   bool AgentAlive() const { return agent_ != nullptr; }
   const TxnAgentStats& stats() const { return stats_; }
 
+  // Installed by the facility; null means no tracing/metrics.
+  void SetObservability(obs::Observability* o) { obs_ = o; }
+
  private:
   struct Handle {
     FileId file{};
@@ -151,6 +154,7 @@ class TransactionAgentHost {
   naming::NamingService* naming_;
   std::unique_ptr<Agent> agent_;
   TxnAgentStats stats_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace rhodos::agent

@@ -103,6 +103,7 @@ Result<ChaosReport> ChaosRunner::Run(sim::FaultPlan plan) {
   HealAndRecover(report);
   Verify(report);
   report.completed = true;
+  report.metrics_json = f_->DumpStats(/*json=*/true);
   (void)txns;
   return report;
 }

@@ -68,6 +68,9 @@ struct ChaosReport {
   std::uint64_t fsck_issues = 0;          // I4 violations
   bool fsck_clean = false;
   bool completed = false;  // workload + verification ran to the end
+  // Full facility metrics at the end of the run (Facility::DumpStats JSON):
+  // the operator's forensic record of what the faults cost each layer.
+  std::string metrics_json;
 
   bool ok() const {
     return completed && corrupt_reads == 0 && committed_data_lost == 0 &&

@@ -29,6 +29,18 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
   detector_->Watch(kFileServiceAddress);
   file_server_ = std::make_unique<agent::FileServiceServer>(
       files_.get(), &bus_, kFileServiceAddress);
+  // Observability: one bundle for the whole facility. The bus carries it to
+  // every RpcClient and file agent; server-side layers get it directly.
+  bus_.SetObservability(&obs_);
+  files_->SetObservability(&obs_);
+  txns_->SetObservability(&obs_);
+  replication_->SetObservability(&obs_);
+  for (std::uint32_t i = 0; i < config_.disk_count; ++i) {
+    if (auto server = disks_.Get(DiskId{i}); server.ok()) {
+      (*server)->SetObservability(&obs_);
+    }
+  }
+  DeclareMetrics();
   // FaultPlan disk events name disks by DiskFaultTarget(id); the bus knows
   // nothing about disks, so it hands those events back to the facility.
   bus_.SetFaultHandler([this](const sim::FaultEvent& ev) {
@@ -64,6 +76,7 @@ Machine& DistributedFileFacility::AddMachine() {
   m->device_agent = std::make_unique<agent::DeviceAgent>(&naming_);
   m->txn_agent = std::make_unique<agent::TransactionAgentHost>(
       m->id, txns_.get(), &naming_);
+  m->txn_agent->SetObservability(&obs_);
   machines_.push_back(std::move(m));
   return *machines_.back();
 }
@@ -115,6 +128,288 @@ void DistributedFileFacility::ResetStats() {
   files_->ResetStats();
   txns_->ResetStats();
   bus_.ResetStats();
+  obs_.metrics.Reset();
+}
+
+// --- observability -------------------------------------------------------------
+
+DistributedFileFacility::~DistributedFileFacility() {
+  if (obs::MetricsRegistry* drain = obs::GlobalMetricsDrain()) {
+    drain->Merge(StatsSnapshot());
+  }
+}
+
+namespace {
+
+// The facility's canonical metric catalogue. Every name DumpStats() can
+// emit is listed here (and mirrored in docs/OBSERVABILITY.md plus the
+// golden schema scripts/check.sh diffs against) — instrumentation sites
+// auto-declare, but pre-declaring keeps the schema workload-independent.
+constexpr const char* kCounters[] = {
+    // Client-side block cache of each machine's file agent (summed).
+    "agent.cache.hits", "agent.cache.misses", "agent.cache.writebacks",
+    "agent.cache.invalidations", "agent.descriptors_issued",
+    // Message bus (NetStats).
+    "bus.bytes_moved", "bus.calls", "bus.deliveries", "bus.drops_reply",
+    "bus.drops_request", "bus.duplicates", "bus.probes",
+    "bus.rejected_down", "bus.rejected_partitioned", "bus.time_charged_ns",
+    "bus.timeouts",
+    // Failure detector.
+    "detector.declared_down", "detector.probe_failures", "detector.probes",
+    "detector.recoveries", "detector.suspicions",
+    // Disk service: main device, stable mirror, track cache, free-space
+    // run array (summed across disks).
+    "disk.cache.dirty_writebacks", "disk.cache.evictions",
+    "disk.cache.hits", "disk.cache.misses",
+    "disk.fragments_read", "disk.fragments_written",
+    "disk.free_space.array_hits", "disk.free_space.array_misses",
+    "disk.free_space.rebuilds", "disk.free_space.stale_discards",
+    "disk.read_references", "disk.stable.fragments_read",
+    "disk.stable.fragments_written", "disk.stable.read_references",
+    "disk.stable.time_charged_ns", "disk.stable.write_references",
+    "disk.time_charged_ns", "disk.tracks_seeked", "disk.write_references",
+    // Server-side file service (block pool, index tables).
+    "file.bytes_read", "file.bytes_written", "file.cache.hits",
+    "file.cache.misses", "file.fit_loads", "file.fit_stores",
+    "file.reads", "file.writes",
+    // Lock manager.
+    "lock.aborts_signalled", "lock.breaks", "lock.conversions",
+    "lock.grants", "lock.immediate_grants", "lock.records_peak",
+    "lock.wait_time_ns", "lock.waits",
+    // Recovery manager.
+    "recovery.auto_repairs", "recovery.disk_failures_detected",
+    "recovery.disk_recoveries_detected", "recovery.repair_failures",
+    "recovery.replicas_marked_down", "recovery.ticks",
+    // Replicated files.
+    "replication.degraded_reads", "replication.degraded_writes",
+    "replication.reads", "replication.repairs", "replication.writes",
+    // At-least-once RPC (summed over every machine's file agent), plus the
+    // push-model circuit-breaker trip count.
+    "rpc.backoff_wait_ns", "rpc.calls", "rpc.circuit_trips",
+    "rpc.deadline_exhausted", "rpc.failures", "rpc.retries",
+    "rpc.successes",
+    // File-service server adapter (request dispatch, replay table).
+    "service.duplicate_replays", "service.requests",
+    // Transaction service and the per-machine transaction agents.
+    "txn.aborts_broken", "txn.aborts_explicit", "txn.begins",
+    "txn.commits", "txn.pages_logged", "txn.ranges_logged",
+    "txn.recovered_discarded", "txn.recovered_redone",
+    "txn.shadow_commits", "txn.wal_commits",
+    "txn_agent.descriptors_issued", "txn_agent.page_cache.hits",
+    "txn_agent.page_cache.misses", "txn_agent.retirements",
+    "txn_agent.spawns",
+};
+
+constexpr const char* kGauges[] = {
+    "disk.free_fragments",
+    "facility.disk_count",
+    "facility.machine_count",
+    "facility.sim_now_ns",
+};
+
+constexpr const char* kHistograms[] = {
+    "agent.op_latency_ns", "disk.reference_ns", "rpc.backoff_ns",
+    "rpc.call_latency_ns", "txn.commit_latency_ns",
+};
+
+}  // namespace
+
+void DistributedFileFacility::DeclareMetrics() {
+  for (const char* name : kCounters) obs_.metrics.DeclareCounter(name);
+  for (const char* name : kGauges) obs_.metrics.DeclareGauge(name);
+  for (const char* name : kHistograms) obs_.metrics.DeclareHistogram(name);
+}
+
+void DistributedFileFacility::PullLayerStats() {
+  obs::MetricsRegistry& m = obs_.metrics;
+
+  const sim::NetStats& net = bus_.stats();
+  m.SetCounter("bus.calls", net.calls);
+  m.SetCounter("bus.deliveries", net.deliveries);
+  m.SetCounter("bus.drops_request", net.drops_request);
+  m.SetCounter("bus.drops_reply", net.drops_reply);
+  m.SetCounter("bus.duplicates", net.duplicates);
+  m.SetCounter("bus.timeouts", net.timeouts);
+  m.SetCounter("bus.rejected_down", net.rejected_down);
+  m.SetCounter("bus.rejected_partitioned", net.rejected_partitioned);
+  m.SetCounter("bus.probes", net.probes);
+  m.SetCounter("bus.bytes_moved", net.bytes_moved);
+  m.SetCounter("bus.time_charged_ns",
+               static_cast<std::uint64_t>(net.time_charged));
+
+  agent::FileAgentStats fa;
+  sim::RpcHealth rpc;
+  std::uint64_t rpc_retries = 0;
+  agent::TxnAgentStats ta;
+  agent::TransactionAgentHost::CacheStats tc;
+  for (const auto& machine : machines_) {
+    const agent::FileAgentStats& s = machine->file_agent->stats();
+    fa.cache_hits += s.cache_hits;
+    fa.cache_misses += s.cache_misses;
+    fa.descriptors_issued += s.descriptors_issued;
+    fa.writebacks += s.writebacks;
+    fa.invalidations += s.invalidations;
+    const sim::RpcHealth& h = machine->file_agent->rpc_health();
+    rpc.calls += h.calls;
+    rpc.successes += h.successes;
+    rpc.failures += h.failures;
+    rpc.deadline_exhausted += h.deadline_exhausted;
+    rpc.backoff_waited += h.backoff_waited;
+    rpc_retries += machine->file_agent->rpc_retries();
+    const agent::TxnAgentStats& t = machine->txn_agent->stats();
+    ta.spawns += t.spawns;
+    ta.retirements += t.retirements;
+    ta.descriptors_issued += t.descriptors_issued;
+    const auto& c = machine->txn_agent->cache_stats();
+    tc.page_hits += c.page_hits;
+    tc.page_misses += c.page_misses;
+  }
+  m.SetCounter("agent.cache.hits", fa.cache_hits);
+  m.SetCounter("agent.cache.misses", fa.cache_misses);
+  m.SetCounter("agent.cache.writebacks", fa.writebacks);
+  m.SetCounter("agent.cache.invalidations", fa.invalidations);
+  m.SetCounter("agent.descriptors_issued", fa.descriptors_issued);
+  m.SetCounter("rpc.calls", rpc.calls);
+  m.SetCounter("rpc.successes", rpc.successes);
+  m.SetCounter("rpc.failures", rpc.failures);
+  m.SetCounter("rpc.deadline_exhausted", rpc.deadline_exhausted);
+  m.SetCounter("rpc.retries", rpc_retries);
+  m.SetCounter("rpc.backoff_wait_ns",
+               static_cast<std::uint64_t>(rpc.backoff_waited));
+  m.SetCounter("txn_agent.spawns", ta.spawns);
+  m.SetCounter("txn_agent.retirements", ta.retirements);
+  m.SetCounter("txn_agent.descriptors_issued", ta.descriptors_issued);
+  m.SetCounter("txn_agent.page_cache.hits", tc.page_hits);
+  m.SetCounter("txn_agent.page_cache.misses", tc.page_misses);
+
+  const agent::FsServerStats& srv = file_server_->stats();
+  m.SetCounter("service.requests", srv.requests);
+  m.SetCounter("service.duplicate_replays", srv.duplicate_replays);
+
+  const file::FileServiceStats& fs = files_->stats();
+  m.SetCounter("file.cache.hits", fs.cache_hits);
+  m.SetCounter("file.cache.misses", fs.cache_misses);
+  m.SetCounter("file.reads", fs.reads);
+  m.SetCounter("file.writes", fs.writes);
+  m.SetCounter("file.bytes_read", fs.bytes_read);
+  m.SetCounter("file.bytes_written", fs.bytes_written);
+  m.SetCounter("file.fit_loads", fs.fit_loads);
+  m.SetCounter("file.fit_stores", fs.fit_stores);
+
+  const txn::LockStats& lk = txns_->locks().stats();
+  m.SetCounter("lock.grants", lk.grants);
+  m.SetCounter("lock.immediate_grants", lk.immediate_grants);
+  m.SetCounter("lock.waits", lk.waits);
+  m.SetCounter("lock.conversions", lk.conversions);
+  m.SetCounter("lock.breaks", lk.breaks);
+  m.SetCounter("lock.aborts_signalled", lk.aborts_signalled);
+  m.SetCounter("lock.records_peak", lk.records_peak);
+  m.SetCounter("lock.wait_time_ns", lk.wait_time_ns);
+
+  const txn::TxnServiceStats& tx = txns_->stats();
+  m.SetCounter("txn.begins", tx.begins);
+  m.SetCounter("txn.commits", tx.commits);
+  m.SetCounter("txn.aborts_explicit", tx.aborts_explicit);
+  m.SetCounter("txn.aborts_broken", tx.aborts_broken);
+  m.SetCounter("txn.wal_commits", tx.wal_commits);
+  m.SetCounter("txn.shadow_commits", tx.shadow_commits);
+  m.SetCounter("txn.pages_logged", tx.pages_logged);
+  m.SetCounter("txn.ranges_logged", tx.ranges_logged);
+  m.SetCounter("txn.recovered_redone", tx.recovered_redone);
+  m.SetCounter("txn.recovered_discarded", tx.recovered_discarded);
+
+  const replication::ReplicationStats& rep = replication_->stats();
+  m.SetCounter("replication.writes", rep.writes);
+  m.SetCounter("replication.reads", rep.reads);
+  m.SetCounter("replication.degraded_writes", rep.degraded_writes);
+  m.SetCounter("replication.degraded_reads", rep.failovers);
+  m.SetCounter("replication.repairs", rep.repairs);
+
+  const recovery::RecoveryStats& rec = recovery_->stats();
+  m.SetCounter("recovery.ticks", rec.ticks);
+  m.SetCounter("recovery.disk_failures_detected",
+               rec.disk_failures_detected);
+  m.SetCounter("recovery.disk_recoveries_detected",
+               rec.disk_recoveries_detected);
+  m.SetCounter("recovery.replicas_marked_down", rec.replicas_marked_down);
+  m.SetCounter("recovery.auto_repairs", rec.auto_repairs);
+  m.SetCounter("recovery.repair_failures", rec.repair_failures);
+
+  const recovery::FailureDetectorStats& det = detector_->stats();
+  m.SetCounter("detector.probes", det.probes);
+  m.SetCounter("detector.probe_failures", det.probe_failures);
+  m.SetCounter("detector.suspicions", det.suspicions);
+  m.SetCounter("detector.declared_down", det.declared_down);
+  m.SetCounter("detector.recoveries", det.recoveries);
+
+  sim::DiskStats main_sum, stable_sum;
+  disk::TrackCacheStats cache_sum;
+  disk::FreeSpaceStats free_sum;
+  std::uint64_t free_fragments = 0;
+  for (const auto& server : disks_.disks()) {
+    const sim::DiskStats& ms = server->main_stats();
+    main_sum.read_references += ms.read_references;
+    main_sum.write_references += ms.write_references;
+    main_sum.fragments_read += ms.fragments_read;
+    main_sum.fragments_written += ms.fragments_written;
+    main_sum.tracks_seeked += ms.tracks_seeked;
+    main_sum.time_charged += ms.time_charged;
+    const sim::DiskStats& ss = server->stable_stats();
+    stable_sum.read_references += ss.read_references;
+    stable_sum.write_references += ss.write_references;
+    stable_sum.fragments_read += ss.fragments_read;
+    stable_sum.fragments_written += ss.fragments_written;
+    stable_sum.time_charged += ss.time_charged;
+    const disk::TrackCacheStats& cs = server->cache_stats();
+    cache_sum.hits += cs.hits;
+    cache_sum.misses += cs.misses;
+    cache_sum.evictions += cs.evictions;
+    cache_sum.dirty_writebacks += cs.dirty_writebacks;
+    const disk::FreeSpaceStats& fss = server->free_space_stats();
+    free_sum.array_hits += fss.array_hits;
+    free_sum.array_misses += fss.array_misses;
+    free_sum.rebuilds += fss.rebuilds;
+    free_sum.stale_discards += fss.stale_discards;
+    free_fragments += server->FreeFragmentCount();
+  }
+  m.SetCounter("disk.read_references", main_sum.read_references);
+  m.SetCounter("disk.write_references", main_sum.write_references);
+  m.SetCounter("disk.fragments_read", main_sum.fragments_read);
+  m.SetCounter("disk.fragments_written", main_sum.fragments_written);
+  m.SetCounter("disk.tracks_seeked", main_sum.tracks_seeked);
+  m.SetCounter("disk.time_charged_ns",
+               static_cast<std::uint64_t>(main_sum.time_charged));
+  m.SetCounter("disk.stable.read_references", stable_sum.read_references);
+  m.SetCounter("disk.stable.write_references", stable_sum.write_references);
+  m.SetCounter("disk.stable.fragments_read", stable_sum.fragments_read);
+  m.SetCounter("disk.stable.fragments_written",
+               stable_sum.fragments_written);
+  m.SetCounter("disk.stable.time_charged_ns",
+               static_cast<std::uint64_t>(stable_sum.time_charged));
+  m.SetCounter("disk.cache.hits", cache_sum.hits);
+  m.SetCounter("disk.cache.misses", cache_sum.misses);
+  m.SetCounter("disk.cache.evictions", cache_sum.evictions);
+  m.SetCounter("disk.cache.dirty_writebacks", cache_sum.dirty_writebacks);
+  m.SetCounter("disk.free_space.array_hits", free_sum.array_hits);
+  m.SetCounter("disk.free_space.array_misses", free_sum.array_misses);
+  m.SetCounter("disk.free_space.rebuilds", free_sum.rebuilds);
+  m.SetCounter("disk.free_space.stale_discards", free_sum.stale_discards);
+
+  m.SetGauge("facility.disk_count", static_cast<double>(config_.disk_count));
+  m.SetGauge("facility.machine_count",
+             static_cast<double>(machines_.size()));
+  m.SetGauge("facility.sim_now_ns", static_cast<double>(clock_.Now()));
+  m.SetGauge("disk.free_fragments", static_cast<double>(free_fragments));
+}
+
+obs::MetricsSnapshot DistributedFileFacility::StatsSnapshot() {
+  PullLayerStats();
+  return obs_.metrics.Snapshot();
+}
+
+std::string DistributedFileFacility::DumpStats(bool json) {
+  const obs::MetricsSnapshot snap = StatsSnapshot();
+  return json ? snap.ToJson() : snap.ToText();
 }
 
 }  // namespace rhodos::core

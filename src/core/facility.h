@@ -29,6 +29,7 @@
 #include "disk/disk_registry.h"
 #include "file/file_service.h"
 #include "naming/naming_service.h"
+#include "obs/observability.h"
 #include "recovery/failure_detector.h"
 #include "recovery/recovery_manager.h"
 #include "replication/replication_service.h"
@@ -63,6 +64,9 @@ struct Machine {
 class DistributedFileFacility {
  public:
   explicit DistributedFileFacility(FacilityConfig config = {});
+  // Drains the final StatsSnapshot() into the global metrics drain when one
+  // is installed (the bench harness's aggregation hook).
+  ~DistributedFileFacility();
 
   DistributedFileFacility(const DistributedFileFacility&) = delete;
   DistributedFileFacility& operator=(const DistributedFileFacility&) = delete;
@@ -116,9 +120,31 @@ class DistributedFileFacility {
 
   void ResetStats();
 
+  // --- Observability -----------------------------------------------------------
+
+  // The facility-wide metrics registry + trace recorder. Tracing is off by
+  // default; flip it on with observability().tracer.Enable(true).
+  obs::Observability& observability() { return obs_; }
+
+  // Folds every layer's cumulative stats into the registry and returns a
+  // point-in-time copy. The name set is fixed at construction (see
+  // docs/OBSERVABILITY.md), so two snapshots of any two facilities always
+  // carry the same metric names.
+  obs::MetricsSnapshot StatsSnapshot();
+
+  // The operator's view: every metric as text (or one JSON object).
+  std::string DumpStats(bool json = false);
+
  private:
+  // Pre-declares the full metric catalogue (stable DumpStats schema) —
+  // every name in docs/OBSERVABILITY.md originates here.
+  void DeclareMetrics();
+  // SetCounter/SetGauge the pull-model layer stats into the registry.
+  void PullLayerStats();
+
   FacilityConfig config_;
   SimClock clock_;
+  obs::Observability obs_{&clock_};
   sim::MessageBus bus_;
   disk::DiskRegistry disks_;
   std::unique_ptr<file::FileService> files_;

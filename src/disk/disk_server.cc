@@ -177,13 +177,21 @@ Status DiskServer::GetBlock(FragmentIndex first, std::uint32_t count,
   if (out.size() < static_cast<std::size_t>(count) * kFragmentSize) {
     return {ErrorCode::kInvalidArgument, "get_block buffer too small"};
   }
+  obs::SpanScope span(obs::TracerOf(obs_), "disk", "get_block");
+  obs::LatencyScope lat(obs_, "disk.reference_ns");
   if (source == ReadSource::kStable) {
     if (!stable_) {
       return {ErrorCode::kNotSupported, "disk has no stable storage"};
     }
+    span.SetDetail("disk-" + std::to_string(id_.value) + " stable");
     return stable_->ReadFragments(first, count, out);
   }
-  return ReadMain(first, count, out);
+  const std::uint64_t hits_before = cache_.stats().hits;
+  Status st = ReadMain(first, count, out);
+  span.SetDetail("disk-" + std::to_string(id_.value) +
+                 (cache_.stats().hits > hits_before ? " cache-hit"
+                                                    : " cache-miss"));
+  return st;
 }
 
 Status DiskServer::WriteMain(FragmentIndex first, std::uint32_t count,
@@ -226,6 +234,12 @@ Status DiskServer::PutBlock(FragmentIndex first, std::uint32_t count,
   if (in.size() < static_cast<std::size_t>(count) * kFragmentSize) {
     return {ErrorCode::kInvalidArgument, "put_block buffer too small"};
   }
+  obs::SpanScope span(obs::TracerOf(obs_), "disk", "put_block");
+  obs::LatencyScope lat(obs_, "disk.reference_ns");
+  span.SetDetail("disk-" + std::to_string(id_.value) +
+                 (stable == StableMode::kNone          ? ""
+                  : stable == StableMode::kStableOnly ? " stable-only"
+                                                       : " original+stable"));
   switch (stable) {
     case StableMode::kNone:
       return WriteMain(first, count, in, policy);
@@ -239,6 +253,8 @@ Status DiskServer::PutBlock(FragmentIndex first, std::uint32_t count,
 }
 
 Status DiskServer::FlushBlock(FragmentIndex first, std::uint32_t count) {
+  obs::SpanScope span(obs::TracerOf(obs_), "disk", "flush");
+  obs::LatencyScope lat(obs_, "disk.reference_ns");
   Status result = OkStatus();
   cache_.FlushDirtyRange(
       first, count,

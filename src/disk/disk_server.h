@@ -32,6 +32,7 @@
 #include "disk/bitmap.h"
 #include "disk/free_space_array.h"
 #include "disk/track_cache.h"
+#include "obs/observability.h"
 #include "sim/disk_model.h"
 
 namespace rhodos::disk {
@@ -160,6 +161,9 @@ class DiskServer {
   }
   void ResetStats();
 
+  // Installed by the facility; null means no tracing/metrics.
+  void SetObservability(obs::Observability* o) { obs_ = o; }
+
   // Test access to the underlying devices.
   sim::DiskModel& main_device() { return main_; }
   sim::DiskModel& stable_device() { return *stable_; }
@@ -189,6 +193,7 @@ class DiskServer {
   TrackCache cache_;
   std::deque<PendingStableWrite> stable_queue_;
   std::uint64_t metadata_fragments_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace rhodos::disk

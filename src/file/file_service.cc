@@ -341,6 +341,7 @@ Status FileService::ReadBlocks(FileId id, OpenFile& of, std::uint64_t first,
 
 Result<std::uint64_t> FileService::Read(FileId id, std::uint64_t offset,
                                         std::span<std::uint8_t> out) {
+  obs::SpanScope span(obs::TracerOf(obs_), "file", "read");
   RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
   ++stats_.reads;
   const std::uint64_t size = of->table.attributes().size;
@@ -435,6 +436,7 @@ Status FileService::Grow(FileId id, OpenFile& of, std::uint64_t blocks) {
 
 Result<std::uint64_t> FileService::Write(FileId id, std::uint64_t offset,
                                          std::span<const std::uint8_t> in) {
+  obs::SpanScope span(obs::TracerOf(obs_), "file", "write");
   RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
   ++stats_.writes;
   const std::uint64_t len = in.size();

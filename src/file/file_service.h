@@ -38,6 +38,7 @@
 #include "file/buffer_pool.h"
 #include "file/file_index_table.h"
 #include "file/file_types.h"
+#include "obs/observability.h"
 
 namespace rhodos::file {
 
@@ -147,6 +148,9 @@ class FileService {
 
   const FileServiceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = FileServiceStats{}; }
+
+  // Installed by the facility; null means no tracing/metrics.
+  void SetObservability(obs::Observability* o) { obs_ = o; }
   disk::DiskRegistry* disks() { return disks_; }
   SimClock* clock() { return clock_; }
   const FileServiceConfig& config() const { return config_; }
@@ -221,6 +225,7 @@ class FileService {
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::list<CacheKey> lru_;  // front = most recent
   FileServiceStats stats_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace rhodos::file

@@ -1,0 +1,69 @@
+// The facility's observability bundle: one metrics registry + one trace
+// recorder, sharing the facility's simulated clock.
+//
+// Every instrumented layer holds a nullable `Observability*` installed by
+// the facility (components remain fully usable standalone with no
+// observability attached — all hooks are null-safe). See
+// docs/OBSERVABILITY.md for the metric-name catalogue and an annotated
+// trace.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/sim_clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rhodos::obs {
+
+struct Observability {
+  explicit Observability(SimClock* clock) : clock(clock), tracer(clock) {}
+
+  Observability(const Observability&) = delete;
+  Observability& operator=(const Observability&) = delete;
+
+  SimClock* clock;
+  MetricsRegistry metrics;
+  TraceRecorder tracer;
+};
+
+// Null-safe helpers for instrumentation sites.
+
+inline void Count(Observability* obs, std::string_view name,
+                  std::uint64_t delta = 1) {
+  if (obs != nullptr) obs->metrics.Add(name, delta);
+}
+
+inline void Observe(Observability* obs, std::string_view name, SimTime v) {
+  if (obs != nullptr) obs->metrics.Observe(name, v);
+}
+
+inline TraceRecorder* TracerOf(Observability* obs) {
+  return obs == nullptr ? nullptr : &obs->tracer;
+}
+
+inline SimTime NowOf(Observability* obs) {
+  return obs == nullptr || obs->clock == nullptr ? 0 : obs->clock->Now();
+}
+
+// RAII simulated-duration observation into a histogram; records on every
+// exit path, including error returns. `name` must outlive the scope (use a
+// string literal).
+class LatencyScope {
+ public:
+  LatencyScope(Observability* obs, std::string_view name)
+      : obs_(obs), name_(name), start_(NowOf(obs)) {}
+  ~LatencyScope() {
+    if (obs_ != nullptr) obs_->metrics.Observe(name_, NowOf(obs_) - start_);
+  }
+  LatencyScope(const LatencyScope&) = delete;
+  LatencyScope& operator=(const LatencyScope&) = delete;
+
+ private:
+  Observability* obs_;
+  std::string_view name_;
+  SimTime start_;
+};
+
+}  // namespace rhodos::obs

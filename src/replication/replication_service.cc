@@ -61,6 +61,7 @@ Status ReplicationService::DeleteReplicated(GroupId group) {
 
 Result<std::uint64_t> ReplicationService::Write(
     GroupId group, std::uint64_t offset, std::span<const std::uint8_t> in) {
+  obs::OpScope op(obs::TracerOf(obs_), "replication", "write");
   RHODOS_ASSIGN_OR_RETURN(Group * g, Find(group));
   ++stats_.writes;
   const std::uint64_t new_version = g->version + 1;
@@ -87,6 +88,7 @@ Result<std::uint64_t> ReplicationService::Write(
 Result<std::uint64_t> ReplicationService::Read(GroupId group,
                                                std::uint64_t offset,
                                                std::span<std::uint8_t> out) {
+  obs::OpScope op(obs::TracerOf(obs_), "replication", "read");
   RHODOS_ASSIGN_OR_RETURN(Group * g, Find(group));
   ++stats_.reads;
   bool first = true;
@@ -105,6 +107,7 @@ Result<std::uint64_t> ReplicationService::Read(GroupId group,
 }
 
 Status ReplicationService::Repair(GroupId group) {
+  obs::OpScope op(obs::TracerOf(obs_), "replication", "repair");
   RHODOS_ASSIGN_OR_RETURN(Group * g, Find(group));
   // Find the freshest readable replica. Prefer one nobody suspects: a
   // suspected replica at the current version may carry a torn write from

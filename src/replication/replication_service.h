@@ -22,6 +22,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "file/file_service.h"
+#include "obs/observability.h"
 
 namespace rhodos::replication {
 
@@ -95,6 +96,9 @@ class ReplicationService {
   Result<std::uint64_t> CurrentVersion(GroupId group) const;
   const ReplicationStats& stats() const { return stats_; }
 
+  // Installed by the facility; null means no tracing/metrics.
+  void SetObservability(obs::Observability* o) { obs_ = o; }
+
  private:
   struct Group {
     std::vector<ReplicaInfo> replicas;
@@ -109,6 +113,7 @@ class ReplicationService {
   std::unordered_map<GroupId, Group> groups_;
   std::uint64_t next_group_{1};
   ReplicationStats stats_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace rhodos::replication

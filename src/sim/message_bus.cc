@@ -87,9 +87,11 @@ Result<Payload> MessageBus::Call(const std::string& address,
                                  const std::string& caller) {
   ++stats_.calls;
   ++calls_to_[address];
+  obs::SpanScope span(obs::TracerOf(obs_), "bus", "exchange");
   PumpFaults();
   auto it = services_.find(address);
   if (it == services_.end()) {
+    span.SetDetail(address + " no-service");
     return Error{ErrorCode::kNotConnected, "no service at '" + address + "'"};
   }
 
@@ -99,6 +101,7 @@ Result<Payload> MessageBus::Call(const std::string& address,
     ++stats_.rejected_down;
     Charge(request.size());
     ChargeTimeout();
+    span.SetDetail(address + " down");
     return Error{ErrorCode::kMessageDropped,
                  "timeout: no reply from " + address + " (service down)"};
   }
@@ -106,6 +109,7 @@ Result<Payload> MessageBus::Call(const std::string& address,
     ++stats_.rejected_partitioned;
     Charge(request.size());
     ChargeTimeout();
+    span.SetDetail(address + " partitioned");
     return Error{ErrorCode::kMessageDropped,
                  "timeout: " + caller + " partitioned from " + address};
   }
@@ -115,6 +119,7 @@ Result<Payload> MessageBus::Call(const std::string& address,
   if (config_.drop_rate > 0.0 && rng_.Chance(config_.drop_rate)) {
     ++stats_.drops_request;
     ChargeTimeout();
+    span.SetDetail(address + " request-lost");
     return Error{ErrorCode::kMessageDropped, "request lost to " + address};
   }
 
@@ -136,9 +141,11 @@ Result<Payload> MessageBus::Call(const std::string& address,
   if (config_.drop_rate > 0.0 && rng_.Chance(config_.drop_rate)) {
     ++stats_.drops_reply;
     ChargeTimeout();
+    span.SetDetail(address + " reply-lost");
     return Error{ErrorCode::kMessageDropped, "reply lost from " + address};
   }
 
+  span.SetDetail(address + " ok");
   return reply;
 }
 
@@ -194,10 +201,18 @@ Result<Payload> RpcClient::Call(std::uint32_t opcode,
   last_backoffs_.clear();
   SimClock* clock = bus_->clock();
   const SimTime start = clock == nullptr ? 0 : clock->Now();
+  obs::Observability* o = bus_->observability();
+  obs::SpanScope span(obs::TracerOf(o), "rpc", "call");
 
   auto fail = [&](Error e) -> Result<Payload> {
     ++health_.failures;
     ++health_.consecutive_failures;
+    // Circuit-breaker trip: the exact call that crossed the threshold.
+    if (health_.consecutive_failures == config_.unhealthy_threshold) {
+      obs::Count(o, "rpc.circuit_trips");
+    }
+    obs::Observe(o, "rpc.call_latency_ns", Elapsed(start));
+    span.SetDetail(address_ + " failed");
     return e;
   };
 
@@ -218,11 +233,16 @@ Result<Payload> RpcClient::Call(std::uint32_t opcode,
       health_.backoff_waited += delay;
       last_backoffs_.push_back(delay);
       ++retries_;
+      obs::Observe(o, "rpc.backoff_ns", delay);
     }
     auto result = bus_->Call(address_, opcode, request, caller_);
     if (result.ok()) {
       ++health_.successes;
       health_.consecutive_failures = 0;
+      obs::Observe(o, "rpc.call_latency_ns", Elapsed(start));
+      span.SetDetail(address_ + (attempt > 0 ? " ok after " +
+                                     std::to_string(attempt) + " retries"
+                                             : " ok"));
       return result;
     }
     if (result.error().code != ErrorCode::kMessageDropped) {

@@ -39,6 +39,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/sim_clock.h"
+#include "obs/observability.h"
 
 namespace rhodos::sim {
 
@@ -168,6 +169,10 @@ class MessageBus {
   const NetStats& stats() const { return stats_; }
   void ResetStats() { stats_ = NetStats{}; }
 
+  // Installed by the facility; every RpcClient on this bus inherits it.
+  void SetObservability(obs::Observability* o) { obs_ = o; }
+  obs::Observability* observability() const { return obs_; }
+
   // One send/receive exchange. Returns kMessageDropped when either direction
   // is lost or the service is down/partitioned; the caller (an agent) is
   // expected to retry, relying on the idempotence of the operation.
@@ -232,6 +237,7 @@ class MessageBus {
   NetworkConfig config_;
   Rng rng_;
   NetStats stats_;
+  obs::Observability* obs_ = nullptr;
   std::unordered_map<std::string, ServiceHandler> services_;
 
   // Fault state.

@@ -153,6 +153,7 @@ Status LockManager::SetLock(LockLevel level, TxnId txn, ProcessId process,
   NotePeak();
 
   bool waited = false;
+  const Clock::time_point entered = Clock::now();
   while (true) {
     if (broken_.count(txn) != 0) {
       // Broken while waiting (we may hold locks elsewhere that lapsed).
@@ -177,6 +178,12 @@ Status LockManager::SetLock(LockLevel level, TxnId txn, ProcessId process,
     granted:
       ++stats_.grants;
       if (!waited) ++stats_.immediate_grants;
+      if (waited) {
+        stats_.wait_time_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - entered)
+                .count());
+      }
       if (conversion) ++stats_.conversions;
       cv_.notify_all();  // our grant may unblock a compatible reader
       return OkStatus();

@@ -74,6 +74,7 @@ struct LockStats {
   std::uint64_t breaks = 0;            // locks broken by the timeout rule
   std::uint64_t aborts_signalled = 0;  // transactions marked broken
   std::uint64_t records_peak = 0;      // max records in any single table
+  std::uint64_t wait_time_ns = 0;      // wall-clock time spent blocked
 };
 
 // One lock table (for one locking level).

@@ -32,6 +32,7 @@ TransactionService::TransactionService(FileService* files,
 // --- lifecycle -----------------------------------------------------------------
 
 Result<TxnId> TransactionService::Begin(ProcessId process) {
+  obs::SpanScope span(obs::TracerOf(obs_), "txn", "begin");
   std::scoped_lock lk(mu_);
   const TxnId id{next_txn_++};
   Txn t;
@@ -69,6 +70,7 @@ Result<LockLevel> TransactionService::LevelOf(FileId file) {
 Status TransactionService::AcquireLocks(TxnId txn, Txn& t, FileId file,
                                         LockLevel level, std::uint64_t offset,
                                         std::uint64_t len, LockMode mode) {
+  obs::SpanScope span(obs::TracerOf(obs_), "lock", "acquire");
   if (t.phase != TxnPhase::kLocking) {
     // Strict 2PL: no new locks once the unlocking phase has begun.
     return {ErrorCode::kTxnNotActive, "transaction is past its locking phase"};
@@ -194,6 +196,7 @@ Result<std::uint64_t> TransactionService::TRead(TxnId txn, FileId file,
                                                 std::uint64_t offset,
                                                 std::span<std::uint8_t> out,
                                                 ReadIntent intent) {
+  obs::SpanScope span(obs::TracerOf(obs_), "txn", "read");
   Txn* t;
   LockLevel level;
   {
@@ -219,6 +222,7 @@ Result<std::uint64_t> TransactionService::TRead(TxnId txn, FileId file,
 Result<std::uint64_t> TransactionService::TWrite(
     TxnId txn, FileId file, std::uint64_t offset,
     std::span<const std::uint8_t> in) {
+  obs::SpanScope span(obs::TracerOf(obs_), "txn", "write");
   Txn* t;
   LockLevel level;
   {
@@ -349,6 +353,8 @@ Status TransactionService::ApplyWalRange(FileId file, std::uint64_t offset,
 }
 
 Status TransactionService::CommitTxn(TxnId id, Txn& t) {
+  obs::SpanScope span(obs::TracerOf(obs_), "txn", "commit");
+  obs::LatencyScope lat(obs_, "txn.commit_latency_ns");
   t.phase = TxnPhase::kUnlocking;
 
   const bool has_effects = !t.tentative_pages.empty() ||
@@ -497,6 +503,7 @@ void TransactionService::Finish(TxnId id) {
 }
 
 Status TransactionService::End(TxnId txn) {
+  obs::SpanScope span(obs::TracerOf(obs_), "txn", "end");
   std::scoped_lock lk(mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) {
@@ -530,6 +537,7 @@ Status TransactionService::End(TxnId txn) {
 }
 
 Status TransactionService::Abort(TxnId txn) {
+  obs::SpanScope span(obs::TracerOf(obs_), "txn", "abort");
   std::scoped_lock lk(mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) {
@@ -554,6 +562,7 @@ Status TransactionService::Abort(TxnId txn) {
 // --- recovery ------------------------------------------------------------------------
 
 Status TransactionService::Recover() {
+  obs::SpanScope span(obs::TracerOf(obs_), "txn", "recover");
   struct TxnTrace {
     TxnStatus final_status = TxnStatus::kTentative;
     std::vector<IntentionRecord> records;

@@ -37,6 +37,7 @@
 #include "common/result.h"
 #include "common/types.h"
 #include "file/file_service.h"
+#include "obs/observability.h"
 #include "txn/lock_manager.h"
 #include "txn/lock_types.h"
 #include "txn/txn_log.h"
@@ -139,6 +140,9 @@ class TransactionService {
 
   const TxnServiceStats& stats() const { return stats_; }
   void ResetStats() { stats_ = TxnServiceStats{}; }
+
+  // Installed by the facility; null means no tracing/metrics.
+  void SetObservability(obs::Observability* o) { obs_ = o; }
   LockManager& locks() { return locks_; }
   TxnLog& log() { return log_; }
   file::FileService* files() { return files_; }
@@ -220,6 +224,7 @@ class TransactionService {
   // mid-apply): blocks log truncation until Recover() has redone it.
   bool log_needs_recovery_ = false;
   TxnServiceStats stats_;
+  obs::Observability* obs_ = nullptr;
 };
 
 }  // namespace rhodos::txn
