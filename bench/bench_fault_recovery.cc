@@ -73,6 +73,11 @@ BENCHMARK(BM_DegradedThroughput)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 
+// Each replica holds 1 MiB (128 blocks), so the repair copy is big enough
+// to show the extent-sized batching: a block-at-a-time rebuild would pay
+// one disk reference per block, the vectored rebuild a handful per extent.
+constexpr std::size_t kRepairRegion = 1024 * 1024;
+
 void BM_TimeToRepair(benchmark::State& state) {
   const int groups = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -83,33 +88,49 @@ void BM_TimeToRepair(benchmark::State& state) {
     std::vector<replication::GroupId> gs;
     for (int i = 0; i < groups; ++i) {
       auto g = repl.CreateReplicated(file::ServiceType::kTransaction, 3,
-                                     kRegion);
+                                     kRepairRegion);
       if (!g.ok()) {
         state.SkipWithError("group create failed");
         return;
       }
       gs.push_back(*g);
-      (void)repl.Write(*g, 0, Pattern(kRegion, 3));
+      (void)repl.Write(*g, 0, Pattern(kRepairRegion, 3));
     }
 
     // Outage: every group loses its disk-1 replica and takes a write.
     (void)f.CrashDisk(DiskId{1});
     f.recovery().Tick();
-    for (auto g : gs) (void)repl.Write(g, 0, Pattern(kRegion, 9));
+    for (auto g : gs) (void)repl.Write(g, 0, Pattern(kRepairRegion, 9));
 
     // The disk returns; one control-loop tick detects and repairs all.
     (void)f.RecoverDisk(DiskId{1});
+    const std::uint64_t write_refs_before = TotalWriteRefs(f);
     const SimTime start = f.clock().Now();
     f.recovery().Tick();
     const SimTime elapsed = f.clock().Now() - start;
+    const std::uint64_t repair_disk_refs =
+        TotalWriteRefs(f) - write_refs_before;
 
     std::uint64_t converged = 0;
     for (auto g : gs) {
       auto c = repl.Converged(g);
       converged += (c.ok() && *c) ? 1 : 0;
     }
+    // The whole point of the vectored rebuild: far fewer references than
+    // blocks copied. A block-at-a-time regression trips this immediately.
+    const std::uint64_t blocks_copied =
+        static_cast<std::uint64_t>(groups) * (kRepairRegion / kBlockSize);
+    if (converged == static_cast<std::uint64_t>(groups) &&
+        repair_disk_refs >= blocks_copied) {
+      state.SkipWithError("repair used one reference per block — batching "
+                          "regressed");
+      return;
+    }
     state.counters["repair_sim_ms"] =
         static_cast<double>(elapsed) / kSimMillisecond;
+    state.counters["repair_disk_refs"] =
+        static_cast<double>(repair_disk_refs);
+    state.counters["blocks_copied"] = static_cast<double>(blocks_copied);
     state.counters["auto_repairs"] =
         static_cast<double>(f.recovery().stats().auto_repairs);
     state.counters["groups_converged"] = static_cast<double>(converged);

@@ -1,0 +1,157 @@
+// E17 — batched, reordered, and overlapped I/O: the three mechanisms this
+// row measures together are the vectored disk interface (one elevator pass
+// per submission, adjacent runs coalesced), the overlapped per-disk
+// sub-batches of a striped request (sim::ParallelSection — elapsed is the
+// busiest spindle, not the sum), and sequential read-ahead in the file
+// service.
+//
+//  * BM_OverlappedStripedWrite — write a striped file through the
+//    write-through path with D in {1,2,4,8} disks; the per-disk vectored
+//    fan-out should make simulated elapsed time fall near 1/D.
+//  * BM_SequentialReadAhead — stream a file block by block; after the
+//    detector arms, almost every read is served by a prefetched cache
+//    block. Columns: readahead hit rate (hits / issued), refs.
+//  * BM_VectoredWriteback — dirty a scattered set of cached blocks, then
+//    Flush(): the per-disk elevator turns N writebacks into a few swept
+//    references. Columns: refs per dirtied block, elevator reorders.
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+constexpr std::uint64_t kFileBytes = 16ull * 1024 * 1024;
+
+void BM_OverlappedStripedWrite(benchmark::State& state) {
+  const auto disk_count = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    core::FacilityConfig cfg =
+        DefaultFacility(disk_count, (64 * 1024) / disk_count);
+    cfg.file.extent_blocks = 32;  // 256 KiB stripe unit
+    cfg.file.extend_in_place = disk_count == 1;
+    // Big enough that growth's zero-fill never evicts mid-benchmark.
+    cfg.file.block_pool_capacity = 4096;
+    core::DistributedFileFacility facility(cfg);
+
+    // Transaction files write through, so every Write drives the disks.
+    // No size hint: the file stripes across spindles as it grows.
+    auto file = facility.files().Create(file::ServiceType::kTransaction, 0);
+    if (!file.ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+    const auto chunk = Pattern(4 * 1024 * 1024);
+    const SimTime start = facility.clock().Now();
+    for (std::uint64_t off = 0; off < kFileBytes; off += chunk.size()) {
+      if (!facility.files().Write(*file, off, chunk).ok()) {
+        state.SkipWithError("write failed");
+        return;
+      }
+    }
+    const double elapsed_ms = SimMillis(facility.clock().Now() - start);
+    state.counters["sim_elapsed_ms"] = elapsed_ms;
+    state.counters["throughput_MiBps"] =
+        static_cast<double>(kFileBytes) / (1024 * 1024) /
+        (elapsed_ms / 1000.0);
+    state.counters["write_refs"] =
+        static_cast<double>(TotalWriteRefs(facility));
+  }
+}
+BENCHMARK(BM_OverlappedStripedWrite)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_SequentialReadAhead(benchmark::State& state) {
+  constexpr std::uint64_t kBlocks = 512;  // 4 MiB streamed block by block
+  for (auto _ : state) {
+    core::FacilityConfig cfg = DefaultFacility(1, 32 * 1024);
+    core::DistributedFileFacility facility(cfg);
+    auto file = facility.files().Create(file::ServiceType::kBasic,
+                                        kBlocks * kBlockSize);
+    if (!file.ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+    (void)facility.files().Write(*file, 0, Pattern(kBlocks * kBlockSize));
+    (void)facility.files().FlushAll();
+    ColdCaches(facility);
+    facility.disks().ResetStats();
+
+    std::vector<std::uint8_t> out(kBlockSize);
+    for (std::uint64_t b = 0; b < kBlocks; ++b) {
+      if (!facility.files().Read(*file, b * kBlockSize, out).ok()) {
+        state.SkipWithError("read failed");
+        return;
+      }
+    }
+    const auto& fs = facility.files().stats();
+    const double issued = static_cast<double>(fs.readahead_issued);
+    const double hit_rate =
+        issued > 0 ? static_cast<double>(fs.readahead_hits) / issued : 0.0;
+    if (hit_rate <= 0.8) {
+      state.SkipWithError("sequential read-ahead hit rate fell below 80%");
+      return;
+    }
+    state.counters["readahead_issued"] = issued;
+    state.counters["readahead_hits"] =
+        static_cast<double>(fs.readahead_hits);
+    state.counters["readahead_wasted"] =
+        static_cast<double>(fs.readahead_wasted);
+    state.counters["readahead_hit_rate"] = hit_rate;
+    state.counters["disk_refs"] =
+        static_cast<double>(TotalReadRefs(facility));
+  }
+}
+BENCHMARK(BM_SequentialReadAhead)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_VectoredWriteback(benchmark::State& state) {
+  constexpr std::uint64_t kBlocks = 128;
+  for (auto _ : state) {
+    core::FacilityConfig cfg = DefaultFacility(2, 32 * 1024);
+    cfg.file.extent_blocks = 16;
+    cfg.file.extend_in_place = false;
+    core::DistributedFileFacility facility(cfg);
+    auto file = facility.files().Create(file::ServiceType::kBasic,
+                                        kBlocks * kBlockSize);
+    if (!file.ok()) {
+      state.SkipWithError("create failed");
+      return;
+    }
+    (void)facility.files().Write(*file, 0, Pattern(kBlocks * kBlockSize));
+    (void)facility.files().FlushAll();
+    facility.disks().ResetStats();
+
+    // Dirty every block in a scattered order, then flush once: the
+    // elevator sweeps them back in fragment order, coalescing neighbours.
+    const auto blockful = Pattern(kBlockSize, 7);
+    for (std::uint64_t i = 0; i < kBlocks; ++i) {
+      const std::uint64_t b = (i * 37) % kBlocks;  // pseudo-random order
+      (void)facility.files().Write(*file, b * kBlockSize, blockful);
+    }
+    const SimTime start = facility.clock().Now();
+    if (!facility.files().Flush(*file).ok()) {
+      state.SkipWithError("flush failed");
+      return;
+    }
+    const double flush_ms = SimMillis(facility.clock().Now() - start);
+
+    std::uint64_t reorders = 0, merged = 0;
+    for (const auto& d : facility.disks().disks()) {
+      reorders += d->vec_stats().elevator_reorders;
+      merged += d->vec_stats().merged_runs;
+    }
+    state.counters["flush_sim_ms"] = flush_ms;
+    state.counters["write_refs"] =
+        static_cast<double>(TotalWriteRefs(facility));
+    state.counters["refs_per_block"] =
+        static_cast<double>(TotalWriteRefs(facility)) / kBlocks;
+    state.counters["elevator_reorders"] = static_cast<double>(reorders);
+    state.counters["merged_runs"] = static_cast<double>(merged);
+  }
+}
+BENCHMARK(BM_VectoredWriteback)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+RHODOS_BENCH_MAIN();

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# Disk-efficiency regression gate.
+#
+# Every bench binary writes <binary>.metrics.json (the drained facility
+# metrics). This script runs the I/O-sensitive benches and snapshots the
+# counters that measure disk efficiency — references and arm travel — into
+# bench/baselines/<bench>.json:
+#
+#   scripts/bench_baseline.sh            # (re)record the baselines
+#   scripts/bench_baseline.sh --check    # fail if any counter regressed >10%
+#
+# The baselines are committed: a change that makes the same workload issue
+# more disk references or longer seeks than 1.10x the recorded value fails
+# `--check` (which scripts/check.sh runs), so batching/elevator wins cannot
+# silently rot. Lower is always better for these counters; improvements
+# should be re-recorded.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHES=(bench_contiguous_read bench_fault_recovery bench_striping)
+KEYS=(disk.read_references disk.write_references disk.tracks_seeked)
+BUILD=build
+BASELINES=bench/baselines
+TOLERANCE=1.10
+
+mode="record"
+if [[ "${1:-}" == "--check" ]]; then
+  mode="check"
+  shift
+fi
+if [[ $# -gt 0 ]]; then
+  BENCHES=("$@")
+fi
+
+mkdir -p "$BASELINES"
+
+extract() {
+  # extract <metrics.json> <out.json> — pull the key counters.
+  python3 - "$1" "$2" <<'EOF'
+import json, sys
+keys = ("disk.read_references", "disk.write_references",
+        "disk.tracks_seeked")
+with open(sys.argv[1]) as f:
+    snap = json.load(f)
+counters = snap.get("counters", {})
+picked = {k: int(counters.get(k, 0)) for k in keys}
+with open(sys.argv[2], "w") as f:
+    json.dump(picked, f, indent=2, sort_keys=True)
+    f.write("\n")
+EOF
+}
+
+compare() {
+  # compare <bench> <baseline.json> <current.json> — >10% worse fails.
+  python3 - "$1" "$2" "$3" <<'EOF'
+import json, sys
+bench, base_path, cur_path = sys.argv[1:4]
+with open(base_path) as f:
+    base = json.load(f)
+with open(cur_path) as f:
+    cur = json.load(f)
+tolerance = 1.10
+failed = False
+for key, base_value in sorted(base.items()):
+    value = cur.get(key, 0)
+    limit = base_value * tolerance
+    status = "ok"
+    if base_value > 0 and value > limit:
+        status = "REGRESSED"
+        failed = True
+    elif base_value == 0 and value > 0:
+        status = "REGRESSED"
+        failed = True
+    print(f"  {bench}: {key} baseline={base_value} now={value} [{status}]")
+if failed:
+    sys.exit(1)
+EOF
+}
+
+fail=0
+for bench in "${BENCHES[@]}"; do
+  bin="$BUILD/bench/$bench"
+  if [[ ! -x "$bin" ]]; then
+    echo "missing $bin — build the benches first (cmake --build $BUILD)" >&2
+    exit 2
+  fi
+  echo "== $bench =="
+  "$bin" >/dev/null 2>&1 || {
+    echo "$bench run failed" >&2
+    exit 1
+  }
+  metrics="$bin.metrics.json"
+  if [[ ! -f "$metrics" ]]; then
+    echo "$bench did not write $metrics" >&2
+    exit 1
+  fi
+  if [[ "$mode" == "record" ]]; then
+    extract "$metrics" "$BASELINES/$bench.json"
+    echo "  recorded $BASELINES/$bench.json"
+  else
+    if [[ ! -f "$BASELINES/$bench.json" ]]; then
+      echo "  no baseline for $bench — run scripts/bench_baseline.sh first" >&2
+      exit 2
+    fi
+    extract "$metrics" "$BUILD/$bench.current.json"
+    compare "$bench" "$BASELINES/$bench.json" "$BUILD/$bench.current.json" \
+      || fail=1
+  fi
+done
+
+if [[ "$mode" == "check" ]]; then
+  if [[ $fail -ne 0 ]]; then
+    echo "disk-efficiency baselines regressed (>$TOLERANCE x)" >&2
+    exit 1
+  fi
+  echo "disk-efficiency baselines hold."
+fi

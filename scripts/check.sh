@@ -46,6 +46,11 @@ if [[ "$mode" != "--sanitize-only" ]]; then
 
   echo "== observability: trace dump smoke test =="
   ./build/examples/trace_dump > /dev/null
+
+  echo "== disk-efficiency baselines =="
+  # Re-runs the I/O-sensitive benches and fails if disk references or arm
+  # travel regressed >10% against the committed bench/baselines/*.json.
+  scripts/bench_baseline.sh --check
 fi
 
 if [[ "$mode" != "--plain-only" ]]; then

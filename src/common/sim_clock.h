@@ -22,6 +22,11 @@ inline constexpr SimTime kSimSecond = 1'000'000'000;
 // Not thread safe by design: the simulated-hardware paths are single
 // threaded, while the concurrency experiments (lock manager) run on real
 // threads against the real clock.
+//
+// The one sanctioned exception to monotonicity is sim::ParallelSection,
+// which rewinds the clock to a fork point so each lane of an overlapped
+// multi-device batch is timed from the same origin; the section commits the
+// latest lane end, so time never moves backwards across a whole section.
 class SimClock {
  public:
   SimTime Now() const { return now_; }
@@ -33,6 +38,13 @@ class SimClock {
   // Moves the clock to at least `t` (models waiting until an event).
   void AdvanceTo(SimTime t) {
     if (t > now_) now_ = t;
+  }
+
+  // Moves the clock back to `t` — only for replaying concurrent lanes from
+  // a common fork point (see sim::ParallelSection). Callers must guarantee
+  // the enclosing section ends at or after the fork point.
+  void RewindTo(SimTime t) {
+    if (t < now_) now_ = t;
   }
 
   void Reset() { now_ = 0; }

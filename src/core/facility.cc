@@ -161,16 +161,20 @@ constexpr const char* kCounters[] = {
     // run array (summed across disks).
     "disk.cache.dirty_writebacks", "disk.cache.evictions",
     "disk.cache.hits", "disk.cache.misses",
+    "disk.elevator_reorders",
     "disk.fragments_read", "disk.fragments_written",
     "disk.free_space.array_hits", "disk.free_space.array_misses",
     "disk.free_space.rebuilds", "disk.free_space.stale_discards",
     "disk.read_references", "disk.stable.fragments_read",
     "disk.stable.fragments_written", "disk.stable.read_references",
     "disk.stable.time_charged_ns", "disk.stable.write_references",
-    "disk.time_charged_ns", "disk.tracks_seeked", "disk.write_references",
-    // Server-side file service (block pool, index tables).
+    "disk.time_charged_ns", "disk.tracks_seeked",
+    "disk.vec_merged_runs", "disk.vec_requests", "disk.vec_runs",
+    "disk.write_references",
+    // Server-side file service (block pool, index tables, read-ahead).
     "file.bytes_read", "file.bytes_written", "file.cache.hits",
     "file.cache.misses", "file.fit_loads", "file.fit_stores",
+    "file.readahead_hits", "file.readahead_issued", "file.readahead_wasted",
     "file.reads", "file.writes",
     // Lock manager.
     "lock.aborts_signalled", "lock.breaks", "lock.conversions",
@@ -208,8 +212,8 @@ constexpr const char* kGauges[] = {
 };
 
 constexpr const char* kHistograms[] = {
-    "agent.op_latency_ns", "disk.reference_ns", "rpc.backoff_ns",
-    "rpc.call_latency_ns", "txn.commit_latency_ns",
+    "agent.op_latency_ns", "disk.reference_ns", "disk.seek_ns",
+    "rpc.backoff_ns", "rpc.call_latency_ns", "txn.commit_latency_ns",
 };
 
 }  // namespace
@@ -295,6 +299,9 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("file.bytes_written", fs.bytes_written);
   m.SetCounter("file.fit_loads", fs.fit_loads);
   m.SetCounter("file.fit_stores", fs.fit_stores);
+  m.SetCounter("file.readahead_issued", fs.readahead_issued);
+  m.SetCounter("file.readahead_hits", fs.readahead_hits);
+  m.SetCounter("file.readahead_wasted", fs.readahead_wasted);
 
   const txn::LockStats& lk = txns_->locks().stats();
   m.SetCounter("lock.grants", lk.grants);
@@ -345,6 +352,7 @@ void DistributedFileFacility::PullLayerStats() {
   sim::DiskStats main_sum, stable_sum;
   disk::TrackCacheStats cache_sum;
   disk::FreeSpaceStats free_sum;
+  disk::VecIoStats vec_sum;
   std::uint64_t free_fragments = 0;
   for (const auto& server : disks_.disks()) {
     const sim::DiskStats& ms = server->main_stats();
@@ -370,6 +378,11 @@ void DistributedFileFacility::PullLayerStats() {
     free_sum.array_misses += fss.array_misses;
     free_sum.rebuilds += fss.rebuilds;
     free_sum.stale_discards += fss.stale_discards;
+    const disk::VecIoStats& vs = server->vec_stats();
+    vec_sum.requests += vs.requests;
+    vec_sum.runs += vs.runs;
+    vec_sum.merged_runs += vs.merged_runs;
+    vec_sum.elevator_reorders += vs.elevator_reorders;
     free_fragments += server->FreeFragmentCount();
   }
   m.SetCounter("disk.read_references", main_sum.read_references);
@@ -394,6 +407,10 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("disk.free_space.array_misses", free_sum.array_misses);
   m.SetCounter("disk.free_space.rebuilds", free_sum.rebuilds);
   m.SetCounter("disk.free_space.stale_discards", free_sum.stale_discards);
+  m.SetCounter("disk.vec_requests", vec_sum.requests);
+  m.SetCounter("disk.vec_runs", vec_sum.runs);
+  m.SetCounter("disk.vec_merged_runs", vec_sum.merged_runs);
+  m.SetCounter("disk.elevator_reorders", vec_sum.elevator_reorders);
 
   m.SetGauge("facility.disk_count", static_cast<double>(config_.disk_count));
   m.SetGauge("facility.machine_count",

@@ -252,6 +252,185 @@ Status DiskServer::PutBlock(FragmentIndex first, std::uint32_t count,
   return {ErrorCode::kInvalidArgument, "bad stable mode"};
 }
 
+// --- Vectored I/O -------------------------------------------------------------
+
+namespace {
+
+// SCAN/elevator pass: stable-sort run indices into ascending fragment order
+// so one sweep of the arm services every run. Returns the service order and
+// counts how many runs moved relative to arrival order.
+template <typename Run>
+std::vector<std::size_t> ElevatorOrder(std::span<const Run> runs,
+                                       std::uint64_t* reorders) {
+  std::vector<std::size_t> order(runs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [&runs](std::size_t a, std::size_t b) {
+                     return runs[a].first < runs[b].first;
+                   });
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] != i) ++*reorders;
+  }
+  return order;
+}
+
+}  // namespace
+
+void DiskServer::ObserveSeek(FragmentIndex first) {
+  const std::uint64_t target = config_.geometry.TrackOf(first);
+  const std::uint64_t head = main_.head_track();
+  const std::uint64_t distance = target > head ? target - head : head - target;
+  obs::Observe(obs_, "disk.seek_ns",
+               config_.geometry.seek_base +
+                   config_.geometry.seek_per_track *
+                       static_cast<SimTime>(distance));
+}
+
+Status DiskServer::GetBlocksVec(std::span<const ReadRun> runs,
+                                ReadSource source) {
+  for (const ReadRun& r : runs) {
+    if (r.out.size() < static_cast<std::size_t>(r.count) * kFragmentSize) {
+      return {ErrorCode::kInvalidArgument, "get_blocks_vec buffer too small"};
+    }
+  }
+  if (runs.empty()) return OkStatus();
+  obs::SpanScope span(obs::TracerOf(obs_), "disk", "get_blocks_vec");
+  span.SetDetail("disk-" + std::to_string(id_.value) + " runs=" +
+                 std::to_string(runs.size()));
+  vec_stats_.requests += 1;
+  vec_stats_.runs += runs.size();
+
+  if (source == ReadSource::kStable) {
+    // Stable-mirror recovery reads are rare; serve them run by run (the
+    // mirror has no cache or elevator worth modelling).
+    if (!stable_) {
+      return {ErrorCode::kNotSupported, "disk has no stable storage"};
+    }
+    for (const ReadRun& r : runs) {
+      RHODOS_RETURN_IF_ERROR(stable_->ReadFragments(r.first, r.count, r.out));
+    }
+    return OkStatus();
+  }
+
+  const std::vector<std::size_t> order =
+      ElevatorOrder(runs, &vec_stats_.elevator_reorders);
+
+  // Service the sorted runs, coalescing physically adjacent ones into one
+  // disk reference. A merged group reads into scratch and scatters to the
+  // member segments.
+  std::vector<std::uint8_t> scratch;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t group_end = i + 1;
+    FragmentIndex next = runs[order[i]].first + runs[order[i]].count;
+    std::uint64_t total = runs[order[i]].count;
+    while (group_end < order.size() && runs[order[group_end]].first == next) {
+      next += runs[order[group_end]].count;
+      total += runs[order[group_end]].count;
+      ++group_end;
+    }
+    vec_stats_.merged_runs += (group_end - i) - 1;
+    const FragmentIndex first = runs[order[i]].first;
+    const std::uint64_t hits_before = cache_.stats().hits;
+    const std::uint64_t head_before = main_.head_track();
+    obs::LatencyScope lat(obs_, "disk.reference_ns");
+    if (group_end == i + 1) {
+      RHODOS_RETURN_IF_ERROR(
+          ReadMain(first, runs[order[i]].count, runs[order[i]].out));
+    } else {
+      scratch.resize(static_cast<std::size_t>(total) * kFragmentSize);
+      RHODOS_RETURN_IF_ERROR(
+          ReadMain(first, static_cast<std::uint32_t>(total), scratch));
+      std::size_t off = 0;
+      for (std::size_t g = i; g < group_end; ++g) {
+        const ReadRun& r = runs[order[g]];
+        std::memcpy(r.out.data(), scratch.data() + off,
+                    static_cast<std::size_t>(r.count) * kFragmentSize);
+        off += static_cast<std::size_t>(r.count) * kFragmentSize;
+      }
+    }
+    if (cache_.stats().hits == hits_before) {
+      // The reference went to the platter: sample the seek it paid, from
+      // where the head rested when the group was issued.
+      const std::uint64_t target = config_.geometry.TrackOf(first);
+      const std::uint64_t distance =
+          target > head_before ? target - head_before : head_before - target;
+      obs::Observe(obs_, "disk.seek_ns",
+                   config_.geometry.seek_base +
+                       config_.geometry.seek_per_track *
+                           static_cast<SimTime>(distance));
+    }
+    i = group_end;
+  }
+  return OkStatus();
+}
+
+Status DiskServer::PutBlocksVec(std::span<const WriteRun> runs,
+                                StableMode stable, WriteSync sync,
+                                WritePolicy policy) {
+  for (const WriteRun& r : runs) {
+    if (r.in.size() < static_cast<std::size_t>(r.count) * kFragmentSize) {
+      return {ErrorCode::kInvalidArgument, "put_blocks_vec buffer too small"};
+    }
+  }
+  if (runs.empty()) return OkStatus();
+  obs::SpanScope span(obs::TracerOf(obs_), "disk", "put_blocks_vec");
+  span.SetDetail("disk-" + std::to_string(id_.value) + " runs=" +
+                 std::to_string(runs.size()));
+  vec_stats_.requests += 1;
+  vec_stats_.runs += runs.size();
+
+  const std::vector<std::size_t> order =
+      ElevatorOrder(runs, &vec_stats_.elevator_reorders);
+
+  std::vector<std::uint8_t> scratch;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t group_end = i + 1;
+    FragmentIndex next = runs[order[i]].first + runs[order[i]].count;
+    std::uint64_t total = runs[order[i]].count;
+    while (group_end < order.size() && runs[order[group_end]].first == next) {
+      next += runs[order[group_end]].count;
+      total += runs[order[group_end]].count;
+      ++group_end;
+    }
+    vec_stats_.merged_runs += (group_end - i) - 1;
+    const FragmentIndex first = runs[order[i]].first;
+    std::span<const std::uint8_t> data = runs[order[i]].in;
+    if (group_end > i + 1) {
+      scratch.resize(static_cast<std::size_t>(total) * kFragmentSize);
+      std::size_t off = 0;
+      for (std::size_t g = i; g < group_end; ++g) {
+        const WriteRun& r = runs[order[g]];
+        std::memcpy(scratch.data() + off, r.in.data(),
+                    static_cast<std::size_t>(r.count) * kFragmentSize);
+        off += static_cast<std::size_t>(r.count) * kFragmentSize;
+      }
+      data = scratch;
+    }
+    obs::LatencyScope lat(obs_, "disk.reference_ns");
+    const auto count = static_cast<std::uint32_t>(total);
+    if (stable != StableMode::kStableOnly &&
+        policy != WritePolicy::kDelayed) {
+      ObserveSeek(first);
+    }
+    switch (stable) {
+      case StableMode::kNone:
+        RHODOS_RETURN_IF_ERROR(WriteMain(first, count, data, policy));
+        break;
+      case StableMode::kStableOnly:
+        RHODOS_RETURN_IF_ERROR(WriteStable(first, count, data, sync));
+        break;
+      case StableMode::kOriginalAndStable:
+        RHODOS_RETURN_IF_ERROR(WriteMain(first, count, data, policy));
+        RHODOS_RETURN_IF_ERROR(WriteStable(first, count, data, sync));
+        break;
+    }
+    i = group_end;
+  }
+  return OkStatus();
+}
+
 Status DiskServer::FlushBlock(FragmentIndex first, std::uint32_t count) {
   obs::SpanScope span(obs::TracerOf(obs_), "disk", "flush");
   obs::LatencyScope lat(obs_, "disk.reference_ns");
@@ -341,6 +520,7 @@ void DiskServer::ResetStats() {
   if (stable_) stable_->ResetStats();
   cache_.ResetStats();
   free_space_.ResetStats();
+  vec_stats_ = VecIoStats{};
 }
 
 }  // namespace rhodos::disk

@@ -64,6 +64,31 @@ struct DiskServerConfig {
   std::uint64_t fault_seed = 1;
 };
 
+// One run of a vectored (scatter/gather) request: `count` fragments from
+// `first`, moving to/from the caller-side buffer segment. The segments of
+// one call may be disjoint slices of one big buffer (striped reads) or
+// independent buffers (cache writebacks).
+struct ReadRun {
+  FragmentIndex first;
+  std::uint32_t count;
+  std::span<std::uint8_t> out;  // >= count * kFragmentSize bytes
+};
+
+struct WriteRun {
+  FragmentIndex first;
+  std::uint32_t count;
+  std::span<const std::uint8_t> in;  // >= count * kFragmentSize bytes
+};
+
+// Counters of the vectored path (summed into `disk.vec_*` /
+// `disk.elevator_reorders` by the facility).
+struct VecIoStats {
+  std::uint64_t requests = 0;          // GetBlocksVec/PutBlocksVec calls
+  std::uint64_t runs = 0;              // runs submitted across all calls
+  std::uint64_t merged_runs = 0;       // runs coalesced with a neighbour
+  std::uint64_t elevator_reorders = 0; // runs the SCAN sort moved
+};
+
 class DiskServer {
  public:
   DiskServer(DiskId id, DiskServerConfig config, SimClock* clock);
@@ -120,6 +145,21 @@ class DiskServer {
                   WriteSync sync = WriteSync::kSynchronous,
                   WritePolicy policy = WritePolicy::kWriteThrough);
 
+  // --- Vectored I/O --------------------------------------------------------
+  // One submission of many runs. The server sorts the runs into one SCAN
+  // (elevator) pass over the platter — ascending fragment order — so a
+  // multi-extent request seeks monotonically instead of chasing the
+  // caller's arrival order, and physically adjacent runs coalesce into a
+  // single disk reference. Data still lands in (comes from) each run's own
+  // buffer segment, in the caller's order.
+  Status GetBlocksVec(std::span<const ReadRun> runs,
+                      ReadSource source = ReadSource::kMain);
+
+  Status PutBlocksVec(std::span<const WriteRun> runs,
+                      StableMode stable = StableMode::kNone,
+                      WriteSync sync = WriteSync::kSynchronous,
+                      WritePolicy policy = WritePolicy::kWriteThrough);
+
   // Forces any delayed-write data for [first, first+count) to the platter.
   Status FlushBlock(FragmentIndex first, std::uint32_t count);
   // Flushes all delayed writes and drains the asynchronous stable queue.
@@ -155,6 +195,7 @@ class DiskServer {
 
   const sim::DiskStats& main_stats() const { return main_.stats(); }
   const sim::DiskStats& stable_stats() const { return stable_->stats(); }
+  const VecIoStats& vec_stats() const { return vec_stats_; }
   const TrackCacheStats& cache_stats() const { return cache_.stats(); }
   const FreeSpaceStats& free_space_stats() const {
     return free_space_.stats();
@@ -177,6 +218,11 @@ class DiskServer {
                      std::span<const std::uint8_t> in, WriteSync sync);
   void ReadAheadTrack(FragmentIndex first, std::uint32_t count);
 
+  // Seek-distance histogram sample for a reference about to be issued at
+  // `first` (converted to simulated seek time — the monotone image of the
+  // track distance under the cost model).
+  void ObserveSeek(FragmentIndex first);
+
   struct PendingStableWrite {
     FragmentIndex first;
     std::uint32_t count;
@@ -193,6 +239,7 @@ class DiskServer {
   TrackCache cache_;
   std::deque<PendingStableWrite> stable_queue_;
   std::uint64_t metadata_fragments_;
+  VecIoStats vec_stats_;
   obs::Observability* obs_ = nullptr;
 };
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
+#include <utility>
+
+#include "sim/parallel.h"
 
 namespace rhodos::file {
 
@@ -192,6 +196,7 @@ Status FileService::Delete(FileId id) {
   // Purge the block cache of this file's entries.
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->first.file == id) {
+      NoteDropped(it->second);
       lru_.erase(it->second.lru_pos);
       it = cache_.erase(it);
     } else {
@@ -256,6 +261,7 @@ Status FileService::EvictOne() {
   for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
     auto it = cache_.find(*rit);
     if (it != cache_.end() && !it->second.dirty) {
+      NoteDropped(it->second);
       lru_.erase(it->second.lru_pos);
       cache_.erase(it);
       return OkStatus();
@@ -267,6 +273,7 @@ Status FileService::EvictOne() {
   const CacheKey victim = lru_.back();
   auto it = cache_.find(victim);
   RHODOS_RETURN_IF_ERROR(WritebackEntry(victim, it->second));
+  NoteDropped(it->second);
   lru_.erase(it->second.lru_pos);
   cache_.erase(it);
   return OkStatus();
@@ -281,6 +288,11 @@ Result<FileService::CacheEntry*> FileService::CacheInsert(
   if (auto* existing = CacheLookup(id, block)) {
     std::memcpy(existing->buffer.data(), data.data(), kBlockSize);
     existing->dirty = existing->dirty || dirty;
+    if (dirty && existing->prefetched) {
+      // Overwritten before ever being read: the prefetch bought nothing.
+      existing->prefetched = false;
+      ++stats_.readahead_wasted;
+    }
     return existing;
   }
   auto buffer = block_pool_.Acquire();
@@ -305,17 +317,30 @@ Result<FileService::CacheEntry*> FileService::CacheInsert(
 Status FileService::ReadBlocks(FileId id, OpenFile& of, std::uint64_t first,
                                std::uint64_t count,
                                std::span<std::uint8_t> out) {
+  // Pass 1: serve cache hits and collect the physically contiguous uncached
+  // spans — the per-descriptor count makes each span a single disk
+  // reference (§5).
+  struct UncachedSpan {
+    DiskServer* server;
+    FragmentIndex frag;
+    std::uint64_t block;    // first logical block
+    std::uint64_t blocks;   // span length
+    std::size_t out_off;    // byte offset in `out`
+  };
+  std::vector<UncachedSpan> spans;
   std::uint64_t b = first;
   while (b < first + count) {
     std::uint8_t* dst = out.data() + (b - first) * kBlockSize;
     if (CacheEntry* hit = CacheLookup(id, b)) {
       std::memcpy(dst, hit->buffer.data(), kBlockSize);
       ++stats_.cache_hits;
+      if (hit->prefetched) {
+        hit->prefetched = false;
+        ++stats_.readahead_hits;
+      }
       ++b;
       continue;
     }
-    // Find the longest physically contiguous uncached span starting at b —
-    // the per-descriptor count makes this a single get_block (§5).
     RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of.table.Locate(b));
     std::uint64_t span_blocks = 1;
     while (span_blocks < loc.contiguous_blocks &&
@@ -325,16 +350,60 @@ Status FileService::ReadBlocks(FileId id, OpenFile& of, std::uint64_t first,
     }
     stats_.cache_misses += span_blocks;
     RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
-    RHODOS_RETURN_IF_ERROR(server->GetBlock(
-        loc.first_fragment,
-        static_cast<std::uint32_t>(span_blocks * kFragmentsPerBlock),
-        {dst, span_blocks * kBlockSize}));
-    for (std::uint64_t i = 0; i < span_blocks; ++i) {
-      auto inserted = CacheInsert(id, b + i, {dst + i * kBlockSize, kBlockSize},
-                                  /*dirty=*/false);
+    spans.push_back(UncachedSpan{server, loc.first_fragment, b, span_blocks,
+                                 (b - first) * kBlockSize});
+    b += span_blocks;
+  }
+  if (spans.empty()) return OkStatus();
+
+  // Pass 2: issue the I/O. One span keeps the classic get_block path; many
+  // spans become per-disk vectored batches, and when a striped read touches
+  // several disks the sub-batches overlap (lane per spindle — E10).
+  if (spans.size() == 1) {
+    const UncachedSpan& s = spans.front();
+    RHODOS_RETURN_IF_ERROR(s.server->GetBlock(
+        s.frag, static_cast<std::uint32_t>(s.blocks * kFragmentsPerBlock),
+        out.subspan(s.out_off, s.blocks * kBlockSize)));
+  } else {
+    std::vector<std::pair<DiskServer*, std::vector<disk::ReadRun>>> per_disk;
+    for (const UncachedSpan& s : spans) {
+      auto it = std::find_if(
+          per_disk.begin(), per_disk.end(),
+          [&s](const auto& p) { return p.first == s.server; });
+      if (it == per_disk.end()) {
+        per_disk.emplace_back(s.server, std::vector<disk::ReadRun>{});
+        it = std::prev(per_disk.end());
+      }
+      it->second.push_back(disk::ReadRun{
+          s.frag, static_cast<std::uint32_t>(s.blocks * kFragmentsPerBlock),
+          out.subspan(s.out_off, s.blocks * kBlockSize)});
+    }
+    if (per_disk.size() == 1) {
+      RHODOS_RETURN_IF_ERROR(
+          per_disk.front().first->GetBlocksVec(per_disk.front().second));
+    } else {
+      Status failed = OkStatus();
+      sim::ParallelSection section(clock_);
+      for (auto& [server, runs] : per_disk) {
+        section.BeginLane();
+        Status st = server->GetBlocksVec(runs);
+        section.EndLane();
+        if (!st.ok() && failed.ok()) failed = st;
+      }
+      section.Commit();
+      RHODOS_RETURN_IF_ERROR(failed);
+    }
+  }
+
+  // Pass 3: install everything that came off the platters into the cache.
+  for (const UncachedSpan& s : spans) {
+    for (std::uint64_t i = 0; i < s.blocks; ++i) {
+      auto inserted = CacheInsert(
+          id, s.block + i,
+          {out.data() + s.out_off + i * kBlockSize, kBlockSize},
+          /*dirty=*/false);
       if (!inserted.ok()) return Error{inserted.error()};
     }
-    b += span_blocks;
   }
   return OkStatus();
 }
@@ -352,18 +421,92 @@ Result<std::uint64_t> FileService::Read(FileId id, std::uint64_t offset,
   const std::uint64_t first_block = offset / kBlockSize;
   const std::uint64_t last_block = (offset + len - 1) / kBlockSize;
   const std::uint64_t block_count = last_block - first_block + 1;
+  const std::uint64_t head_misalign = offset % kBlockSize;
 
-  // Read whole blocks into a scratch area, then copy the requested span.
-  std::vector<std::uint8_t> scratch(block_count * kBlockSize);
-  RHODOS_RETURN_IF_ERROR(
-      ReadBlocks(id, *of, first_block, block_count, scratch));
-  std::memcpy(out.data(), scratch.data() + (offset % kBlockSize), len);
+  if (head_misalign == 0) {
+    // Block-aligned: decode whole blocks straight into the caller's span —
+    // no staging copy. Only a partial tail block goes through scratch.
+    const std::uint64_t whole = len / kBlockSize;
+    if (whole > 0) {
+      RHODOS_RETURN_IF_ERROR(ReadBlocks(id, *of, first_block, whole,
+                                        out.subspan(0, whole * kBlockSize)));
+    }
+    const std::uint64_t tail = len - whole * kBlockSize;
+    if (tail > 0) {
+      std::vector<std::uint8_t> scratch(kBlockSize);
+      RHODOS_RETURN_IF_ERROR(
+          ReadBlocks(id, *of, first_block + whole, 1, scratch));
+      std::memcpy(out.data() + whole * kBlockSize, scratch.data(), tail);
+    }
+  } else {
+    // Misaligned head: read whole blocks into scratch, copy the span out.
+    std::vector<std::uint8_t> scratch(block_count * kBlockSize);
+    RHODOS_RETURN_IF_ERROR(
+        ReadBlocks(id, *of, first_block, block_count, scratch));
+    std::memcpy(out.data(), scratch.data() + head_misalign, len);
+  }
+
+  // Sequential-pattern detector: a read that picks up exactly where the
+  // previous one ended extends the streak; any seek cancels it. A long
+  // enough streak arms speculative read-ahead past the just-read range.
+  if (config_.readahead_blocks > 0) {
+    of->sequential_streak =
+        offset == of->next_expected_offset ? of->sequential_streak + 1 : 1;
+    of->next_expected_offset = offset + len;
+    if (of->sequential_streak >= config_.readahead_trigger) {
+      // Prefetch failures must not fail the read that triggered them.
+      Status ra = ReadAhead(id, *of, last_block + 1);
+      (void)ra;
+    }
+  }
 
   of->table.attributes().last_read_time = clock_ ? clock_->Now() : 0;
   of->table.attributes().access_count += 1;
   of->attrs_dirty = true;
   stats_.bytes_read += len;
   return len;
+}
+
+Status FileService::ReadAhead(FileId id, OpenFile& of, std::uint64_t from) {
+  if (block_pool_.capacity() == 0) return OkStatus();  // nowhere to put it
+  const std::uint64_t size_blocks =
+      (of.table.attributes().size + kBlockSize - 1) / kBlockSize;
+  const std::uint64_t mapped = std::min(of.table.BlockCount(), size_blocks);
+  std::uint64_t limit = std::min<std::uint64_t>(
+      mapped, from + config_.readahead_blocks);
+  // Skip blocks the cache already holds; stop at the first gap's run.
+  std::uint64_t b = from;
+  while (b < limit && cache_.find(CacheKey{id, b}) != cache_.end()) ++b;
+  if (b >= limit) return OkStatus();
+  RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of.table.Locate(b));
+  RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
+  std::uint64_t n = 1;
+  auto extendable = [&] {
+    return n < loc.contiguous_blocks &&
+           cache_.find(CacheKey{id, b + n}) == cache_.end();
+  };
+  while (b + n < limit && extendable()) ++n;
+  // Track-align the prefetch end: if the run keeps going, sweep to the end
+  // of the track the last fragment lands on, so the whole prefetch is one
+  // head pass with no partial-track residue.
+  const std::uint32_t fpt = server->config().geometry.fragments_per_track;
+  while (b + n < mapped && extendable() &&
+         (loc.first_fragment + n * kFragmentsPerBlock) % fpt != 0) {
+    ++n;
+  }
+  std::vector<std::uint8_t> scratch(n * kBlockSize);
+  RHODOS_RETURN_IF_ERROR(server->GetBlock(
+      loc.first_fragment, static_cast<std::uint32_t>(n * kFragmentsPerBlock),
+      scratch));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    RHODOS_ASSIGN_OR_RETURN(
+        CacheEntry * entry,
+        CacheInsert(id, b + i, {scratch.data() + i * kBlockSize, kBlockSize},
+                    /*dirty=*/false));
+    if (entry != nullptr) entry->prefetched = true;
+  }
+  stats_.readahead_issued += n;
+  return OkStatus();
 }
 
 // --- write path --------------------------------------------------------------------
@@ -451,6 +594,17 @@ Result<std::uint64_t> FileService::Write(FileId id, std::uint64_t offset,
   }
 
   const WritePolicy policy = PolicyFor(*of);
+  // Assemble every block first (whole aligned blocks write straight from
+  // the caller's span; partial blocks stage through a read-modify-write
+  // buffer), then push the write-through set to the disks as per-disk
+  // vectored batches so a striped write fans out across spindles.
+  struct PendingPut {
+    DiskServer* server;
+    FragmentIndex frag;
+    std::span<const std::uint8_t> data;
+  };
+  std::vector<PendingPut> puts;
+  std::deque<std::vector<std::uint8_t>> staged;  // keeps RMW buffers alive
   std::uint64_t written = 0;
   while (written < len) {
     const std::uint64_t pos = offset + written;
@@ -459,27 +613,65 @@ Result<std::uint64_t> FileService::Write(FileId id, std::uint64_t offset,
     const std::uint64_t n =
         std::min<std::uint64_t>(len - written, kBlockSize - in_block);
 
-    std::vector<std::uint8_t> full(kBlockSize);
     const bool whole_block = in_block == 0 && n == kBlockSize;
     const bool beyond_old_data =
         block * kBlockSize >= of->table.attributes().size;
-    if (!whole_block && !beyond_old_data) {
-      // Partial overwrite of existing data: read-modify-write.
-      RHODOS_RETURN_IF_ERROR(ReadBlocks(id, *of, block, 1, full));
+    std::span<const std::uint8_t> data;
+    if (whole_block) {
+      data = in.subspan(written, kBlockSize);
+    } else {
+      staged.emplace_back(kBlockSize);
+      std::vector<std::uint8_t>& full = staged.back();
+      if (!beyond_old_data) {
+        // Partial overwrite of existing data: read-modify-write.
+        RHODOS_RETURN_IF_ERROR(ReadBlocks(id, *of, block, 1, full));
+      }
+      std::memcpy(full.data() + in_block, in.data() + written, n);
+      data = full;
     }
-    std::memcpy(full.data() + in_block, in.data() + written, n);
 
     RHODOS_ASSIGN_OR_RETURN(CacheEntry * entry,
-                            CacheInsert(id, block, full, /*dirty=*/true));
+                            CacheInsert(id, block, data, /*dirty=*/true));
     if (policy == WritePolicy::kWriteThrough || entry == nullptr) {
-      // Write through (or cache disabled): straight to the disk service.
+      // Write through (or cache disabled): queue for the disk service.
       RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of->table.Locate(block));
       RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
-      RHODOS_RETURN_IF_ERROR(
-          server->PutBlock(loc.first_fragment, kFragmentsPerBlock, full));
+      puts.push_back(PendingPut{server, loc.first_fragment, data});
       if (entry != nullptr) entry->dirty = false;
     }
     written += n;
+  }
+
+  if (puts.size() == 1) {
+    RHODOS_RETURN_IF_ERROR(puts.front().server->PutBlock(
+        puts.front().frag, kFragmentsPerBlock, puts.front().data));
+  } else if (!puts.empty()) {
+    std::vector<std::pair<DiskServer*, std::vector<disk::WriteRun>>> per_disk;
+    for (const PendingPut& p : puts) {
+      auto it = std::find_if(
+          per_disk.begin(), per_disk.end(),
+          [&p](const auto& d) { return d.first == p.server; });
+      if (it == per_disk.end()) {
+        per_disk.emplace_back(p.server, std::vector<disk::WriteRun>{});
+        it = std::prev(per_disk.end());
+      }
+      it->second.push_back(disk::WriteRun{p.frag, kFragmentsPerBlock, p.data});
+    }
+    if (per_disk.size() == 1) {
+      RHODOS_RETURN_IF_ERROR(
+          per_disk.front().first->PutBlocksVec(per_disk.front().second));
+    } else {
+      Status failed = OkStatus();
+      sim::ParallelSection section(clock_);
+      for (auto& [server, runs] : per_disk) {
+        section.BeginLane();
+        Status st = server->PutBlocksVec(runs);
+        section.EndLane();
+        if (!st.ok() && failed.ok()) failed = st;
+      }
+      section.Commit();
+      RHODOS_RETURN_IF_ERROR(failed);
+    }
   }
 
   auto& attrs = of->table.attributes();
@@ -512,6 +704,7 @@ Status FileService::Resize(FileId id, std::uint64_t size) {
     // Drop now-stale cache entries beyond the cut.
     for (auto it = cache_.begin(); it != cache_.end();) {
       if (it->first.file == id && it->first.block >= new_blocks) {
+        NoteDropped(it->second);
         lru_.erase(it->second.lru_pos);
         it = cache_.erase(it);
       } else {
@@ -558,14 +751,66 @@ Status FileService::SetLockLevel(FileId id, LockLevel level) {
   return StoreTable(id, *of);
 }
 
+Status FileService::WritebackDirty(const FileId* only) {
+  std::vector<CacheKey> keys;
+  for (const auto& [key, entry] : cache_) {
+    if (entry.dirty && (only == nullptr || key.file == *only)) {
+      keys.push_back(key);
+    }
+  }
+  if (keys.empty()) return OkStatus();
+  if (keys.size() == 1) {
+    auto it = cache_.find(keys.front());
+    return WritebackEntry(keys.front(), it->second);
+  }
+
+  // Locate every dirty block, group the writebacks per disk, and let each
+  // disk's elevator sweep them in one vectored request; independent disks
+  // overlap. This is what turns N delayed-write completions into a handful
+  // of disk references instead of N.
+  std::vector<std::pair<DiskServer*, std::vector<disk::WriteRun>>> per_disk;
+  std::vector<CacheEntry*> flushed;
+  flushed.reserve(keys.size());
+  for (const CacheKey& key : keys) {
+    auto it = cache_.find(key);
+    RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(key.file));
+    RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of->table.Locate(key.block));
+    RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(loc.disk));
+    auto slot = std::find_if(
+        per_disk.begin(), per_disk.end(),
+        [server](const auto& d) { return d.first == server; });
+    if (slot == per_disk.end()) {
+      per_disk.emplace_back(server, std::vector<disk::WriteRun>{});
+      slot = std::prev(per_disk.end());
+    }
+    slot->second.push_back(disk::WriteRun{loc.first_fragment,
+                                          kFragmentsPerBlock,
+                                          it->second.buffer.span()});
+    flushed.push_back(&it->second);
+  }
+  if (per_disk.size() == 1) {
+    RHODOS_RETURN_IF_ERROR(
+        per_disk.front().first->PutBlocksVec(per_disk.front().second));
+  } else {
+    Status failed = OkStatus();
+    sim::ParallelSection section(clock_);
+    for (auto& [server, runs] : per_disk) {
+      section.BeginLane();
+      Status st = server->PutBlocksVec(runs);
+      section.EndLane();
+      if (!st.ok() && failed.ok()) failed = st;
+    }
+    section.Commit();
+    RHODOS_RETURN_IF_ERROR(failed);
+  }
+  for (CacheEntry* entry : flushed) entry->dirty = false;
+  return OkStatus();
+}
+
 Status FileService::Flush(FileId id) {
   // Write back this file's dirty blocks (delayed-write completion), then
   // its table if it changed.
-  for (auto& [key, entry] : cache_) {
-    if (key.file == id && entry.dirty) {
-      RHODOS_RETURN_IF_ERROR(WritebackEntry(key, entry));
-    }
-  }
+  RHODOS_RETURN_IF_ERROR(WritebackDirty(&id));
   auto it = open_files_.find(id);
   if (it != open_files_.end() &&
       (it->second.table_dirty || it->second.attrs_dirty)) {
@@ -575,9 +820,7 @@ Status FileService::Flush(FileId id) {
 }
 
 Status FileService::FlushAll() {
-  for (auto& [key, entry] : cache_) {
-    if (entry.dirty) RHODOS_RETURN_IF_ERROR(WritebackEntry(key, entry));
-  }
+  RHODOS_RETURN_IF_ERROR(WritebackDirty(nullptr));
   for (auto& [id, of] : open_files_) {
     if (of.table_dirty || of.attrs_dirty) {
       RHODOS_RETURN_IF_ERROR(StoreTable(id, of));
@@ -660,6 +903,7 @@ Status FileService::ReplaceBlock(FileId id, std::uint64_t block_index,
       disks_->Free(old.disk, old.first_fragment, kFragmentsPerBlock));
   // The logical block now lives elsewhere; the cached copy is stale.
   if (auto it = cache_.find(CacheKey{id, block_index}); it != cache_.end()) {
+    NoteDropped(it->second);
     lru_.erase(it->second.lru_pos);
     cache_.erase(it);
   }
@@ -681,6 +925,7 @@ Result<disk::DiskRegistry::Placement> FileService::AllocateShadowBlock(
 // --- failure model --------------------------------------------------------------
 
 void FileService::Crash() {
+  for (const auto& [key, entry] : cache_) NoteDropped(entry);
   cache_.clear();
   lru_.clear();
   open_files_.clear();

@@ -56,6 +56,13 @@ struct FileServiceConfig {
   // When true, a growing file first tries to extend its last extent in
   // place (AllocateSpecific), preserving contiguity.
   bool extend_in_place = true;
+  // Sequential read-ahead: after `readahead_trigger` consecutive reads that
+  // each pick up where the previous one ended, prefetch up to
+  // `readahead_blocks` blocks past the read into the block cache (extended
+  // to the next track boundary when the run allows). Any seek cancels the
+  // streak. 0 blocks disables read-ahead.
+  std::uint32_t readahead_trigger = 2;
+  std::uint32_t readahead_blocks = 16;
 };
 
 struct FileServiceStats {
@@ -67,6 +74,9 @@ struct FileServiceStats {
   std::uint64_t bytes_written = 0;
   std::uint64_t fit_loads = 0;      // file index tables read from disk
   std::uint64_t fit_stores = 0;     // file index tables persisted
+  std::uint64_t readahead_issued = 0;  // blocks prefetched speculatively
+  std::uint64_t readahead_hits = 0;    // prefetched blocks later read
+  std::uint64_t readahead_wasted = 0;  // prefetched blocks dropped unread
 };
 
 class FileService {
@@ -173,6 +183,11 @@ class FileService {
     // flush/close, but not worth a synchronous table store per operation.
     bool attrs_dirty = false;
     std::uint32_t pins = 0;  // open handles
+    // Sequential-access detector state for read-ahead: the byte offset the
+    // next read would start at if the client is streaming, and how many
+    // consecutive reads have matched it.
+    std::uint64_t next_expected_offset = ~std::uint64_t{0};
+    std::uint32_t sequential_streak = 0;
   };
 
   struct CacheKey {
@@ -188,6 +203,7 @@ class FileService {
   struct CacheEntry {
     PooledBuffer buffer;  // kBlockSize bytes
     bool dirty = false;
+    bool prefetched = false;  // brought in by read-ahead, not yet read
     std::list<CacheKey>::iterator lru_pos;
   };
 
@@ -208,11 +224,26 @@ class FileService {
                                   bool dirty);
   Status EvictOne();
   Status WritebackEntry(const CacheKey& key, CacheEntry& entry);
+  // Accounting hook for an entry leaving the cache (eviction, purge,
+  // crash): an unread prefetched block counts as wasted read-ahead.
+  void NoteDropped(const CacheEntry& entry) {
+    if (entry.prefetched) ++stats_.readahead_wasted;
+  }
+  // Writes back every dirty cached block (of one file when `only` is
+  // non-null, of all files otherwise) as per-disk vectored batches issued
+  // under one overlapped section.
+  Status WritebackDirty(const FileId* only);
 
   // Reads logical blocks [first, first+count) into out, coalescing
-  // physically contiguous uncached spans into single disk references.
+  // physically contiguous uncached spans into single disk references and
+  // overlapping the per-disk sub-batches of a striped span set.
   Status ReadBlocks(FileId id, OpenFile& of, std::uint64_t first,
                     std::uint64_t count, std::span<std::uint8_t> out);
+
+  // Speculatively fetches up to config_.readahead_blocks blocks starting at
+  // `from` into the cache (track-aligned when the run allows), marking them
+  // prefetched. Never fails the triggering read: errors are swallowed.
+  Status ReadAhead(FileId id, OpenFile& of, std::uint64_t from);
 
   disk::WritePolicy PolicyFor(const OpenFile& of) const;
 

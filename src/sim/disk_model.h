@@ -84,6 +84,10 @@ class DiskModel {
   const DiskStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DiskStats{}; }
 
+  // Track the arm currently rests on — the elevator scheduler in the disk
+  // server reads this to estimate the seek a reference is about to pay.
+  std::uint64_t head_track() const { return head_track_; }
+
   void SetFaultPlan(DiskFaultPlan plan) { faults_ = plan; }
 
   // Reads `count` fragments starting at `first` into `out` (which must hold
