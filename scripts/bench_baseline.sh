@@ -18,8 +18,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCHES=(bench_contiguous_read bench_fault_recovery bench_striping)
-KEYS=(disk.read_references disk.write_references disk.tracks_seeked)
+BENCHES=(bench_contiguous_read bench_fault_recovery bench_striping bench_group_commit)
+KEYS=(disk.read_references disk.write_references disk.tracks_seeked txn.log.forces)
 BUILD=build
 BASELINES=bench/baselines
 TOLERANCE=1.10
@@ -40,7 +40,7 @@ extract() {
   python3 - "$1" "$2" <<'EOF'
 import json, sys
 keys = ("disk.read_references", "disk.write_references",
-        "disk.tracks_seeked")
+        "disk.tracks_seeked", "txn.log.forces")
 with open(sys.argv[1]) as f:
     snap = json.load(f)
 counters = snap.get("counters", {})

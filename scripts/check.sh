@@ -22,6 +22,10 @@ run_suite() {
   cmake -B "$dir" -S . "$@" >/dev/null
   cmake --build "$dir" -j "$jobs"
   ctest --test-dir "$dir" --output-on-failure -j "$jobs"
+  # The transaction lock/log/crash matrix is the gate for commit-protocol
+  # changes; run it by label so a mislabelled suite fails loudly here.
+  echo "== $dir: transaction matrix (ctest -L txn) =="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L txn
 }
 
 if [[ "$mode" != "--sanitize-only" ]]; then

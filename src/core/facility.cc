@@ -196,7 +196,16 @@ constexpr const char* kCounters[] = {
     "service.duplicate_replays", "service.requests",
     // Transaction service and the per-machine transaction agents.
     "txn.aborts_broken", "txn.aborts_explicit", "txn.begins",
-    "txn.commits", "txn.pages_logged", "txn.ranges_logged",
+    "txn.commits",
+    // Group-commit pipeline over the intention log.
+    "txn.group_commit.acks", "txn.group_commit.batches",
+    "txn.group_commit.flushes", "txn.group_commit.records",
+    "txn.group_commit.seals_deadline", "txn.group_commit.seals_full",
+    "txn.group_commit.seals_window",
+    // Intention log framing (forces = stable references the log cost).
+    "txn.log.forces", "txn.log.records", "txn.log.salvaged_records",
+    "txn.log.torn_batches",
+    "txn.pages_logged", "txn.ranges_logged",
     "txn.recovered_discarded", "txn.recovered_redone",
     "txn.shadow_commits", "txn.wal_commits",
     "txn_agent.descriptors_issued", "txn_agent.page_cache.hits",
@@ -214,6 +223,7 @@ constexpr const char* kGauges[] = {
 constexpr const char* kHistograms[] = {
     "agent.op_latency_ns", "disk.reference_ns", "disk.seek_ns",
     "rpc.backoff_ns", "rpc.call_latency_ns", "txn.commit_latency_ns",
+    "txn.group_commit.ack_latency_ns", "txn.group_commit.batch_records",
 };
 
 }  // namespace
@@ -324,6 +334,21 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("txn.ranges_logged", tx.ranges_logged);
   m.SetCounter("txn.recovered_redone", tx.recovered_redone);
   m.SetCounter("txn.recovered_discarded", tx.recovered_discarded);
+
+  const txn::LogPipelineStats gc = txns_->pipeline().stats();
+  m.SetCounter("txn.group_commit.acks", gc.acks);
+  m.SetCounter("txn.group_commit.batches", gc.batches);
+  m.SetCounter("txn.group_commit.flushes", gc.flushes);
+  m.SetCounter("txn.group_commit.records", gc.records);
+  m.SetCounter("txn.group_commit.seals_deadline", gc.seals_deadline);
+  m.SetCounter("txn.group_commit.seals_full", gc.seals_full);
+  m.SetCounter("txn.group_commit.seals_window", gc.seals_window);
+
+  const txn::TxnLogStats& tl = txns_->log().stats();
+  m.SetCounter("txn.log.forces", tl.forces);
+  m.SetCounter("txn.log.records", tl.appends);
+  m.SetCounter("txn.log.salvaged_records", tl.salvaged_records);
+  m.SetCounter("txn.log.torn_batches", tl.torn_batches);
 
   const replication::ReplicationStats& rep = replication_->stats();
   m.SetCounter("replication.writes", rep.writes);

@@ -98,6 +98,9 @@ class DiskServer {
 
   DiskId id() const { return id_; }
   const DiskServerConfig& config() const { return config_; }
+  // The sim clock this disk bills its reference costs to. NOT thread safe:
+  // callers serialize access exactly as they serialize disk operations.
+  SimClock* clock() const { return clock_; }
 
   // --- Allocation (allocate-block / free-block) ---------------------------
 

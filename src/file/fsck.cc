@@ -13,8 +13,8 @@ std::uint64_t Pack(DiskId disk, FragmentIndex f) {
 
 }  // namespace
 
-AuditReport AuditFiles(FileService& service,
-                       std::span<const FileId> files) {
+AuditReport AuditFiles(FileService& service, std::span<const FileId> files,
+                       std::span<const ReservedRegion> reserved) {
   AuditReport report;
   // Owner of each claimed fragment, for double-allocation detection.
   std::unordered_map<std::uint64_t, FileId> owners;
@@ -24,6 +24,13 @@ AuditReport AuditFiles(FileService& service,
     for (std::uint64_t i = 0; i < count; ++i) {
       const FragmentIndex f = first + i;
       ++report.fragments_claimed;
+      for (const ReservedRegion& r : reserved) {
+        if (disk == r.disk && f >= r.first && f < r.first + r.fragments) {
+          report.issues.push_back(AuditIssue{
+              AuditIssue::Kind::kReservedOverlap, file, disk, f,
+              std::string(what) + " lies inside a reserved region"});
+        }
+      }
       const std::uint64_t key = Pack(disk, f);
       if (auto it = owners.find(key); it != owners.end()) {
         report.issues.push_back(AuditIssue{

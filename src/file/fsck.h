@@ -24,12 +24,22 @@ struct AuditIssue {
     kDoubleAllocation,  // two files claim the same fragment
     kUnallocatedClaim,  // a file claims a fragment the bitmap says is free
     kSizeMismatch,      // attribute size exceeds mapped blocks
+    kReservedOverlap,   // a file claims fragments inside a reserved region
   };
   Kind kind;
   FileId file{};
   DiskId disk{};
   FragmentIndex fragment = 0;
   std::string detail;
+};
+
+// A fragment range no file may claim — e.g. the transaction service's
+// intention-log region (TransactionService::log_region()). The caller
+// passes these because fsck sits below the layers that own them.
+struct ReservedRegion {
+  DiskId disk{};
+  FragmentIndex first = 0;
+  std::uint64_t fragments = 0;
 };
 
 struct AuditReport {
@@ -46,6 +56,9 @@ struct AuditReport {
 };
 
 // Audits `files` against the service's disks. Read-only: never repairs.
-AuditReport AuditFiles(FileService& service, std::span<const FileId> files);
+// Any fragment a file claims inside one of `reserved` is reported as
+// kReservedOverlap.
+AuditReport AuditFiles(FileService& service, std::span<const FileId> files,
+                       std::span<const ReservedRegion> reserved = {});
 
 }  // namespace rhodos::file

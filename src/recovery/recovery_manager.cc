@@ -54,4 +54,13 @@ bool RecoveryManager::DiskBelievedUp(DiskId disk) const {
   return disk.value >= disk_up_.size() || disk_up_[disk.value];
 }
 
+Result<txn::TxnLogAudit> RecoveryManager::AuditIntentionLog(
+    txn::TxnLog& log) {
+  ++stats_.log_audits;
+  RHODOS_ASSIGN_OR_RETURN(txn::TxnLogAudit audit, log.Audit());
+  stats_.log_torn_batches += audit.torn_batches;
+  stats_.log_salvaged_records += audit.salvaged_records;
+  return audit;
+}
+
 }  // namespace rhodos::recovery

@@ -25,6 +25,7 @@
 #include "disk/disk_registry.h"
 #include "recovery/failure_detector.h"
 #include "replication/replication_service.h"
+#include "txn/txn_log.h"
 
 namespace rhodos::recovery {
 
@@ -39,6 +40,9 @@ struct RecoveryStats {
   std::uint64_t replicas_marked_down = 0;
   std::uint64_t auto_repairs = 0;     // successful Repair() invocations
   std::uint64_t repair_failures = 0;  // Repair() attempts that errored
+  std::uint64_t log_audits = 0;       // AuditIntentionLog() calls
+  std::uint64_t log_torn_batches = 0;      // torn group-commit frames seen
+  std::uint64_t log_salvaged_records = 0;  // records salvaged from tears
 };
 
 class RecoveryManager {
@@ -58,6 +62,13 @@ class RecoveryManager {
   // Forces a repair sweep over every group that has not converged (the
   // end-of-chaos "make the volume whole" pass). Returns groups repaired.
   std::size_t RepairAllStale();
+
+  // Structural scan of an intention log's batch frames on stable storage
+  // (the group-commit pipeline's on-disk format). Run after a crash,
+  // before trusting TransactionService::Recover(): a torn tail batch is
+  // the expected signature of a crash mid-force; the audit reports how
+  // many records the tear's salvageable prefix still yields.
+  Result<txn::TxnLogAudit> AuditIntentionLog(txn::TxnLog& log);
 
   bool DiskBelievedUp(DiskId disk) const;
   const RecoveryStats& stats() const { return stats_; }

@@ -232,6 +232,8 @@ Status LockManager::TryLock(LockLevel level, TxnId txn, ProcessId process,
     queue.erase(rec_it);
     return {ErrorCode::kLockConflict, "lock not immediately available"};
   }
+  // Must be decided before the collapse below erases the granted IR.
+  const bool conversion = IsConversion(table, *rec_it);
   // Handle upgrade collapse as in SetLock.
   for (auto it = queue.begin(); it != queue.end(); ++it) {
     if (it != rec_it && it->granted && it->txn == txn &&
@@ -241,6 +243,7 @@ Status LockManager::TryLock(LockLevel level, TxnId txn, ProcessId process,
       queue.erase(rec_it);
       ++stats_.grants;
       ++stats_.immediate_grants;
+      if (conversion) ++stats_.conversions;
       return OkStatus();
     }
   }

@@ -21,7 +21,8 @@ TransactionService::TransactionService(FileService* files,
       // disk's metadata region — so a service instance created after a
       // crash finds the same intentions the pre-crash instance wrote.
       log_first_fragment_(log_disk->MetadataFragments()),
-      log_(log_disk, log_first_fragment_, config.log_fragments) {
+      log_(log_disk, log_first_fragment_, config.log_fragments),
+      pipeline_(&log_, log_disk->clock(), &mu_, config.group_commit) {
   // First instance on this disk claims the region; later instances find it
   // already allocated, which is fine — it is the same log.
   (void)log_disk_->AllocateSpecific(log_first_fragment_,
@@ -352,40 +353,40 @@ Status TransactionService::ApplyWalRange(FileId file, std::uint64_t offset,
   return files_->Flush(file);
 }
 
-Status TransactionService::CommitTxn(TxnId id, Txn& t) {
-  obs::SpanScope span(obs::TracerOf(obs_), "txn", "commit");
-  obs::LatencyScope lat(obs_, "txn.commit_latency_ns");
+Status TransactionService::StageCommit(TxnId id, Txn& t, CommitPlan* plan) {
   t.phase = TxnPhase::kUnlocking;
 
-  const bool has_effects = !t.tentative_pages.empty() ||
-                           !t.tentative_ranges.empty() ||
-                           !t.to_delete.empty() || !t.created.empty();
-  if (!has_effects) {
+  plan->has_effects = !t.tentative_pages.empty() ||
+                      !t.tentative_ranges.empty() ||
+                      !t.to_delete.empty() || !t.created.empty();
+  if (!plan->has_effects) {
     // Read-only transaction: nothing to log or apply.
     return OkStatus();
   }
 
-  RHODOS_RETURN_IF_ERROR(log_.Append(
+  // Every intention goes to the group-commit pipeline; nothing here is
+  // forced individually. The last append is the commit status record, so
+  // the ticket left in the plan is the one End() must await.
+  auto append = [&](const IntentionRecord& r) -> Status {
+    auto ticket = pipeline_.Append(r);
+    if (!ticket.ok()) return Error{ticket.error()};
+    plan->commit_ticket = std::move(*ticket);
+    return OkStatus();
+  };
+
+  RHODOS_RETURN_IF_ERROR(append(
       IntentionRecord{IntentionKind::kBegin, id, {}, 0, 0, {}, 0,
                       TxnStatus::kTentative, {}}));
   t.logged_begin = true;
 
   // Per-file technique choice and shadow staging.
-  std::unordered_map<std::uint64_t, CommitTechnique> technique;
-  struct ShadowStage {
-    FileId file;
-    std::uint64_t page;
-    disk::DiskRegistry::Placement placement;
-  };
-  std::vector<ShadowStage> shadows;
-
   for (auto& [key, image] : t.tentative_pages) {
     const FileId file{key.first};
     const std::uint64_t page = key.second;
-    auto tech_it = technique.find(file.value);
-    if (tech_it == technique.end()) {
+    auto tech_it = plan->technique.find(file.value);
+    if (tech_it == plan->technique.end()) {
       RHODOS_ASSIGN_OR_RETURN(CommitTechnique tech, TechniqueFor(file));
-      tech_it = technique.emplace(file.value, tech).first;
+      tech_it = plan->technique.emplace(file.value, tech).first;
     }
     RHODOS_ASSIGN_OR_RETURN(std::uint64_t blocks, files_->BlockCount(file));
     const std::uint64_t final_size =
@@ -394,7 +395,8 @@ Status TransactionService::CommitTxn(TxnId id, Txn& t) {
     if (tech_it->second == CommitTechnique::kShadowPage && page < blocks) {
       // Shadow page: write the new image to a fresh block now (original +
       // stable — it must survive anything once the commit record lands),
-      // and log only the remap intention.
+      // and log only the remap intention. This data write precedes the
+      // commit record's force, preserving write-ahead order.
       RHODOS_ASSIGN_OR_RETURN(auto placement,
                               files_->AllocateShadowBlock(file));
       RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server,
@@ -403,46 +405,48 @@ Status TransactionService::CommitTxn(TxnId id, Txn& t) {
           placement.first, kFragmentsPerBlock, image,
           disk::StableMode::kOriginalAndStable,
           disk::WriteSync::kSynchronous));
-      RHODOS_RETURN_IF_ERROR(log_.Append(IntentionRecord{
+      RHODOS_RETURN_IF_ERROR(append(IntentionRecord{
           IntentionKind::kShadowMap, id, file, page, final_size,
           placement.disk, placement.first, TxnStatus::kTentative, {}}));
-      shadows.push_back(ShadowStage{file, page, placement});
+      plan->shadows.push_back(CommitPlan::ShadowStage{file, page, placement});
     } else {
       // WAL: the page image itself is the intention (redo record). The
       // file's final size rides in `offset` so recovery can re-grow.
-      RHODOS_RETURN_IF_ERROR(log_.Append(IntentionRecord{
+      RHODOS_RETURN_IF_ERROR(append(IntentionRecord{
           IntentionKind::kRedoPage, id, file, page, final_size, {}, 0,
           TxnStatus::kTentative, image}));
       ++stats_.pages_logged;
     }
   }
   for (const auto& [fval, w] : t.tentative_ranges) {
-    RHODOS_RETURN_IF_ERROR(log_.Append(IntentionRecord{
+    RHODOS_RETURN_IF_ERROR(append(IntentionRecord{
         IntentionKind::kRedoRange, id, FileId{fval}, 0, w.offset, {}, 0,
         TxnStatus::kTentative, w.data}));
     ++stats_.ranges_logged;
   }
 
-  // THE COMMIT POINT: once this record is on stable storage the transaction
-  // is durable; before it, a crash aborts it.
-  RHODOS_RETURN_IF_ERROR(log_.Append(
-      IntentionRecord{IntentionKind::kStatus, id, {}, 0, 0, {}, 0,
-                      TxnStatus::kCommit, {}}));
-  t.status = TxnStatus::kCommit;
+  // THE COMMIT POINT record: the transaction is durable once the batch
+  // carrying this record reaches stable storage — which is exactly what
+  // the ticket left in the plan resolves on.
+  return append(IntentionRecord{IntentionKind::kStatus, id, {}, 0, 0, {}, 0,
+                                TxnStatus::kCommit, {}});
+}
 
+Status TransactionService::ApplyCommit(TxnId id, Txn& t, CommitPlan& plan) {
   // Make the changes permanent.
   for (auto& [key, image] : t.tentative_pages) {
     const FileId file{key.first};
     const std::uint64_t page = key.second;
-    const bool is_shadow =
-        std::any_of(shadows.begin(), shadows.end(), [&](const ShadowStage& s) {
+    const bool is_shadow = std::any_of(
+        plan.shadows.begin(), plan.shadows.end(),
+        [&](const CommitPlan::ShadowStage& s) {
           return s.file == file && s.page == page;
         });
     if (!is_shadow) {
       RHODOS_RETURN_IF_ERROR(ApplyWalPage(file, page, image));
     }
   }
-  for (const ShadowStage& s : shadows) {
+  for (const CommitPlan::ShadowStage& s : plan.shadows) {
     RHODOS_RETURN_IF_ERROR(files_->ReplaceBlock(s.file, s.page,
                                                 s.placement.disk,
                                                 s.placement.first));
@@ -471,20 +475,24 @@ Status TransactionService::CommitTxn(TxnId id, Txn& t) {
   for (FileId file : t.to_delete) {
     RHODOS_RETURN_IF_ERROR(files_->Delete(file));
   }
-  for (const auto& [fval, tech] : technique) {
+  for (const auto& [fval, tech] : plan.technique) {
     if (tech == CommitTechnique::kWal) {
       ++stats_.wal_commits;
     } else {
       ++stats_.shadow_commits;
     }
   }
-  if (!t.tentative_ranges.empty() && technique.empty()) {
+  if (!t.tentative_ranges.empty() && plan.technique.empty()) {
     ++stats_.wal_commits;  // pure record-mode commit
   }
 
-  RHODOS_RETURN_IF_ERROR(log_.Append(
+  // The completed record needs no acknowledgement: if it is lost, recovery
+  // merely redoes an idempotent apply. It rides whatever batch flushes
+  // next (or is discarded at quiescent truncation).
+  auto completed = pipeline_.Append(
       IntentionRecord{IntentionKind::kStatus, id, {}, 0, 0, {}, 0,
-                      TxnStatus::kCompleted, {}}));
+                      TxnStatus::kCompleted, {}});
+  if (!completed.ok()) return Error{completed.error()};
   t.status = TxnStatus::kCompleted;
   return OkStatus();
 }
@@ -498,42 +506,88 @@ void TransactionService::Finish(TxnId id) {
   // record was written whose changes were never fully applied (a disk died
   // mid-apply). That redo information must survive until Recover().
   if (txns_.empty() && !log_needs_recovery_) {
+    // Records still sitting in the pipeline at quiescence are completed /
+    // abort markers nobody awaits; drop them with the log.
+    pipeline_.DiscardPending();
     (void)log_.Truncate();
   }
 }
 
 Status TransactionService::End(TxnId txn) {
   obs::SpanScope span(obs::TracerOf(obs_), "txn", "end");
-  std::scoped_lock lk(mu_);
+  std::unique_lock lk(mu_);
   auto it = txns_.find(txn);
   if (it == txns_.end()) {
     return {ErrorCode::kTxnNotActive, "tend on unknown transaction"};
   }
+  // The reference stays valid across the unlock below: unordered_map never
+  // invalidates references on rehash, and only our own Finish() erases the
+  // entry (the phase guard keeps Abort/End reentrancy out).
+  Txn& t = it->second;
+  if (t.phase != TxnPhase::kLocking) {
+    return {ErrorCode::kTxnNotActive, "tend while a commit is in flight"};
+  }
   if (locks_.WasBroken(txn)) {
     // The timeout rule already broke our locks: abort instead of commit.
     ++stats_.aborts_broken;
-    if (it->second.logged_begin) {
-      (void)log_.Append(IntentionRecord{IntentionKind::kStatus, txn, {}, 0, 0,
-                                        {}, 0, TxnStatus::kAbort, {}});
+    if (t.logged_begin) {
+      (void)pipeline_.Append(IntentionRecord{IntentionKind::kStatus, txn, {},
+                                             0, 0, {}, 0, TxnStatus::kAbort,
+                                             {}});
     }
-    for (FileId f : it->second.created) (void)files_->Delete(f);
+    for (FileId f : t.created) (void)files_->Delete(f);
     Finish(txn);
     return {ErrorCode::kTxnAborted, "aborted by lock timeout at commit"};
   }
-  Status result = CommitTxn(txn, it->second);
-  if (result.ok()) {
-    ++stats_.commits;
-  } else if (it->second.status == TxnStatus::kCommit) {
-    // The commit point was logged but applying failed (e.g. a disk died):
-    // the transaction IS committed; recovery must redo it from the log.
-    ++stats_.commits;
-    log_needs_recovery_ = true;
-  } else {
+
+  obs::SpanScope commit_span(obs::TracerOf(obs_), "txn", "commit");
+  obs::LatencyScope lat(obs_, "txn.commit_latency_ns");
+  CommitPlan plan;
+  const Status staged = StageCommit(txn, t, &plan);
+  if (!staged.ok()) {
+    // Nothing is promised yet — the commit record was never appended (or
+    // could not be): a plain abort.
     ++stats_.aborts_explicit;
-    for (FileId f : it->second.created) (void)files_->Delete(f);
+    for (FileId f : t.created) (void)files_->Delete(f);
+    Finish(txn);
+    return staged;
+  }
+  if (!plan.has_effects) {
+    ++stats_.commits;
+    Finish(txn);
+    return OkStatus();
+  }
+
+  // THE COMMIT POINT, pipelined: block — with mu_ RELEASED, so concurrent
+  // committers keep staging and pile onto the same batch — until the force
+  // covering our commit record returns. Our locks stay held throughout:
+  // no other transaction may observe state whose commit record could
+  // still be lost.
+  lk.unlock();
+  const Status durable = pipeline_.AwaitDurable(plan.commit_ticket);
+  lk.lock();
+
+  if (!durable.ok()) {
+    // The force failed, so the batch may be wholly or partially torn on
+    // stable storage: whether our commit record survived is unknowable
+    // here. Report an abort, but keep everything recovery needs to
+    // arbitrate — created files stay (a salvaged commit record must find
+    // them) and the log holds until Recover() replays or discards us.
+    ++stats_.aborts_explicit;
+    log_needs_recovery_ = true;
+    Finish(txn);
+    return durable;
+  }
+  t.status = TxnStatus::kCommit;
+  ++stats_.commits;
+  const Status applied = ApplyCommit(txn, t, plan);
+  if (!applied.ok()) {
+    // The commit point is durable but applying failed (e.g. a disk died):
+    // the transaction IS committed; recovery must redo it from the log.
+    log_needs_recovery_ = true;
   }
   Finish(txn);
-  return result;
+  return applied;
 }
 
 Status TransactionService::Abort(TxnId txn) {
@@ -543,11 +597,18 @@ Status TransactionService::Abort(TxnId txn) {
   if (it == txns_.end()) {
     return {ErrorCode::kTxnNotActive, "tabort on unknown transaction"};
   }
+  if (it->second.phase != TxnPhase::kLocking) {
+    // End() is mid-commit (possibly awaiting durability with mu_
+    // released); its outcome is already decided.
+    return {ErrorCode::kTxnNotActive, "tabort while a commit is in flight"};
+  }
   it->second.phase = TxnPhase::kUnlocking;
   it->second.status = TxnStatus::kAbort;
   if (it->second.logged_begin) {
-    (void)log_.Append(IntentionRecord{IntentionKind::kStatus, txn, {}, 0, 0,
-                                      {}, 0, TxnStatus::kAbort, {}});
+    // Best-effort marker: if it never flushes, recovery discards the
+    // transaction as tentative — the same outcome.
+    (void)pipeline_.Append(IntentionRecord{IntentionKind::kStatus, txn, {}, 0,
+                                           0, {}, 0, TxnStatus::kAbort, {}});
   }
   for (FileId f : it->second.created) (void)files_->Delete(f);
   if (locks_.WasBroken(txn)) {
@@ -563,6 +624,9 @@ Status TransactionService::Abort(TxnId txn) {
 
 Status TransactionService::Recover() {
   obs::SpanScope span(obs::TracerOf(obs_), "txn", "recover");
+  // Anything still in the pipeline predates the crash being recovered
+  // from and was never forced; the persistent image is the only truth.
+  pipeline_.DiscardPending();
   struct TxnTrace {
     TxnStatus final_status = TxnStatus::kTentative;
     std::vector<IntentionRecord> records;

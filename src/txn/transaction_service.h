@@ -40,6 +40,7 @@
 #include "obs/observability.h"
 #include "txn/lock_manager.h"
 #include "txn/lock_types.h"
+#include "txn/log_pipeline.h"
 #include "txn/txn_log.h"
 
 namespace rhodos::txn {
@@ -55,6 +56,8 @@ struct TxnServiceConfig {
   LockTimeoutConfig lock_timeout{};
   // Fragments reserved for the intention log region.
   std::uint64_t log_fragments = 512;
+  // Group-commit pipeline for the intention log (see log_pipeline.h).
+  GroupCommitConfig group_commit{};
   // Force one technique for every commit (benches compare policies);
   // kAuto follows the paper's contiguity rule.
   enum class TechniqueOverride : std::uint8_t { kAuto, kWalAlways,
@@ -82,6 +85,14 @@ struct TxnServiceStats {
 
 class TransactionService {
  public:
+  // Where the intention log lives on its disk (for audits: no file may
+  // claim fragments inside this region).
+  struct LogRegion {
+    DiskId disk{};
+    FragmentIndex first = 0;
+    std::uint64_t fragments = 0;
+  };
+
   // The service reserves its log region on `log_disk` at construction.
   TransactionService(file::FileService* files, disk::DiskServer* log_disk,
                      TxnServiceConfig config = {});
@@ -142,9 +153,17 @@ class TransactionService {
   void ResetStats() { stats_ = TxnServiceStats{}; }
 
   // Installed by the facility; null means no tracing/metrics.
-  void SetObservability(obs::Observability* o) { obs_ = o; }
+  void SetObservability(obs::Observability* o) {
+    obs_ = o;
+    pipeline_.SetObservability(o);
+  }
   LockManager& locks() { return locks_; }
   TxnLog& log() { return log_; }
+  LogPipeline& pipeline() { return pipeline_; }
+  LogRegion log_region() const {
+    return LogRegion{log_disk_->id(), log_first_fragment_,
+                     config_.log_fragments};
+  }
   file::FileService* files() { return files_; }
 
   // Technique the paper's rule would pick for this file right now.
@@ -201,8 +220,29 @@ class TransactionService {
                                         std::uint64_t offset,
                                         std::span<std::uint8_t> out);
 
-  // Commit machinery.
-  Status CommitTxn(TxnId id, Txn& t);
+  // Commit machinery. End() runs in three acts:
+  //  1. StageCommit (under mu_): pick techniques, stage shadow blocks,
+  //     append every intention record — including the commit status — to
+  //     the group-commit pipeline;
+  //  2. AwaitDurable (mu_ RELEASED): block until the batch carrying the
+  //     commit record is forced to stable storage;
+  //  3. ApplyCommit (under mu_ again): make the changes permanent.
+  // Locks release only after act 2 — strict 2PL would be violated if
+  // another transaction could read state whose commit record might still
+  // be lost in a crash.
+  struct CommitPlan {
+    bool has_effects = false;
+    LogPipeline::Ticket commit_ticket;  // resolves at the durability point
+    std::unordered_map<std::uint64_t, CommitTechnique> technique;
+    struct ShadowStage {
+      FileId file;
+      std::uint64_t page;
+      disk::DiskRegistry::Placement placement;
+    };
+    std::vector<ShadowStage> shadows;
+  };
+  Status StageCommit(TxnId id, Txn& t, CommitPlan* plan);
+  Status ApplyCommit(TxnId id, Txn& t, CommitPlan& plan);
   Status ApplyWalPage(FileId file, std::uint64_t page,
                       std::span<const std::uint8_t> data);
   Status ApplyWalRange(FileId file, std::uint64_t offset,
@@ -216,6 +256,7 @@ class TransactionService {
   disk::DiskServer* log_disk_;
   FragmentIndex log_first_fragment_;
   TxnLog log_;
+  LogPipeline pipeline_;
 
   mutable std::mutex mu_;  // guards txns_ and file-service access
   std::unordered_map<TxnId, Txn> txns_;

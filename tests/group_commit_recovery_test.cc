@@ -1,0 +1,455 @@
+// Crash matrix for the group-commit log pipeline: a seeded multi-
+// transaction workload is replayed with the stable store (the intention
+// log's device) dying at EVERY write boundary in turn — which, with the
+// fault model's random torn-prefix, also exercises mid-batch tears — and
+// again with the main device dying at every apply-phase write. After each
+// crash the facility restarts, recovers, and must present an all-or-
+// nothing store: each transaction's writes are all present or all absent,
+// a successful tend() is a durability promise, fsck finds no file claiming
+// fragments inside the log's reserved region, and the log audit sees at
+// most the one expected torn tail batch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "file/file_service.h"
+#include "file/fsck.h"
+#include "recovery/recovery_manager.h"
+#include "txn/transaction_service.h"
+
+namespace rhodos::txn {
+namespace {
+
+using file::FileService;
+using file::FileServiceConfig;
+using file::LockLevel;
+
+using namespace std::chrono_literals;
+
+constexpr int kFiles = 4;
+constexpr int kTxns = 8;
+constexpr std::uint64_t kFileBlocks = 4;
+const ProcessId kProc{3};
+
+disk::DiskServerConfig DiskConfig(std::uint64_t fault_seed = 1) {
+  disk::DiskServerConfig c;
+  c.geometry.total_fragments = 8192;
+  c.geometry.fragments_per_track = 32;
+  c.cache_capacity_tracks = 16;
+  c.fault_seed = fault_seed;
+  return c;
+}
+
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t seed) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return v;
+}
+
+// The block transaction j writes (to both of its target blocks).
+std::vector<std::uint8_t> TxnPattern(int j) {
+  return Pattern(kBlockSize, static_cast<std::uint8_t>(0x40 + j));
+}
+
+// The pre-workload content of file f's block b.
+std::vector<std::uint8_t> OldBlock(int f, std::uint64_t b) {
+  const auto whole = Pattern(kFileBlocks * kBlockSize,
+                             static_cast<std::uint8_t>(10 + f));
+  return {whole.begin() + b * kBlockSize, whole.begin() + (b + 1) * kBlockSize};
+}
+
+class GroupCommitRecoveryTest : public ::testing::Test {
+ protected:
+  void Rebuild(TxnServiceConfig cfg, std::uint64_t fault_seed = 1) {
+    cfg_ = cfg;
+    txn_.reset();
+    files_.reset();
+    disks_ = std::make_unique<disk::DiskRegistry>();
+    disks_->AddDisk(DiskConfig(fault_seed), &clock_);
+    files_ = std::make_unique<FileService>(disks_.get(), &clock_,
+                                           FileServiceConfig{});
+    auto d0 = disks_->Get(DiskId{0});
+    txn_ = std::make_unique<TransactionService>(files_.get(), *d0, cfg_);
+  }
+
+  // Restart services after a crash, reusing the same disks (the platters).
+  void Restart() {
+    txn_.reset();
+    files_.reset();
+    files_ = std::make_unique<FileService>(disks_.get(), &clock_,
+                                           FileServiceConfig{});
+    auto d0 = disks_->Get(DiskId{0});
+    txn_ = std::make_unique<TransactionService>(files_.get(), *d0, cfg_);
+  }
+
+  sim::DiskModel& Stable() { return (*disks_->Get(DiskId{0}))->stable_device(); }
+  sim::DiskModel& Main() { return (*disks_->Get(DiskId{0}))->main_device(); }
+
+  FileId MakeFile(LockLevel level, std::uint64_t bytes, std::uint8_t fill) {
+    auto txn = txn_->Begin(kProc);
+    auto file = txn_->TCreate(*txn, level, bytes);
+    EXPECT_TRUE(file.ok());
+    if (bytes > 0) {
+      EXPECT_TRUE(txn_->TWrite(*txn, *file, 0, Pattern(bytes, fill)).ok());
+    }
+    EXPECT_TRUE(txn_->End(*txn).ok());
+    return *file;
+  }
+
+  // Fresh world: kFiles page-locked files of kFileBlocks blocks each. The
+  // fault seed decides how many fragments a torn write persists, so the
+  // crash sweeps vary it to hit different mid-batch tear points.
+  void BuildWorld(TxnServiceConfig cfg, std::uint64_t fault_seed = 1) {
+    Rebuild(cfg, fault_seed);
+    file_ids_.clear();
+    for (int f = 0; f < kFiles; ++f) {
+      file_ids_.push_back(MakeFile(LockLevel::kPage, kFileBlocks * kBlockSize,
+                                   static_cast<std::uint8_t>(10 + f)));
+    }
+  }
+
+  // The deterministic workload: transaction j writes TxnPattern(j) to
+  //   file j%kFiles,     block j/kFiles       (its "primary" block), and
+  //   file (j+1)%kFiles, block 2 + j/kFiles   (its "secondary" block).
+  // No two transactions touch the same block, so post-crash forensics can
+  // attribute every block to exactly one writer.
+  std::vector<bool> RunWorkload() {
+    std::vector<bool> ok(kTxns, false);
+    for (int j = 0; j < kTxns; ++j) {
+      auto t = txn_->Begin(kProc);
+      if (!t.ok()) break;
+      const auto data = TxnPattern(j);
+      const std::uint64_t primary = (j / kFiles) * kBlockSize;
+      const std::uint64_t secondary = (2 + j / kFiles) * kBlockSize;
+      const bool w1 =
+          txn_->TWrite(*t, file_ids_[j % kFiles], primary, data).ok();
+      const bool w2 =
+          w1 &&
+          txn_->TWrite(*t, file_ids_[(j + 1) % kFiles], secondary, data).ok();
+      if (!w2) {
+        (void)txn_->Abort(*t);
+        continue;
+      }
+      ok[j] = txn_->End(*t).ok();
+    }
+    return ok;
+  }
+
+  void CrashAndRestart() {
+    // The iteration's fault plan must not outlive the crash it caused, or
+    // it would fire again during recovery's own writes.
+    Stable().SetFaultPlan(sim::DiskFaultPlan{});
+    Main().SetFaultPlan(sim::DiskFaultPlan{});
+    disks_->CrashAll();
+    files_->Crash();
+    ASSERT_TRUE(disks_->RecoverAll().ok());
+    Restart();
+  }
+
+  std::vector<std::uint8_t> ReadBlockOf(FileId file, std::uint64_t block) {
+    std::vector<std::uint8_t> out(kBlockSize);
+    EXPECT_TRUE(files_->Read(file, block * kBlockSize, out).ok());
+    return out;
+  }
+
+  // Every transaction either fully applied or fully absent; tend() success
+  // implies fully applied.
+  void CheckAllOrNothing(const std::vector<bool>& end_ok,
+                         const std::string& context) {
+    for (int j = 0; j < kTxns; ++j) {
+      const int pf = j % kFiles;
+      const std::uint64_t pb = j / kFiles;
+      const int sf = (j + 1) % kFiles;
+      const std::uint64_t sb = 2 + j / kFiles;
+      const auto got_p = ReadBlockOf(file_ids_[pf], pb);
+      const auto got_s = ReadBlockOf(file_ids_[sf], sb);
+      const bool applied_p = got_p == TxnPattern(j);
+      const bool applied_s = got_s == TxnPattern(j);
+      if (!applied_p) {
+        EXPECT_EQ(got_p, OldBlock(pf, pb)) << context << " txn " << j;
+      }
+      if (!applied_s) {
+        EXPECT_EQ(got_s, OldBlock(sf, sb)) << context << " txn " << j;
+      }
+      EXPECT_EQ(applied_p, applied_s)
+          << context << ": txn " << j << " was partially applied";
+      if (end_ok[j]) {
+        EXPECT_TRUE(applied_p)
+            << context << ": txn " << j << " acked but lost";
+      }
+    }
+  }
+
+  // fsck over the workload files, with the intention log region reserved.
+  void CheckFsckClean(const std::string& context) {
+    const auto region = txn_->log_region();
+    const std::vector<file::ReservedRegion> reserved{
+        {region.disk, region.first, region.fragments}};
+    const auto report = file::AuditFiles(
+        *files_, std::span<const FileId>(file_ids_), reserved);
+    EXPECT_TRUE(report.issues.empty())
+        << context << ": " << report.issues.size() << " fsck issues, first: "
+        << (report.issues.empty() ? "" : report.issues.front().detail);
+  }
+
+  SimClock clock_;
+  TxnServiceConfig cfg_;
+  std::unique_ptr<disk::DiskRegistry> disks_;
+  std::unique_ptr<FileService> files_;
+  std::unique_ptr<TransactionService> txn_;
+  std::vector<FileId> file_ids_;
+};
+
+// --- the stable-store (log force) crash sweep -------------------------------
+
+TEST_F(GroupCommitRecoveryTest, StableCrashAtEveryWriteIsAllOrNothing) {
+  const TxnServiceConfig cfg;  // group commit on by default
+  // Fault-free run to learn how many stable writes the workload issues.
+  BuildWorld(cfg);
+  const std::uint64_t before = Stable().stats().write_references;
+  RunWorkload();
+  const std::uint64_t total = Stable().stats().write_references - before;
+  ASSERT_GT(total, 0u);
+
+  std::uint64_t tears_seen = 0;
+  for (std::uint64_t k = 0; k <= total; ++k) {
+    SCOPED_TRACE("crash_after_stable_writes=" + std::to_string(k));
+    BuildWorld(cfg, /*fault_seed=*/1000 + k);
+    sim::DiskFaultPlan plan;
+    plan.crash_after_writes = static_cast<std::int64_t>(k);
+    Stable().SetFaultPlan(plan);
+    const std::vector<bool> end_ok = RunWorkload();
+    CrashAndRestart();
+
+    // Structural log audit BEFORE replay: at most the one torn tail batch
+    // the mid-force power cut explains.
+    recovery::RecoveryManager rm(disks_.get(), nullptr);
+    auto audit = rm.AuditIntentionLog(txn_->log());
+    ASSERT_TRUE(audit.ok());
+    EXPECT_LE(audit->torn_batches, 1u);
+    tears_seen += audit->torn_batches;
+
+    ASSERT_TRUE(txn_->Recover().ok());
+    CheckAllOrNothing(end_ok, "stable k=" + std::to_string(k));
+    CheckFsckClean("stable k=" + std::to_string(k));
+  }
+  // The sweep would be toothless if no crash ever landed mid-batch.
+  EXPECT_GT(tears_seen, 0u);
+}
+
+// --- the main-device (apply phase) crash sweep ------------------------------
+
+TEST_F(GroupCommitRecoveryTest, ApplyCrashAtEveryWriteIsRedoneOrAbsent) {
+  const TxnServiceConfig cfg;
+  BuildWorld(cfg);
+  const std::uint64_t before = Main().stats().write_references;
+  RunWorkload();
+  const std::uint64_t total = Main().stats().write_references - before;
+  ASSERT_GT(total, 0u);
+
+  std::uint64_t redone = 0;
+  for (std::uint64_t k = 0; k <= total; ++k) {
+    SCOPED_TRACE("crash_after_main_writes=" + std::to_string(k));
+    BuildWorld(cfg, /*fault_seed=*/2000 + k);
+    sim::DiskFaultPlan plan;
+    plan.crash_after_writes = static_cast<std::int64_t>(k);
+    Main().SetFaultPlan(plan);
+    const std::vector<bool> end_ok = RunWorkload();
+    CrashAndRestart();
+    ASSERT_TRUE(txn_->Recover().ok());
+    redone += txn_->stats().recovered_redone;
+    CheckAllOrNothing(end_ok, "main k=" + std::to_string(k));
+    CheckFsckClean("main k=" + std::to_string(k));
+  }
+  // Some crash point must have hit between the durable commit record and
+  // the completed apply — the redo path this sweep exists to cover.
+  EXPECT_GT(redone, 0u);
+}
+
+// --- group commit on vs off: same observable history ------------------------
+
+TEST_F(GroupCommitRecoveryTest, EnabledAndDisabledAreEquivalent) {
+  struct RunResult {
+    std::vector<std::vector<std::uint8_t>> store;
+    LockStats locks;
+    std::uint64_t commits;
+    std::uint64_t forces;
+  };
+  auto run = [&](bool enabled) {
+    TxnServiceConfig cfg;
+    cfg.group_commit.enabled = enabled;
+    BuildWorld(cfg);
+    const std::vector<bool> end_ok = RunWorkload();
+    for (int j = 0; j < kTxns; ++j) {
+      EXPECT_TRUE(end_ok[j]) << "txn " << j << " enabled=" << enabled;
+    }
+    CrashAndRestart();
+    EXPECT_TRUE(txn_->Recover().ok());
+    RunResult r;
+    for (int f = 0; f < kFiles; ++f) {
+      std::vector<std::uint8_t> bytes(kFileBlocks * kBlockSize);
+      EXPECT_TRUE(files_->Read(file_ids_[f], 0, bytes).ok());
+      r.store.push_back(std::move(bytes));
+    }
+    r.locks = txn_->locks().stats();
+    r.commits = txn_->stats().commits;
+    r.forces = txn_->log().stats().forces;
+    return r;
+  };
+
+  const RunResult off = run(false);
+  const RunResult on = run(true);
+  // Byte-identical post-recovery store...
+  ASSERT_EQ(on.store.size(), off.store.size());
+  for (std::size_t f = 0; f < on.store.size(); ++f) {
+    EXPECT_EQ(on.store[f], off.store[f]) << "file " << f;
+  }
+  // ...identical lock-observable history...
+  EXPECT_EQ(on.locks.grants, off.locks.grants);
+  EXPECT_EQ(on.locks.immediate_grants, off.locks.immediate_grants);
+  EXPECT_EQ(on.locks.waits, off.locks.waits);
+  EXPECT_EQ(on.locks.conversions, off.locks.conversions);
+  EXPECT_EQ(on.locks.breaks, off.locks.breaks);
+  EXPECT_EQ(on.locks.records_peak, off.locks.records_peak);
+  EXPECT_EQ(on.commits, off.commits);
+  // ...and the pipeline may only ever SAVE forces.
+  EXPECT_LE(on.forces, off.forces);
+}
+
+// --- locks release only after the batch is durable --------------------------
+
+TEST_F(GroupCommitRecoveryTest, FailedForceAbortsAndPreservesOldImage) {
+  // The log device dies at the force: tend() must report failure, count an
+  // abort, and recovery must present the untouched old image — the commit
+  // record never became durable, so the lock release that follows a
+  // successful force must never have exposed the new state.
+  BuildWorld(TxnServiceConfig{});
+  const auto old_bytes = OldBlock(0, 0);
+  auto t = txn_->Begin(kProc);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(txn_->TWrite(*t, file_ids_[0], 0, TxnPattern(0)).ok());
+  sim::DiskFaultPlan plan;
+  plan.crash_after_writes = 0;  // the very next stable write tears
+  Stable().SetFaultPlan(plan);
+  const std::uint64_t aborts_before = txn_->stats().aborts_explicit;
+  EXPECT_FALSE(txn_->End(*t).ok());
+  EXPECT_EQ(txn_->stats().aborts_explicit, aborts_before + 1);
+
+  CrashAndRestart();
+  ASSERT_TRUE(txn_->Recover().ok());
+  EXPECT_EQ(ReadBlockOf(file_ids_[0], 0), old_bytes);
+  CheckFsckClean("failed force");
+}
+
+TEST_F(GroupCommitRecoveryTest, LocksStayHeldWhileAwaitingDurability) {
+  // Regression for the 2PL hole group commit could open: while a commit
+  // sits in the pipeline awaiting its force, its locks must still be held.
+  // A generous leader window keeps the committing transaction parked at
+  // the durability wait long enough to probe its lock from outside.
+  TxnServiceConfig cfg;
+  cfg.group_commit.leader_window = 500ms;
+  Rebuild(cfg);
+  const FileId file = MakeFile(LockLevel::kFile, kBlockSize, 5);
+
+  auto t = txn_->Begin(kProc);
+  ASSERT_TRUE(t.ok());
+  ASSERT_TRUE(txn_->TWrite(*t, file, 0, TxnPattern(1)).ok());
+
+  std::atomic<bool> done{false};
+  std::thread committer([&] {
+    EXPECT_TRUE(txn_->End(*t).ok());
+    done.store(true);
+  });
+  // Wait until the commit's records are staged in the pipeline, i.e. the
+  // committer is inside End() heading for the durability wait.
+  while (!txn_->pipeline().HasPending() && !done.load()) {
+    std::this_thread::sleep_for(1ms);
+  }
+  const TxnId probe{999999};
+  if (!done.load()) {
+    const Status s =
+        txn_->locks().TryLock(LockLevel::kFile, probe, kProc,
+                              TxnPhase::kLocking, DataItem::File(file),
+                              LockMode::kIRead);
+    EXPECT_FALSE(s.ok()) << "lock released before the batch was durable";
+  }
+  committer.join();
+  // After tend() returns the batch is durable and the lock is free.
+  EXPECT_TRUE(txn_->locks()
+                  .TryLock(LockLevel::kFile, probe, kProc, TxnPhase::kLocking,
+                           DataItem::File(file), LockMode::kIRead)
+                  .ok());
+  txn_->locks().ReleaseAll(probe);
+  EXPECT_GE(txn_->pipeline().stats().seals_window, 1u);
+}
+
+// --- concurrent committers actually share forces ----------------------------
+
+TEST_F(GroupCommitRecoveryTest, SixteenWritersShareLogForces) {
+  TxnServiceConfig cfg;
+  cfg.group_commit.max_batch = 64;
+  cfg.group_commit.leader_window = 30ms;
+  cfg.log_fragments = 1024;  // headroom: no quiescent truncation mid-storm
+  Rebuild(cfg);
+  constexpr int kWriters = 16;
+  constexpr int kRounds = 2;
+  std::vector<FileId> files;
+  for (int w = 0; w < kWriters; ++w) {
+    files.push_back(MakeFile(LockLevel::kPage, kBlockSize,
+                             static_cast<std::uint8_t>(w + 1)));
+  }
+
+  const std::uint64_t forces_before = txn_->log().stats().forces;
+  std::atomic<int> committed{0};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int r = 0; r < kRounds; ++r) {
+        auto t = txn_->Begin(ProcessId{static_cast<std::uint64_t>(w + 1)});
+        if (!t.ok()) return;
+        const auto data = Pattern(
+            kBlockSize, static_cast<std::uint8_t>(0x80 + w * kRounds + r));
+        if (!txn_->TWrite(*t, files[w], 0, data).ok()) return;
+        if (txn_->End(*t).ok()) committed.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+
+  ASSERT_EQ(committed.load(), kWriters * kRounds);
+  const std::uint64_t forces = txn_->log().stats().forces - forces_before;
+  ASSERT_GT(forces, 0u);
+  // The whole point: >= 4x fewer log forces than committed transactions.
+  EXPECT_LE(forces * 4, static_cast<std::uint64_t>(committed.load()));
+  // Every commit (the setup's 16 creates plus the storm) was acked off a
+  // forced batch.
+  EXPECT_EQ(txn_->pipeline().stats().acks, txn_->stats().commits);
+  // Isolation survived the stampede: every file holds its last round.
+  for (int w = 0; w < kWriters; ++w) {
+    const auto expect = Pattern(
+        kBlockSize, static_cast<std::uint8_t>(0x80 + w * kRounds + kRounds - 1));
+    EXPECT_EQ(ReadBlockOf(files[w], 0), expect) << "writer " << w;
+  }
+}
+
+// --- the reserved-region fsck check has teeth -------------------------------
+
+TEST_F(GroupCommitRecoveryTest, FsckFlagsClaimsInsideReservedRegion) {
+  BuildWorld(TxnServiceConfig{});
+  // Reserve the whole main platter: every legitimate claim now overlaps.
+  const std::vector<file::ReservedRegion> everything{
+      {DiskId{0}, 0, DiskConfig().geometry.total_fragments}};
+  const auto report = file::AuditFiles(
+      *files_, std::span<const FileId>(file_ids_), everything);
+  ASSERT_FALSE(report.issues.empty());
+  for (const auto& issue : report.issues) {
+    EXPECT_EQ(issue.kind, file::AuditIssue::Kind::kReservedOverlap);
+  }
+}
+
+}  // namespace
+}  // namespace rhodos::txn

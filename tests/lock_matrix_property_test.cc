@@ -1,0 +1,281 @@
+// Property tests for Table 1 of the paper: EVERY (held-mode,
+// requested-mode, same/different-transaction) pair is enumerated against
+// the live LockManager at every locking level — including the IR->IW
+// same-transaction conversion and its "no other transaction holds
+// anything on the item" precondition — plus FIFO queue fairness and a
+// seeded random-interleaving run checked move-by-move against an
+// executable model of the matrix.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "txn/lock_manager.h"
+
+namespace rhodos::txn {
+namespace {
+
+using namespace std::chrono_literals;
+
+const ProcessId kP{7};
+
+constexpr LockMode kModes[] = {LockMode::kReadOnly, LockMode::kIRead,
+                               LockMode::kIWrite};
+constexpr LockLevel kLevels[] = {LockLevel::kRecord, LockLevel::kPage,
+                                 LockLevel::kFile};
+
+DataItem ItemAt(LockLevel level, FileId file, std::uint64_t slot) {
+  switch (level) {
+    case LockLevel::kRecord:
+      return DataItem::Record(file, slot * 64, 64);
+    case LockLevel::kPage:
+      return DataItem::Page(file, slot);
+    case LockLevel::kFile:
+      return DataItem::File(file);
+  }
+  return DataItem::File(file);
+}
+
+// What Table 1 says a DIFFERENT transaction's request against one granted
+// lock should do: grant iff the holder is RO and the request is RO or IR.
+bool TableOneGrants(LockMode held, LockMode requested) {
+  return held == LockMode::kReadOnly && (requested == LockMode::kReadOnly ||
+                                         requested == LockMode::kIRead);
+}
+
+// --- The exhaustive (held, requested, relation, level) enumeration ----------
+
+TEST(LockMatrixProperty, EveryPairEveryLevelDifferentTransaction) {
+  for (LockLevel level : kLevels) {
+    for (LockMode held : kModes) {
+      for (LockMode requested : kModes) {
+        LockManager lm;
+        const DataItem item = ItemAt(level, FileId{1}, 0);
+        ASSERT_TRUE(lm.TryLock(level, TxnId{1}, kP, TxnPhase::kLocking, item,
+                               held)
+                        .ok());
+        const Status got = lm.TryLock(level, TxnId{2}, kP,
+                                      TxnPhase::kLocking, item, requested);
+        EXPECT_EQ(got.ok(), TableOneGrants(held, requested))
+            << "level=" << static_cast<int>(level)
+            << " held=" << LockModeName(held)
+            << " requested=" << LockModeName(requested);
+        if (!TableOneGrants(held, requested)) {
+          EXPECT_EQ(got.error().code, ErrorCode::kLockConflict);
+        }
+        // Never a cross-transaction conversion, whatever the pair.
+        EXPECT_EQ(lm.stats().conversions, 0u);
+      }
+    }
+  }
+}
+
+TEST(LockMatrixProperty, EveryPairEveryLevelSameTransaction) {
+  for (LockLevel level : kLevels) {
+    for (LockMode held : kModes) {
+      for (LockMode requested : kModes) {
+        LockManager lm;
+        const DataItem item = ItemAt(level, FileId{1}, 0);
+        ASSERT_TRUE(lm.TryLock(level, TxnId{1}, kP, TxnPhase::kLocking, item,
+                               held)
+                        .ok());
+        // A transaction never conflicts with itself: weaker or equal
+        // re-requests are no-ops, stronger ones upgrade in place.
+        const Status got = lm.TryLock(level, TxnId{1}, kP,
+                                      TxnPhase::kLocking, item, requested);
+        EXPECT_TRUE(got.ok())
+            << "level=" << static_cast<int>(level)
+            << " held=" << LockModeName(held)
+            << " requested=" << LockModeName(requested);
+        // Exactly one record remains, at the stronger of the two modes.
+        const auto rec = lm.GetLockRecord(level, TxnId{1}, item);
+        ASSERT_TRUE(rec.has_value());
+        EXPECT_EQ(static_cast<int>(rec->mode),
+                  std::max(static_cast<int>(held),
+                           static_cast<int>(requested)));
+        EXPECT_EQ(lm.RecordCount(level), 1u);
+        // The paper's "changed to Iwrite by the same transaction" cell is
+        // the only conversion.
+        const bool is_conversion = held == LockMode::kIRead &&
+                                   requested == LockMode::kIWrite;
+        EXPECT_EQ(lm.stats().conversions, is_conversion ? 1u : 0u);
+      }
+    }
+  }
+}
+
+TEST(LockMatrixProperty, ConversionRequiresTheItemOtherwiseFree) {
+  // B holds RO, A holds IR (RO+IR share). A's IR->IW conversion must be
+  // refused until B lets go — "only once no other transaction holds
+  // anything on the item".
+  LockManager lm;
+  const DataItem item = DataItem::Page(FileId{1}, 0);
+  ASSERT_TRUE(lm.TryLock(LockLevel::kPage, TxnId{2}, kP, TxnPhase::kLocking,
+                         item, LockMode::kReadOnly)
+                  .ok());
+  ASSERT_TRUE(lm.TryLock(LockLevel::kPage, TxnId{1}, kP, TxnPhase::kLocking,
+                         item, LockMode::kIRead)
+                  .ok());
+  const Status blocked = lm.TryLock(LockLevel::kPage, TxnId{1}, kP,
+                                    TxnPhase::kLocking, item,
+                                    LockMode::kIWrite);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.error().code, ErrorCode::kLockConflict);
+  EXPECT_EQ(lm.stats().conversions, 0u);
+
+  lm.ReleaseAll(TxnId{2});
+  ASSERT_TRUE(lm.TryLock(LockLevel::kPage, TxnId{1}, kP, TxnPhase::kLocking,
+                         item, LockMode::kIWrite)
+                  .ok());
+  EXPECT_EQ(lm.stats().conversions, 1u);
+  const auto rec = lm.GetLockRecord(LockLevel::kPage, TxnId{1}, item);
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->mode, LockMode::kIWrite);
+  EXPECT_EQ(lm.RecordCount(LockLevel::kPage), 1u);
+}
+
+TEST(LockMatrixProperty, CrossLevelGrantsStillFollowTableOne) {
+  // A file-level IW overlaps every page; a page-level RO against it must
+  // wait exactly as Table 1 dictates (the §6.1 relaxation).
+  LockManager lm;
+  ASSERT_TRUE(lm.TryLock(LockLevel::kFile, TxnId{1}, kP, TxnPhase::kLocking,
+                         DataItem::File(FileId{1}), LockMode::kIWrite)
+                  .ok());
+  const Status blocked =
+      lm.TryLock(LockLevel::kPage, TxnId{2}, kP, TxnPhase::kLocking,
+                 DataItem::Page(FileId{1}, 3), LockMode::kReadOnly);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.error().code, ErrorCode::kLockConflict);
+  // A different file is untouched by it.
+  EXPECT_TRUE(lm.TryLock(LockLevel::kPage, TxnId{2}, kP, TxnPhase::kLocking,
+                         DataItem::Page(FileId{2}, 3), LockMode::kReadOnly)
+                  .ok());
+}
+
+// --- FIFO queue fairness under seeded arrival interleavings -----------------
+
+TEST(LockMatrixProperty, WaitQueueGrantsInArrivalOrderUnderSeededShuffles) {
+  for (const unsigned seed : {1u, 7u, 1994u}) {
+    // Long LT: nothing times out or breaks; order is pure queue discipline.
+    LockTimeoutConfig cfg;
+    cfg.lt = 10s;
+    cfg.n = 4;
+    LockManager lm(cfg);
+    const DataItem item = DataItem::Page(FileId{1}, 0);
+    ASSERT_TRUE(lm.TryLock(LockLevel::kPage, TxnId{100}, kP,
+                           TxnPhase::kLocking, item, LockMode::kIWrite)
+                    .ok());
+
+    // Waiters arrive one at a time in a seed-shuffled transaction order;
+    // each records when it is granted, then releases for the next.
+    std::vector<std::uint64_t> arrival{1, 2, 3, 4, 5};
+    std::mt19937 rng(seed);
+    std::shuffle(arrival.begin(), arrival.end(), rng);
+
+    std::mutex order_mu;
+    std::vector<std::uint64_t> granted_order;
+    std::vector<std::thread> waiters;
+    for (std::size_t i = 0; i < arrival.size(); ++i) {
+      const TxnId id{arrival[i]};
+      waiters.emplace_back([&, id] {
+        EXPECT_TRUE(lm.SetLock(LockLevel::kPage, id, kP, TxnPhase::kLocking,
+                               item, LockMode::kIWrite)
+                        .ok());
+        {
+          std::scoped_lock g(order_mu);
+          granted_order.push_back(id.value);
+        }
+        lm.ReleaseAll(id);
+      });
+      // Ensure this waiter is queued before the next arrives: holder's
+      // record plus one per parked waiter.
+      while (lm.RecordCount(LockLevel::kPage) < 2 + i) {
+        std::this_thread::sleep_for(1ms);
+      }
+    }
+    lm.ReleaseAll(TxnId{100});
+    for (std::thread& t : waiters) t.join();
+    EXPECT_EQ(granted_order, arrival) << "seed=" << seed;
+  }
+}
+
+// --- Random interleavings vs an executable model of Table 1 -----------------
+
+// The model: per item slot, the set of granted (txn, mode) pairs. It
+// predicts exactly what TryLock must answer; every divergence is a matrix
+// violation.
+struct MatrixModel {
+  // key: item slot; value: txn -> mode
+  std::map<std::uint64_t, std::map<std::uint64_t, LockMode>> held;
+  std::uint64_t grants = 0;
+  std::uint64_t conversions = 0;
+
+  // Returns the expected success of (txn, slot, mode) and applies it.
+  bool Request(std::uint64_t txn, std::uint64_t slot, LockMode mode) {
+    auto& item = held[slot];
+    auto mine = item.find(txn);
+    if (mine != item.end() &&
+        static_cast<int>(mode) <= static_cast<int>(mine->second)) {
+      return true;  // weaker or equal re-request: no-op, no new grant
+    }
+    for (const auto& [other, other_mode] : item) {
+      if (other == txn) continue;
+      if (!TableOneGrants(other_mode, mode)) return false;
+    }
+    if (mine != item.end() && mine->second == LockMode::kIRead &&
+        mode == LockMode::kIWrite) {
+      ++conversions;
+    }
+    item[txn] = mode;
+    ++grants;
+    return true;
+  }
+
+  void Release(std::uint64_t txn) {
+    for (auto& [slot, item] : held) item.erase(txn);
+  }
+};
+
+TEST(LockMatrixProperty, SeededRandomInterleavingsMatchTheModel) {
+  for (const unsigned seed : {11u, 42u, 20260806u}) {
+    LockManager lm;
+    MatrixModel model;
+    std::mt19937 rng(seed);
+    std::uniform_int_distribution<std::uint64_t> pick_txn(1, 4);
+    std::uniform_int_distribution<std::uint64_t> pick_slot(0, 2);
+    std::uniform_int_distribution<int> pick_mode(0, 2);
+    std::uniform_int_distribution<int> pick_op(0, 9);
+
+    for (int step = 0; step < 400; ++step) {
+      const std::uint64_t txn = pick_txn(rng);
+      if (pick_op(rng) == 0) {
+        model.Release(txn);
+        lm.ReleaseAll(TxnId{txn});
+        continue;
+      }
+      const std::uint64_t slot = pick_slot(rng);
+      const LockMode mode = kModes[pick_mode(rng)];
+      const bool expected = model.Request(txn, slot, mode);
+      const Status got =
+          lm.TryLock(LockLevel::kPage, TxnId{txn}, kP, TxnPhase::kLocking,
+                     DataItem::Page(FileId{1}, slot), mode);
+      ASSERT_EQ(got.ok(), expected)
+          << "seed=" << seed << " step=" << step << " txn=" << txn
+          << " slot=" << slot << " mode=" << LockModeName(mode);
+      if (!expected) {
+        ASSERT_EQ(got.error().code, ErrorCode::kLockConflict);
+      }
+    }
+    // The manager's own accounting agrees with the model's.
+    EXPECT_EQ(lm.stats().grants, model.grants) << "seed=" << seed;
+    EXPECT_EQ(lm.stats().conversions, model.conversions) << "seed=" << seed;
+    EXPECT_EQ(lm.stats().breaks, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rhodos::txn
