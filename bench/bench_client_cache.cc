@@ -1,0 +1,131 @@
+// E19 — coherent write-behind client caching, regenerated from the
+// MetricsRegistry.
+//
+// The agent's per-file dirty-block index coalesces adjacent dirty blocks
+// into runs and pushes a whole file to the server in ONE PwriteVec
+// exchange, so the cost of a flush is one message, not one message per
+// dirty block. The naming cache plus the version-token-carrying open
+// reply make a warm re-open a single exchange with zero naming work.
+// This bench pins both, plus the background write-behind batching, via
+// `bus.calls` from the facility registry — the same numbers an operator
+// reads out of DumpStats().
+#include <cstdint>
+
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+constexpr std::size_t kBlock = 8 * 1024;  // one service block
+constexpr std::size_t kDirtyBlocks = 64;
+
+std::uint64_t BusCalls(core::DistributedFileFacility& f) {
+  for (const auto& [name, v] : f.StatsSnapshot().counters) {
+    if (name == "bus.calls") return v;
+  }
+  return 0;
+}
+
+core::FacilityConfig WritebehindFacility(std::size_t threshold,
+                                         SimTime age_ns) {
+  core::FacilityConfig c = DefaultFacility();
+  c.agent.delayed_write = true;
+  c.agent.cache_blocks = 2 * kDirtyBlocks;  // hold the working set
+  c.agent.writeback_threshold = threshold;
+  c.agent.writeback_age_ns = age_ns;
+  return c;
+}
+
+// Exchanges to flush 64 dirty blocks of one file. The old per-victim
+// writeback paid one pwrite per block; the dirty index + PwriteVec pays
+// one exchange for the coalesced run.
+void BM_ExchangesPerFlush(benchmark::State& state) {
+  // Background triggers off so the bench controls when the flush happens.
+  core::DistributedFileFacility facility(
+      WritebehindFacility(/*threshold=*/0, /*age_ns=*/0));
+  core::Machine& m = facility.AddMachine();
+  auto od = *m.file_agent->Create(naming::ByName("flush-target"),
+                                  file::ServiceType::kBasic);
+  const auto block = Pattern(kBlock);
+  std::uint64_t ops = 0, calls = 0;
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < kDirtyBlocks; ++b) {
+      if (!m.file_agent->Pwrite(od, b * kBlock, block).ok()) {
+        state.SkipWithError("write failed");
+      }
+    }
+    facility.ResetStats();
+    if (!m.file_agent->Flush(od).ok()) state.SkipWithError("flush failed");
+    calls += BusCalls(facility);
+    ++ops;
+  }
+  (void)m.file_agent->Close(od);
+  state.counters["dirty_blocks"] = static_cast<double>(kDirtyBlocks);
+  state.counters["exchanges_per_flush"] =
+      static_cast<double>(calls) / static_cast<double>(ops);
+}
+BENCHMARK(BM_ExchangesPerFlush)->Iterations(8);
+
+// Exchanges to re-open a file whose binding is warm in the agent's name
+// cache: the open reply carries attributes + version token, so the whole
+// operation is ONE exchange and zero naming resolutions (E16's open row
+// used to cost two exchanges plus a resolution every time).
+void BM_ExchangesPerWarmReopen(benchmark::State& state) {
+  core::DistributedFileFacility facility(
+      WritebehindFacility(/*threshold=*/0, /*age_ns=*/0));
+  core::Machine& m = facility.AddMachine();
+  auto od = *m.file_agent->Create(naming::ByName("reopen-target"),
+                                  file::ServiceType::kBasic);
+  (void)m.file_agent->Write(od, Pattern(2 * kBlock));
+  (void)m.file_agent->Close(od);
+  // Prime the name cache (Create already did; one warm pass for clarity).
+  (void)m.file_agent->Close(*m.file_agent->Open(
+      naming::ByName("reopen-target")));
+  const std::uint64_t resolutions_before =
+      facility.naming().stats().resolutions;
+  std::uint64_t ops = 0, calls = 0;
+  for (auto _ : state) {
+    facility.ResetStats();
+    auto warm = m.file_agent->Open(naming::ByName("reopen-target"));
+    if (!warm.ok()) state.SkipWithError("open failed");
+    calls += BusCalls(facility);
+    (void)m.file_agent->Close(*warm);
+    ++ops;
+  }
+  state.counters["exchanges_per_warm_reopen"] =
+      static_cast<double>(calls) / static_cast<double>(ops);
+  state.counters["naming_resolutions"] = static_cast<double>(
+      facility.naming().stats().resolutions - resolutions_before);
+}
+BENCHMARK(BM_ExchangesPerWarmReopen)->Iterations(16);
+
+// Background write-behind: with a dirty threshold of 16, a 64-block
+// streaming write drains in 64/16 threshold batches (one exchange each)
+// instead of stalling Close with the whole backlog.
+void BM_BackgroundWritebackBatches(benchmark::State& state) {
+  std::uint64_t batches = 0, ops = 0;
+  for (auto _ : state) {
+    core::DistributedFileFacility facility(
+        WritebehindFacility(/*threshold=*/16, /*age_ns=*/0));
+    core::Machine& m = facility.AddMachine();
+    auto od = *m.file_agent->Create(naming::ByName("stream"),
+                                    file::ServiceType::kBasic);
+    const auto block = Pattern(kBlock);
+    for (std::size_t b = 0; b < kDirtyBlocks; ++b) {
+      if (!m.file_agent->Pwrite(od, b * kBlock, block).ok()) {
+        state.SkipWithError("write failed");
+      }
+    }
+    batches += m.file_agent->stats().writeback_batches;
+    (void)m.file_agent->Close(od);
+    ++ops;
+  }
+  state.counters["writeback_batches_per_64_blocks"] =
+      static_cast<double>(batches) / static_cast<double>(ops);
+}
+BENCHMARK(BM_BackgroundWritebackBatches)->Iterations(8);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+RHODOS_BENCH_MAIN();

@@ -59,6 +59,35 @@ void BM_MessagesPerOpen(benchmark::State& state) {
 }
 BENCHMARK(BM_MessagesPerOpen)->Iterations(16);
 
+// Warm re-open: the binding sits in the agent's name cache (validated by
+// the naming generation counter) and the open reply carries attributes +
+// version token, so a re-open is ONE exchange and zero naming
+// resolutions — the open row used to cost two exchanges plus a
+// resolution.
+void BM_MessagesPerWarmReopen(benchmark::State& state) {
+  Client c(/*delayed_write=*/true);
+  // Prime the name cache.
+  auto warm = c.machine->file_agent->Open(naming::ByName("target"));
+  if (!warm.ok()) state.SkipWithError("open failed");
+  (void)c.machine->file_agent->Close(*warm);
+  const std::uint64_t resolutions_before =
+      c.facility.naming().stats().resolutions;
+  std::uint64_t ops = 0, calls = 0;
+  for (auto _ : state) {
+    c.facility.ResetStats();
+    auto od = c.machine->file_agent->Open(naming::ByName("target"));
+    if (!od.ok()) state.SkipWithError("open failed");
+    calls += BusCalls(c.facility);
+    (void)c.machine->file_agent->Close(*od);
+    ++ops;
+  }
+  state.counters["msgs_per_warm_reopen"] =
+      static_cast<double>(calls) / static_cast<double>(ops);
+  state.counters["naming_resolutions"] = static_cast<double>(
+      c.facility.naming().stats().resolutions - resolutions_before);
+}
+BENCHMARK(BM_MessagesPerWarmReopen)->Iterations(16);
+
 // One-block positional read: first cold (descends to the service), then
 // warm (the agent cache answers — the §2.2 zero-message case).
 void BM_MessagesPerRead(benchmark::State& state) {

@@ -2,8 +2,9 @@
 # Disk-efficiency regression gate.
 #
 # Every bench binary writes <binary>.metrics.json (the drained facility
-# metrics). This script runs the I/O-sensitive benches and snapshots the
-# counters that measure disk efficiency — references and arm travel — into
+# metrics). This script runs the I/O- and message-sensitive benches and
+# snapshots the counters that measure disk and network efficiency —
+# references, arm travel, bus exchanges, writeback batches — into
 # bench/baselines/<bench>.json:
 #
 #   scripts/bench_baseline.sh            # (re)record the baselines
@@ -18,8 +19,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCHES=(bench_contiguous_read bench_fault_recovery bench_striping bench_group_commit)
-KEYS=(disk.read_references disk.write_references disk.tracks_seeked txn.log.forces)
+BENCHES=(bench_contiguous_read bench_fault_recovery bench_striping bench_group_commit bench_messages_per_op bench_client_cache)
+KEYS=(disk.read_references disk.write_references disk.tracks_seeked txn.log.forces bus.calls agent.writeback_batches)
 BUILD=build
 BASELINES=bench/baselines
 TOLERANCE=1.10
@@ -40,7 +41,8 @@ extract() {
   python3 - "$1" "$2" <<'EOF'
 import json, sys
 keys = ("disk.read_references", "disk.write_references",
-        "disk.tracks_seeked", "txn.log.forces")
+        "disk.tracks_seeked", "txn.log.forces",
+        "bus.calls", "agent.writeback_batches")
 with open(sys.argv[1]) as f:
     snap = json.load(f)
 counters = snap.get("counters", {})

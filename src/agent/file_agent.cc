@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
+
+#include "common/logging.h"
 
 namespace rhodos::agent {
 
@@ -51,7 +54,57 @@ Result<sim::Payload> FileAgent::Call(FsOp op,
   return reply;
 }
 
+// --- version-token coherence ----------------------------------------------------
+
+void FileAgent::InvalidateStaleClean(FileId file,
+                                     const std::set<std::uint64_t>* keep) {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.file == file && !it->second.dirty &&
+        (keep == nullptr || keep->count(it->first.block) == 0)) {
+      lru_.erase(it->second.lru_pos);
+      it = cache_.erase(it);
+      ++stats_.stale_invalidations;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FileAgent::NoteVersion(FileId file, std::uint64_t token) {
+  auto [it, inserted] = versions_.emplace(file, token);
+  if (inserted || it->second == token) return;
+  // The server's token moved since we last validated: another machine
+  // changed the file. Clean blocks may show the old image — drop them.
+  // Dirty blocks are our own pending writes and survive (last writer wins
+  // when they flush).
+  it->second = token;
+  InvalidateStaleClean(file, nullptr);
+}
+
+void FileAgent::AdoptWriteVersion(FileId file, std::uint64_t token,
+                                  std::uint64_t bumps,
+                                  const std::set<std::uint64_t>& keep) {
+  auto [it, inserted] = versions_.emplace(file, token);
+  if (inserted) return;
+  if (it->second + bumps != token) {
+    // The token advanced by more than our own writes account for: a foreign
+    // write (or a duplicated delivery of ours) interleaved. The blocks we
+    // just pushed are known current — the server applied them last — but
+    // other clean blocks may be stale.
+    InvalidateStaleClean(file, &keep);
+  }
+  it->second = token;
+}
+
 // --- open / create / close / delete ---------------------------------------------
+
+void FileAgent::SyncNameCache() {
+  const std::uint64_t gen = naming_->generation();
+  if (gen != naming_generation_) {
+    name_cache_.clear();
+    naming_generation_ = gen;
+  }
+}
 
 Result<ObjectDescriptor> FileAgent::Create(const naming::AttributedName& name,
                                            file::ServiceType type,
@@ -66,13 +119,23 @@ Result<ObjectDescriptor> FileAgent::Create(const naming::AttributedName& name,
   const FileId file{in.U64()};
   if (!in.ok()) return Error{ErrorCode::kInternal, "bad create reply"};
   RHODOS_RETURN_IF_ERROR(naming_->RegisterFile(name, file));
+  // Our registration moved the naming generation; adopt it and prime the
+  // binding so re-opening by name skips resolution.
+  SyncNameCache();
+  name_cache_.emplace(name, file);
   return OpenById(file);
 }
 
 Result<ObjectDescriptor> FileAgent::Open(const naming::AttributedName& name) {
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "open");
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
+  SyncNameCache();
+  if (auto it = name_cache_.find(name); it != name_cache_.end()) {
+    ++stats_.name_cache_hits;
+    return OpenById(it->second);
+  }
   RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
+  name_cache_.emplace(name, file);
   return OpenById(file);
 }
 
@@ -83,15 +146,12 @@ Result<ObjectDescriptor> FileAgent::OpenById(FileId file) {
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kOpen, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
-
-  // Learn the size for cursor/EOF handling.
-  FileRequest attr_req{0, file};
-  const auto attr_body = attr_req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload attr_reply,
-                          Call(FsOp::kGetAttr, attr_body));
-  Deserializer attr_in{attr_reply};
-  RHODOS_RETURN_IF_ERROR(DecodeStatus(attr_in));
-  const file::FileAttributes attrs = DecodeAttributes(attr_in);
+  // The open reply carries the version token and attributes — one exchange
+  // primes the handle and validates any blocks cached from a prior open.
+  const std::uint64_t version = in.U64();
+  const file::FileAttributes attrs = DecodeAttributes(in);
+  if (!in.ok()) return Error{ErrorCode::kInternal, "bad open reply"};
+  NoteVersion(file, version);
 
   const ObjectDescriptor od = next_descriptor_++;
   handles_.emplace(od, OpenHandle{file, 0, attrs.size});
@@ -122,8 +182,15 @@ Status FileAgent::Delete(const naming::AttributedName& name) {
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kDelete, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
-  (void)naming_->UnregisterFile(file);
-  // Drop cached blocks of the dead file.
+  if (Status ns = naming_->UnregisterFile(file); !ns.ok()) {
+    // The file is gone from the service but its name survived — every later
+    // resolve of this name will dangle. Surface it instead of dropping it.
+    ++stats_.naming_unregister_failures;
+    RHODOS_WARN("agent", "delete of file " << file.value
+                                           << " left its naming entry behind: "
+                                           << ns.error().ToString());
+  }
+  // Drop cached blocks and per-file bookkeeping of the dead file.
   for (auto it = cache_.begin(); it != cache_.end();) {
     if (it->first.file == file) {
       lru_.erase(it->second.lru_pos);
@@ -132,6 +199,10 @@ Status FileAgent::Delete(const naming::AttributedName& name) {
     } else {
       ++it;
     }
+  }
+  DropFileState(file);
+  for (auto it = name_cache_.begin(); it != name_cache_.end();) {
+    it = (it->second == file) ? name_cache_.erase(it) : std::next(it);
   }
   return OkStatus();
 }
@@ -149,20 +220,122 @@ FileAgent::CacheEntry* FileAgent::Lookup(FileId file, std::uint64_t block) {
   return &it->second;
 }
 
-Status FileAgent::WritebackEntry(const CacheKey& key, CacheEntry& entry) {
-  if (!entry.dirty) return OkStatus();
-  PwriteRequest req{key.file, key.block * kBlockSize,
-                    std::vector<std::uint8_t>(
-                        entry.data.begin(),
-                        entry.data.begin() +
-                            static_cast<std::ptrdiff_t>(entry.valid_bytes))};
+void FileAgent::MarkDirty(FileId file, std::uint64_t block) {
+  if (dirty_[file].insert(block).second) ++dirty_blocks_;
+  first_dirty_at_.emplace(file, bus_->clock()->Now());
+}
+
+void FileAgent::DropFileState(FileId file) {
+  if (auto it = dirty_.find(file); it != dirty_.end()) {
+    dirty_blocks_ -= it->second.size();
+    dirty_.erase(it);
+  }
+  first_dirty_at_.erase(file);
+  versions_.erase(file);
+}
+
+std::size_t FileAgent::BuildExtents(FileId file,
+                                    std::vector<PwriteExtent>& out) {
+  const auto dit = dirty_.find(file);
+  if (dit == dirty_.end() || dit->second.empty()) return 0;
+  const std::size_t before = out.size();
+  // The set is ordered, so one pass coalesces adjacent blocks. A block can
+  // only be glued onto the previous one when that block's cached bytes fill
+  // it completely — a partial tail ends its run.
+  std::uint64_t prev_block = 0;
+  std::uint64_t prev_len = 0;
+  bool have_prev = false;
+  for (const std::uint64_t block : dit->second) {
+    const CacheEntry& entry = cache_.at(CacheKey{file, block});
+    if (have_prev && block == prev_block + 1 && prev_len == kBlockSize) {
+      std::vector<std::uint8_t>& run = out.back().data;
+      run.insert(run.end(), entry.data.begin(),
+                 entry.data.begin() +
+                     static_cast<std::ptrdiff_t>(entry.valid_bytes));
+    } else {
+      out.push_back(PwriteExtent{
+          file, block * kBlockSize,
+          std::vector<std::uint8_t>(
+              entry.data.begin(),
+              entry.data.begin() +
+                  static_cast<std::ptrdiff_t>(entry.valid_bytes))});
+    }
+    prev_block = block;
+    prev_len = entry.valid_bytes;
+    have_prev = true;
+  }
+  return out.size() - before;
+}
+
+Status FileAgent::FlushDirtyFiles(std::span<const FileId> files) {
+  struct PerFile {
+    FileId file;
+    std::uint64_t extents = 0;
+    std::set<std::uint64_t> blocks;
+  };
+  PwriteVecRequest req;
+  std::vector<PerFile> flushed;
+  for (const FileId file : files) {
+    const auto dit = dirty_.find(file);
+    if (dit == dirty_.end() || dit->second.empty()) continue;
+    PerFile pf;
+    pf.file = file;
+    pf.blocks = dit->second;
+    pf.extents = BuildExtents(file, req.extents);
+    flushed.push_back(std::move(pf));
+  }
+  if (req.extents.empty()) return OkStatus();
+
   const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPwrite, body));
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPwriteVec, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
-  entry.dirty = false;
-  ++stats_.writebacks;
+  (void)in.U64();  // total bytes applied
+  const std::uint32_t nfiles = in.U32();
+  std::unordered_map<FileId, std::uint64_t> tokens;
+  for (std::uint32_t i = 0; i < nfiles && in.ok(); ++i) {
+    const FileId f{in.U64()};
+    tokens[f] = in.U64();
+  }
+  if (!in.ok()) return Error{ErrorCode::kInternal, "bad pwritevec reply"};
+
+  ++stats_.writeback_batches;
+  stats_.writeback_runs += req.extents.size();
+  for (const PerFile& pf : flushed) {
+    for (const std::uint64_t block : pf.blocks) {
+      if (auto it = cache_.find(CacheKey{pf.file, block}); it != cache_.end()) {
+        it->second.dirty = false;
+      }
+      ++stats_.writebacks;
+    }
+    dirty_blocks_ -= pf.blocks.size();
+    dirty_.erase(pf.file);
+    first_dirty_at_.erase(pf.file);
+    if (auto it = tokens.find(pf.file); it != tokens.end()) {
+      AdoptWriteVersion(pf.file, it->second, pf.extents, pf.blocks);
+    }
+  }
   return OkStatus();
+}
+
+void FileAgent::MaybeBackgroundWriteback() {
+  if (dirty_blocks_ == 0) return;
+  if (config_.writeback_threshold > 0 &&
+      dirty_blocks_ >= config_.writeback_threshold) {
+    // Eager path: the whole cache's dirty data in one exchange.
+    std::vector<FileId> files;
+    files.reserve(dirty_.size());
+    for (const auto& [file, blocks] : dirty_) files.push_back(file);
+    (void)FlushDirtyFiles(files);
+    return;
+  }
+  if (config_.writeback_age_ns <= 0) return;
+  const SimTime now = bus_->clock()->Now();
+  std::vector<FileId> aged;
+  for (const auto& [file, since] : first_dirty_at_) {
+    if (now - since >= config_.writeback_age_ns) aged.push_back(file);
+  }
+  if (!aged.empty()) (void)FlushDirtyFiles(aged);
 }
 
 Status FileAgent::EvictOne() {
@@ -175,9 +348,14 @@ Status FileAgent::EvictOne() {
     }
   }
   if (lru_.empty()) return {ErrorCode::kInternal, "empty cache"};
+  // Every cached block is dirty: push the whole cache in one batched
+  // exchange, then the LRU victim is clean and can go.
+  std::vector<FileId> files;
+  files.reserve(dirty_.size());
+  for (const auto& [file, blocks] : dirty_) files.push_back(file);
+  RHODOS_RETURN_IF_ERROR(FlushDirtyFiles(files));
   const CacheKey victim = lru_.back();
   auto it = cache_.find(victim);
-  RHODOS_RETURN_IF_ERROR(WritebackEntry(victim, it->second));
   lru_.erase(it->second.lru_pos);
   cache_.erase(it);
   return OkStatus();
@@ -191,7 +369,10 @@ Status FileAgent::InsertBlock(FileId file, std::uint64_t block,
     std::memcpy(existing->data.data(), data.data(),
                 std::min<std::size_t>(data.size(), kBlockSize));
     existing->valid_bytes = std::max(existing->valid_bytes, valid_bytes);
-    existing->dirty = existing->dirty || dirty;
+    if (dirty && !existing->dirty) {
+      existing->dirty = true;
+      MarkDirty(file, block);
+    }
     return OkStatus();
   }
   while (cache_.size() >= config_.cache_blocks) {
@@ -207,6 +388,7 @@ Status FileAgent::InsertBlock(FileId file, std::uint64_t block,
   lru_.push_front(key);
   entry.lru_pos = lru_.begin();
   cache_.emplace(key, std::move(entry));
+  if (dirty) MarkDirty(file, block);
   return OkStatus();
 }
 
@@ -220,8 +402,10 @@ Result<std::uint64_t> FileAgent::ServerPread(FileId file,
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPread, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  const std::uint64_t version = in.U64();
   const std::vector<std::uint8_t> data = in.Bytes();
   if (!in.ok()) return Error{ErrorCode::kInternal, "bad pread reply"};
+  NoteVersion(file, version);
   std::memcpy(out.data(), data.data(),
               std::min<std::size_t>(data.size(), out.size()));
   return static_cast<std::uint64_t>(data.size());
@@ -235,8 +419,19 @@ Result<std::uint64_t> FileAgent::ServerPwrite(
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPwrite, body));
   Deserializer din{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(din));
+  const std::uint64_t version = din.U64();
   const std::uint64_t n = din.U64();
   if (!din.ok()) return Error{ErrorCode::kInternal, "bad pwrite reply"};
+  // Blocks this write covered end to end are current; a partially covered
+  // boundary block may still hold foreign bytes outside our range, so it is
+  // not kept and gets dropped if the token shows an interleaved writer.
+  std::set<std::uint64_t> covered;
+  const std::uint64_t end = offset + n;
+  for (std::uint64_t b = (offset + kBlockSize - 1) / kBlockSize;
+       (b + 1) * kBlockSize <= end; ++b) {
+    covered.insert(b);
+  }
+  AdoptWriteVersion(file, version, 1, covered);
   return n;
 }
 
@@ -329,7 +524,10 @@ Result<std::uint64_t> FileAgent::CachedWrite(OpenHandle& h,
     }
     std::memcpy(entry->data.data() + in_block, in.data() + done, n);
     entry->valid_bytes = std::max(entry->valid_bytes, in_block + n);
-    entry->dirty = true;
+    if (!entry->dirty) {
+      entry->dirty = true;
+      MarkDirty(h.file, block);
+    }
     done += n;
   }
   h.size = std::max(h.size, offset + done);
@@ -342,6 +540,7 @@ Result<std::uint64_t> FileAgent::Pread(ObjectDescriptor od,
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "pread");
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  MaybeBackgroundWriteback();
   return CachedRead(*h, offset, out);
 }
 
@@ -351,6 +550,7 @@ Result<std::uint64_t> FileAgent::Pwrite(ObjectDescriptor od,
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "pwrite");
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  MaybeBackgroundWriteback();
   return CachedWrite(*h, offset, in);
 }
 
@@ -359,6 +559,7 @@ Result<std::uint64_t> FileAgent::Read(ObjectDescriptor od,
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "read");
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  MaybeBackgroundWriteback();
   RHODOS_ASSIGN_OR_RETURN(std::uint64_t n, CachedRead(*h, h->cursor, out));
   h->cursor += n;
   return n;
@@ -369,6 +570,7 @@ Result<std::uint64_t> FileAgent::Write(ObjectDescriptor od,
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "write");
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  MaybeBackgroundWriteback();
   RHODOS_ASSIGN_OR_RETURN(std::uint64_t n, CachedWrite(*h, h->cursor, in));
   h->cursor += n;
   return n;
@@ -402,7 +604,10 @@ Result<file::FileAttributes> FileAgent::GetAttribute(ObjectDescriptor od) {
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kGetAttr, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  const std::uint64_t version = in.U64();
   file::FileAttributes attrs = DecodeAttributes(in);
+  if (!in.ok()) return Error{ErrorCode::kInternal, "bad getattr reply"};
+  NoteVersion(h->file, version);
   // The agent may hold dirty data the server has not seen yet.
   attrs.size = std::max(attrs.size, h->size);
   return attrs;
@@ -411,19 +616,17 @@ Result<file::FileAttributes> FileAgent::GetAttribute(ObjectDescriptor od) {
 Status FileAgent::Flush(ObjectDescriptor od) {
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "flush");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
-  for (auto& [key, entry] : cache_) {
-    if (key.file == h->file && entry.dirty) {
-      RHODOS_RETURN_IF_ERROR(WritebackEntry(key, entry));
-    }
-  }
-  return OkStatus();
+  // One batched exchange, driven off the per-file dirty index: cost is
+  // proportional to this file's dirty blocks, not to the whole cache.
+  const FileId file = h->file;
+  return FlushDirtyFiles({&file, 1});
 }
 
 Status FileAgent::FlushAll() {
-  for (auto& [key, entry] : cache_) {
-    if (entry.dirty) RHODOS_RETURN_IF_ERROR(WritebackEntry(key, entry));
-  }
-  return OkStatus();
+  std::vector<FileId> files;
+  files.reserve(dirty_.size());
+  for (const auto& [file, blocks] : dirty_) files.push_back(file);
+  return FlushDirtyFiles(files);
 }
 
 Result<FileId> FileAgent::FileOf(ObjectDescriptor od) const {
@@ -439,6 +642,31 @@ void FileAgent::Crash() {
   handles_.clear();
   cache_.clear();
   lru_.clear();
+  dirty_.clear();
+  dirty_blocks_ = 0;
+  first_dirty_at_.clear();
+  versions_.clear();
+  name_cache_.clear();
+  naming_generation_ = 0;
+}
+
+std::size_t FileAgent::DirtyBlocksIndexed(FileId file) const {
+  const auto it = dirty_.find(file);
+  return it == dirty_.end() ? 0 : it->second.size();
+}
+
+std::size_t FileAgent::DirtyBlocksScanned() const {
+  std::size_t n = 0;
+  for (const auto& [key, entry] : cache_) n += entry.dirty ? 1 : 0;
+  return n;
+}
+
+std::size_t FileAgent::DirtyBlocksScanned(FileId file) const {
+  std::size_t n = 0;
+  for (const auto& [key, entry] : cache_) {
+    if (key.file == file && entry.dirty) ++n;
+  }
+  return n;
 }
 
 }  // namespace rhodos::agent

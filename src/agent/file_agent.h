@@ -6,23 +6,37 @@
 // agent and a transaction agent." The file agent:
 //
 //  * resolves attributed names through the naming service and returns
-//    object descriptors strictly greater than 100 000;
+//    object descriptors strictly greater than 100 000; resolved bindings
+//    are cached per agent and invalidated by the naming service's
+//    generation counter, so a warm re-open does zero naming work;
 //  * keeps the per-descriptor cursor, so read/write/lseek are agent-side
 //    and every message to the server is positional — which is what makes
 //    the operations idempotent and the file service "nearly stateless";
 //  * caches "a substantial amount of file data to avoid trying to access
 //    the file service for each request from a client", block-grained with
-//    a delayed-write policy (dirty blocks are pushed at close/flush);
+//    a delayed-write policy. A per-file dirty-block index coalesces
+//    adjacent dirty blocks into runs and pushes a whole file (or the whole
+//    cache) to the server in ONE PwriteVec exchange at flush/close/eviction
+//    pressure; a background write-behind flushes on dirty-count or sim-time
+//    age so Close is not a latency cliff;
+//  * keeps its cache coherent across machines with the server's per-file
+//    version tokens (piggybacked on open/getattr/pread/pwrite replies):
+//    a mismatched token drops the file's clean cached blocks before they
+//    can serve a stale image — AFS-style validation, Sprite-style delayed
+//    write;
 //  * retries lost messages over the at-least-once RPC client, counting on
 //    idempotence for safety.
 #pragma once
 
 #include <cstdint>
 #include <list>
+#include <map>
+#include <set>
 #include <unordered_map>
 
 #include "agent/fs_protocol.h"
 #include "common/result.h"
+#include "common/sim_clock.h"
 #include "common/types.h"
 #include "naming/naming_service.h"
 #include "sim/message_bus.h"
@@ -36,6 +50,14 @@ struct FileAgentConfig {
   bool delayed_write = true;      // false: write through to the server
   int rpc_attempts = 8;           // shorthand; overrides rpc.max_attempts
   sim::RpcRetryConfig rpc{};      // backoff/deadline policy for server calls
+  // Background write-behind (checked at the top of data operations; the
+  // simulation has no threads). When the agent holds at least
+  // `writeback_threshold` dirty blocks across all files, everything is
+  // flushed in one batched exchange; a file whose oldest dirty block is
+  // older than `writeback_age_ns` of sim time is flushed likewise.
+  // 0 disables the respective trigger.
+  std::size_t writeback_threshold = 32;
+  SimTime writeback_age_ns = 200 * kSimMillisecond;
 };
 
 struct FileAgentStats {
@@ -44,6 +66,13 @@ struct FileAgentStats {
   std::uint64_t descriptors_issued = 0;
   std::uint64_t writebacks = 0;    // dirty blocks pushed to the server
   std::uint64_t invalidations = 0;  // cached blocks dropped (delete, crash)
+  std::uint64_t writeback_batches = 0;  // PwriteVec exchanges issued
+  std::uint64_t writeback_runs = 0;     // coalesced extents across batches
+  // Clean blocks dropped because the server's version token moved —
+  // another machine wrote the file behind our back.
+  std::uint64_t stale_invalidations = 0;
+  std::uint64_t name_cache_hits = 0;  // opens resolved without the naming svc
+  std::uint64_t naming_unregister_failures = 0;  // delete left naming behind
 };
 
 class FileAgent {
@@ -84,7 +113,8 @@ class FileAgent {
 
   Result<file::FileAttributes> GetAttribute(ObjectDescriptor od);
 
-  // Pushes this descriptor's dirty cached blocks to the server.
+  // Pushes this descriptor's dirty cached blocks to the server in one
+  // batched exchange (cost proportional to that file's dirty blocks).
   Status Flush(ObjectDescriptor od);
   Status FlushAll();
 
@@ -100,6 +130,14 @@ class FileAgent {
   // Circuit-breaker verdict on the file service, from this agent's seat.
   bool ServerSuspectedDead() const { return rpc_.SuspectedDead(); }
   MachineId machine() const { return machine_; }
+
+  // Dirty-block accounting, two ways (tests assert they agree): the
+  // per-file index the flush path uses, and the full cache scan the old
+  // flush path used.
+  std::size_t DirtyBlocksIndexed() const { return dirty_blocks_; }
+  std::size_t DirtyBlocksIndexed(FileId file) const;
+  std::size_t DirtyBlocksScanned() const;
+  std::size_t DirtyBlocksScanned(FileId file) const;
 
  private:
   struct OpenHandle {
@@ -135,8 +173,39 @@ class FileAgent {
   Status InsertBlock(FileId file, std::uint64_t block,
                      std::span<const std::uint8_t> data,
                      std::uint64_t valid_bytes, bool dirty);
-  Status WritebackEntry(const CacheKey& key, CacheEntry& entry);
   Status EvictOne();
+
+  // Dirty-block index plumbing. Invariant: dirty_ holds exactly the keys of
+  // cache entries whose dirty flag is set (and dirty_blocks_ their count);
+  // every fill happens under the file's current known version token, so all
+  // clean entries of a file are at versions_[file].
+  void MarkDirty(FileId file, std::uint64_t block);
+  void DropFileState(FileId file);  // delete/crash bookkeeping
+
+  // Builds coalesced (offset, run) extents from `file`'s dirty blocks;
+  // appends to `out`, returns how many extents were added.
+  std::size_t BuildExtents(FileId file, std::vector<PwriteExtent>& out);
+  // Flushes the dirty blocks of `files` (must be distinct) to the server in
+  // ONE PwriteVec exchange; marks them clean and adopts the reply's version
+  // tokens. No-op when nothing is dirty.
+  Status FlushDirtyFiles(std::span<const FileId> files);
+  // Age/threshold write-behind; failures are swallowed (the data stays
+  // dirty and the next trigger retries).
+  void MaybeBackgroundWriteback();
+
+  // Version-token coherence. NoteVersion: a read-path reply told us the
+  // file's current version; a change means another machine wrote it — drop
+  // the file's clean cached blocks. AdoptWriteVersion: our own write came
+  // back with `token` after `bumps` server-side mutations of ours; a larger
+  // jump means a foreign write interleaved — drop clean blocks except the
+  // ones we just pushed (`keep`), which are known current.
+  void NoteVersion(FileId file, std::uint64_t token);
+  void AdoptWriteVersion(FileId file, std::uint64_t token, std::uint64_t bumps,
+                         const std::set<std::uint64_t>& keep);
+  void InvalidateStaleClean(FileId file, const std::set<std::uint64_t>* keep);
+
+  // Clears the name cache when the naming generation moved.
+  void SyncNameCache();
 
   // Uncached positional ops against the server.
   Result<std::uint64_t> ServerPread(FileId file, std::uint64_t offset,
@@ -162,6 +231,16 @@ class FileAgent {
   std::unordered_map<ObjectDescriptor, OpenHandle> handles_;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::list<CacheKey> lru_;
+  // Per-file dirty-block index (ordered sets so runs coalesce in one pass).
+  std::unordered_map<FileId, std::set<std::uint64_t>> dirty_;
+  std::size_t dirty_blocks_ = 0;
+  // Sim time each file first went dirty (for the age trigger).
+  std::unordered_map<FileId, SimTime> first_dirty_at_;
+  // Latest server version token seen per file.
+  std::unordered_map<FileId, std::uint64_t> versions_;
+  // name → FileId bindings, valid while naming_generation_ is current.
+  std::map<naming::AttributedName, FileId> name_cache_;
+  std::uint64_t naming_generation_ = 0;
   ObjectDescriptor next_descriptor_;
   std::uint64_t next_token_{1};
   FileAgentStats stats_;

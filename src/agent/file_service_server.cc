@@ -1,5 +1,7 @@
 #include "agent/file_service_server.h"
 
+#include <algorithm>
+
 namespace rhodos::agent {
 
 namespace {
@@ -21,6 +23,7 @@ std::string_view OpName(FsOp op) {
     case FsOp::kGetAttr: return "getattr";
     case FsOp::kResize: return "resize";
     case FsOp::kFlush: return "flush";
+    case FsOp::kPwriteVec: return "pwritevec";
   }
   return "unknown";
 }
@@ -75,6 +78,7 @@ sim::Payload FileServiceServer::Handle(std::uint32_t opcode,
     case FsOp::kGetAttr: return HandleGetAttr(request);
     case FsOp::kResize: return HandleResize(request);
     case FsOp::kFlush: return HandleFlush(request);
+    case FsOp::kPwriteVec: return HandlePwriteVec(request);
   }
   return ErrorReply({ErrorCode::kNotSupported, "unknown opcode"});
 }
@@ -120,8 +124,25 @@ sim::Payload FileServiceServer::HandleOpenClose(
   auto req = FileRequest::Decode(body);
   if (!req.ok()) return ErrorReply(req.error());
   Serializer out;
-  EncodeStatus(out, op == FsOp::kOpen ? service_->Open(req->file)
-                                      : service_->Close(req->file));
+  if (op == FsOp::kClose) {
+    EncodeStatus(out, service_->Close(req->file));
+    return std::move(out).Take();
+  }
+  // An open reply carries the version token and attributes, so the agent
+  // primes its handle (size, cursor bounds) and validates its cache with a
+  // single exchange instead of open+getattr.
+  if (Status st = service_->Open(req->file); !st.ok()) {
+    EncodeError(out, st.error());
+    return std::move(out).Take();
+  }
+  auto attrs = service_->GetAttributes(req->file);
+  if (!attrs.ok()) {
+    EncodeError(out, attrs.error());
+    return std::move(out).Take();
+  }
+  EncodeStatus(out, OkStatus());
+  out.U64(service_->Version(req->file));
+  EncodeAttributes(out, *attrs);
   return std::move(out).Take();
 }
 
@@ -137,6 +158,7 @@ sim::Payload FileServiceServer::HandlePread(
     return std::move(out).Take();
   }
   EncodeStatus(out, OkStatus());
+  out.U64(service_->Version(req->file));
   out.Bytes({buf.data(), static_cast<std::size_t>(*n)});
   return std::move(out).Take();
 }
@@ -152,7 +174,37 @@ sim::Payload FileServiceServer::HandlePwrite(
     return std::move(out).Take();
   }
   EncodeStatus(out, OkStatus());
+  out.U64(service_->Version(req->file));
   out.U64(*n);
+  return std::move(out).Take();
+}
+
+sim::Payload FileServiceServer::HandlePwriteVec(
+    std::span<const std::uint8_t> body) {
+  auto req = PwriteVecRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  // Extents apply in order through the service's vectored write path. A
+  // mid-batch failure leaves a prefix applied — harmless, because every
+  // extent is positional: the agent keeps the whole batch dirty and the
+  // retry re-produces the same bytes.
+  std::uint64_t total = 0;
+  std::vector<FileId> files;  // distinct, in first-appearance order
+  for (const PwriteExtent& e : req->extents) {
+    auto n = service_->Write(e.file, e.offset, e.data);
+    if (!n.ok()) return ErrorReply(n.error());
+    total += *n;
+    if (std::find(files.begin(), files.end(), e.file) == files.end()) {
+      files.push_back(e.file);
+    }
+  }
+  Serializer out;
+  EncodeStatus(out, OkStatus());
+  out.U64(total);
+  out.U32(static_cast<std::uint32_t>(files.size()));
+  for (FileId f : files) {
+    out.U64(f.value);
+    out.U64(service_->Version(f));
+  }
   return std::move(out).Take();
 }
 
@@ -167,6 +219,7 @@ sim::Payload FileServiceServer::HandleGetAttr(
     return std::move(out).Take();
   }
   EncodeStatus(out, OkStatus());
+  out.U64(service_->Version(req->file));
   EncodeAttributes(out, *attrs);
   return std::move(out).Take();
 }

@@ -142,4 +142,33 @@ Result<ResizeRequest> ResizeRequest::Decode(
   return r;
 }
 
+std::vector<std::uint8_t> PwriteVecRequest::Encode() const {
+  Serializer out;
+  out.U32(static_cast<std::uint32_t>(extents.size()));
+  for (const PwriteExtent& e : extents) {
+    out.U64(e.file.value);
+    out.U64(e.offset);
+    out.Bytes(e.data);
+  }
+  return std::move(out).Take();
+}
+
+Result<PwriteVecRequest> PwriteVecRequest::Decode(
+    std::span<const std::uint8_t> bytes) {
+  Deserializer in{bytes};
+  PwriteVecRequest r;
+  const std::uint32_t count = in.U32();
+  for (std::uint32_t i = 0; i < count && in.ok(); ++i) {
+    PwriteExtent e;
+    e.file = FileId{in.U64()};
+    e.offset = in.U64();
+    e.data = in.Bytes();
+    r.extents.push_back(std::move(e));
+  }
+  if (!in.ok() || r.extents.size() != count) {
+    return Error{ErrorCode::kInvalidArgument, "bad pwritevec req"};
+  }
+  return r;
+}
+
 }  // namespace rhodos::agent

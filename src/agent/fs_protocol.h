@@ -32,6 +32,7 @@ enum class FsOp : std::uint32_t {
   kGetAttr = 7,
   kResize = 8,
   kFlush = 9,
+  kPwriteVec = 10,
 };
 
 // Every reply starts with a status frame.
@@ -85,6 +86,26 @@ struct ResizeRequest {
 
   std::vector<std::uint8_t> Encode() const;
   static Result<ResizeRequest> Decode(std::span<const std::uint8_t> data);
+};
+
+// One contiguous run of bytes to write. Extents in a PwriteVecRequest may
+// target several files, so a whole cache's worth of delayed writes (flush-all,
+// eviction pressure) still costs a single exchange.
+struct PwriteExtent {
+  FileId file{};
+  std::uint64_t offset = 0;
+  std::vector<std::uint8_t> data;
+};
+
+// Batched write-behind: many (file, offset, run) extents per message. Like
+// kPwrite, every extent is positional and therefore idempotent — replaying
+// the whole batch re-produces the same file state. The reply carries the
+// per-file version tokens after all extents applied.
+struct PwriteVecRequest {
+  std::vector<PwriteExtent> extents;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<PwriteVecRequest> Decode(std::span<const std::uint8_t> bytes);
 };
 
 }  // namespace rhodos::agent

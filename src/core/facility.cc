@@ -149,6 +149,12 @@ constexpr const char* kCounters[] = {
     // Client-side block cache of each machine's file agent (summed).
     "agent.cache.hits", "agent.cache.misses", "agent.cache.writebacks",
     "agent.cache.invalidations", "agent.descriptors_issued",
+    // Batched write-behind, version-token coherence, and the per-agent
+    // name cache (summed across machines).
+    "agent.writeback_batches", "agent.writeback_runs",
+    "agent.stale_invalidations", "agent.name_cache_hits",
+    // Inverted-index probes inside the naming service.
+    "naming.index_probes",
     // Message bus (NetStats).
     "bus.bytes_moved", "bus.calls", "bus.deliveries", "bus.drops_reply",
     "bus.drops_request", "bus.duplicates", "bus.probes",
@@ -263,6 +269,10 @@ void DistributedFileFacility::PullLayerStats() {
     fa.descriptors_issued += s.descriptors_issued;
     fa.writebacks += s.writebacks;
     fa.invalidations += s.invalidations;
+    fa.writeback_batches += s.writeback_batches;
+    fa.writeback_runs += s.writeback_runs;
+    fa.stale_invalidations += s.stale_invalidations;
+    fa.name_cache_hits += s.name_cache_hits;
     const sim::RpcHealth& h = machine->file_agent->rpc_health();
     rpc.calls += h.calls;
     rpc.successes += h.successes;
@@ -283,6 +293,11 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("agent.cache.writebacks", fa.writebacks);
   m.SetCounter("agent.cache.invalidations", fa.invalidations);
   m.SetCounter("agent.descriptors_issued", fa.descriptors_issued);
+  m.SetCounter("agent.writeback_batches", fa.writeback_batches);
+  m.SetCounter("agent.writeback_runs", fa.writeback_runs);
+  m.SetCounter("agent.stale_invalidations", fa.stale_invalidations);
+  m.SetCounter("agent.name_cache_hits", fa.name_cache_hits);
+  m.SetCounter("naming.index_probes", naming_.stats().index_probes);
   m.SetCounter("rpc.calls", rpc.calls);
   m.SetCounter("rpc.successes", rpc.successes);
   m.SetCounter("rpc.failures", rpc.failures);

@@ -204,6 +204,7 @@ Status FileService::Delete(FileId id) {
     }
   }
   open_files_.erase(id);
+  BumpVersion(id);
   return OkStatus();
 }
 
@@ -682,6 +683,7 @@ Result<std::uint64_t> FileService::Write(FileId id, std::uint64_t offset,
     of->table_dirty = true;
   }
   stats_.bytes_written += len;
+  BumpVersion(id);
   if (of->table_dirty && policy == WritePolicy::kWriteThrough) {
     RHODOS_RETURN_IF_ERROR(StoreTable(id, *of));
   }
@@ -731,6 +733,7 @@ Status FileService::Resize(FileId id, std::uint64_t size) {
   }
   of->table.attributes().size = size;
   of->table_dirty = true;
+  BumpVersion(id);
   return StoreTable(id, *of);
 }
 
@@ -864,6 +867,7 @@ Status FileService::WriteBlock(FileId id, std::uint64_t block_index,
         server->PutBlock(loc.first_fragment, kFragmentsPerBlock, in));
     if (entry != nullptr) entry->dirty = false;
   }
+  BumpVersion(id);
   return OkStatus();
 }
 
@@ -907,6 +911,7 @@ Status FileService::ReplaceBlock(FileId id, std::uint64_t block_index,
     lru_.erase(it->second.lru_pos);
     cache_.erase(it);
   }
+  BumpVersion(id);
   return StoreTable(id, *of);
 }
 
@@ -929,6 +934,21 @@ void FileService::Crash() {
   cache_.clear();
   lru_.clear();
   open_files_.clear();
+  // Dirty delayed-write data died with the volatile state, so any file a
+  // client cached before the crash may have silently reverted to older
+  // contents. Bump every version so those caches revalidate.
+  for (auto& [id, v] : versions_) ++v;
+}
+
+std::uint64_t FileService::Version(FileId id) const {
+  auto it = versions_.find(id);
+  return it == versions_.end() ? 1 : it->second;
+}
+
+void FileService::BumpVersion(FileId id) {
+  // First mutation moves the file from the implicit version 1 to 2.
+  auto [it, inserted] = versions_.emplace(id, 2);
+  if (!inserted) ++it->second;
 }
 
 }  // namespace rhodos::file

@@ -154,6 +154,17 @@ class FileService {
   // index tables vanish; dirty (delayed-write) data is lost.
   void Crash();
 
+  // --- Coherence ------------------------------------------------------------
+
+  // Per-file monotonic version token, bumped on every mutation (write,
+  // block write/replace, resize, delete) and on a server crash (delayed
+  // writes lost — cached copies of the pre-crash state must revalidate).
+  // The file-service server piggybacks it on open/getattr/pread/pwrite
+  // replies so client agents can invalidate stale cached blocks. Files
+  // start at version 1; a deleted file's slot keeps counting so a FileId
+  // reused at the same index table location cannot alias an old token.
+  std::uint64_t Version(FileId id) const;
+
   // --- Introspection --------------------------------------------------------
 
   const FileServiceStats& stats() const { return stats_; }
@@ -247,6 +258,8 @@ class FileService {
 
   disk::WritePolicy PolicyFor(const OpenFile& of) const;
 
+  void BumpVersion(FileId id);
+
   disk::DiskRegistry* disks_;
   SimClock* clock_;
   FileServiceConfig config_;
@@ -255,6 +268,9 @@ class FileService {
   std::unordered_map<FileId, OpenFile> open_files_;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::list<CacheKey> lru_;  // front = most recent
+  // Mutation counters behind Version(). Entries outlive Delete on purpose
+  // (see Version() comment); absent entries read as version 1.
+  std::unordered_map<FileId, std::uint64_t> versions_;
   FileServiceStats stats_;
   obs::Observability* obs_ = nullptr;
 };

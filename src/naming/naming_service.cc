@@ -8,6 +8,20 @@ AttributedName ByName(std::string value) {
   return AttributedName{{"name", std::move(value)}};
 }
 
+std::string ToString(const AttributedName& name) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : name) {
+    if (!first) out += ", ";
+    first = false;
+    out += key;
+    out += '=';
+    out += value;
+  }
+  out += '}';
+  return out;
+}
+
 bool NamingService::Matches(const AttributedName& query,
                             const AttributedName& candidate) {
   for (const auto& [key, value] : query) {
@@ -17,26 +31,42 @@ bool NamingService::Matches(const AttributedName& query,
   return true;
 }
 
+void NamingService::IndexInsert(const AttributedName& name, FileId file) {
+  for (const auto& [key, value] : name) {
+    index_[{key, value}].insert(file);
+  }
+}
+
+void NamingService::IndexRemove(const AttributedName& name, FileId file) {
+  for (const auto& [key, value] : name) {
+    auto it = index_.find({key, value});
+    if (it == index_.end()) continue;
+    it->second.erase(file);
+    if (it->second.empty()) index_.erase(it);
+  }
+}
+
 Status NamingService::RegisterFile(const AttributedName& name, FileId file) {
   if (name.empty()) {
     return {ErrorCode::kInvalidArgument, "empty attributed name"};
   }
-  for (const auto& [existing, id] : files_) {
-    if (id == file) {
-      return {ErrorCode::kAlreadyExists, "file already registered"};
-    }
+  if (files_.count(file) != 0) {
+    return {ErrorCode::kAlreadyExists, "file already registered"};
   }
-  files_.emplace_back(name, file);
+  files_.emplace(file, FileEntry{name, next_seq_++});
+  IndexInsert(name, file);
+  ++generation_;
   return OkStatus();
 }
 
 Status NamingService::UnregisterFile(FileId file) {
-  auto it = std::find_if(files_.begin(), files_.end(),
-                         [&](const auto& e) { return e.second == file; });
+  auto it = files_.find(file);
   if (it == files_.end()) {
     return {ErrorCode::kNotFound, "file not registered"};
   }
+  IndexRemove(it->second.name, file);
   files_.erase(it);
+  ++generation_;
   return OkStatus();
 }
 
@@ -49,8 +79,17 @@ Result<FileId> NamingService::ResolveFile(const AttributedName& query) {
   }
   if (matches.size() > 1) {
     ++stats_.ambiguities;
-    return Error{ErrorCode::kAmbiguousName,
-                 std::to_string(matches.size()) + " files match the name"};
+    // Name the colliding registrations, not just how many there are, so the
+    // caller can see which attribute to add to disambiguate.
+    constexpr std::size_t kMaxNamed = 4;
+    std::string detail =
+        std::to_string(matches.size()) + " files match the name: ";
+    for (std::size_t i = 0; i < matches.size() && i < kMaxNamed; ++i) {
+      if (i > 0) detail += ", ";
+      detail += ToString(files_.at(matches[i]).name);
+    }
+    if (matches.size() > kMaxNamed) detail += ", ...";
+    return Error{ErrorCode::kAmbiguousName, std::move(detail)};
   }
   return matches.front();
 }
@@ -58,27 +97,60 @@ Result<FileId> NamingService::ResolveFile(const AttributedName& query) {
 std::vector<FileId> NamingService::EvaluateFiles(
     const AttributedName& query) const {
   std::vector<FileId> out;
-  for (const auto& [name, id] : files_) {
-    if (Matches(query, name)) out.push_back(id);
+  if (query.empty()) {
+    // An empty query matches every registered file.
+    out.reserve(files_.size());
+    for (const auto& [id, entry] : files_) out.push_back(id);
+  } else {
+    // Gather the posting set of every query pair; a pair nobody carries
+    // means no file can match. Intersect starting from the smallest set.
+    std::vector<const std::set<FileId>*> lists;
+    lists.reserve(query.size());
+    for (const auto& [key, value] : query) {
+      ++stats_.index_probes;
+      auto it = index_.find({key, value});
+      if (it == index_.end()) return {};
+      lists.push_back(&it->second);
+    }
+    std::sort(lists.begin(), lists.end(),
+              [](const auto* a, const auto* b) { return a->size() < b->size(); });
+    for (FileId id : *lists.front()) {
+      bool in_all = true;
+      for (std::size_t i = 1; i < lists.size(); ++i) {
+        if (lists[i]->count(id) == 0) {
+          in_all = false;
+          break;
+        }
+      }
+      if (in_all) out.push_back(id);
+    }
   }
+  // Registration order — identical to what a linear scan over the registry
+  // would have produced.
+  std::sort(out.begin(), out.end(), [this](FileId a, FileId b) {
+    return files_.at(a).seq < files_.at(b).seq;
+  });
   return out;
 }
 
 Result<AttributedName> NamingService::NameOf(FileId file) const {
-  for (const auto& [name, id] : files_) {
-    if (id == file) return name;
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return Error{ErrorCode::kNotFound, "file not registered"};
   }
-  return Error{ErrorCode::kNotFound, "file not registered"};
+  return it->second.name;
 }
 
 Status NamingService::UpdateFile(FileId file, const AttributedName& name) {
-  for (auto& [existing, id] : files_) {
-    if (id == file) {
-      existing = name;
-      return OkStatus();
-    }
+  auto it = files_.find(file);
+  if (it == files_.end()) {
+    return {ErrorCode::kNotFound, "file not registered"};
   }
-  return {ErrorCode::kNotFound, "file not registered"};
+  IndexRemove(it->second.name, file);
+  it->second.name = name;
+  IndexInsert(name, file);
+  ++generation_;
+  return OkStatus();
 }
 
 Status NamingService::RegisterDevice(const AttributedName& name,

@@ -11,11 +11,21 @@
 // is unresolved. Files resolve to their FileId (the system name encodes
 // the index-table location); devices resolve to a device system name
 // string the device agent understands.
+//
+// Evaluation is served from an inverted index: each attribute=value pair
+// maps to the posting set of files registered with that pair. A query is
+// answered by intersecting its posting sets starting from the smallest, so
+// cost is proportional to the smallest posting list rather than to the
+// whole registry. Results are emitted in registration order — exactly what
+// the original linear scan over the registry produced (a property test pins
+// the equivalence against a shadow linear scan).
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
@@ -30,10 +40,18 @@ using AttributedName = std::map<std::string, std::string>;
 // Convenience: the common single-attribute name {"name": value}.
 AttributedName ByName(std::string value);
 
+// Canonical human-readable rendering, e.g. "{name=ledger, owner=alice}".
+// Used in ambiguity diagnostics so operators see *which* files collided.
+std::string ToString(const AttributedName& name);
+
 struct NamingStats {
   std::uint64_t resolutions = 0;
   std::uint64_t failures = 0;
   std::uint64_t ambiguities = 0;
+  // Posting-list lookups performed while evaluating queries. The old linear
+  // scan did FileCount() name comparisons per query; this counts at most one
+  // probe per query attribute.
+  std::uint64_t index_probes = 0;
 };
 
 class NamingService {
@@ -47,13 +65,15 @@ class NamingService {
   // `query` must match (registered names may carry extra attributes).
   Result<FileId> ResolveFile(const AttributedName& query);
 
-  // All files matching the query (directory-listing style evaluation).
+  // All files matching the query (directory-listing style evaluation),
+  // in registration order.
   std::vector<FileId> EvaluateFiles(const AttributedName& query) const;
 
   // The full attributed name under which a file was registered.
   Result<AttributedName> NameOf(FileId file) const;
 
   // Re-binds an existing registration (e.g. rename, attribute change).
+  // The file keeps its registration-order position.
   Status UpdateFile(FileId file, const AttributedName& name);
 
   // --- Devices -------------------------------------------------------------
@@ -64,13 +84,31 @@ class NamingService {
   const NamingStats& stats() const { return stats_; }
   std::size_t FileCount() const { return files_.size(); }
 
+  // Bumped on every mutation of the file registry (register / unregister /
+  // update). Agents key their name→FileId caches off this: a cached binding
+  // is valid only while the generation it was filled at is still current.
+  std::uint64_t generation() const { return generation_; }
+
  private:
+  struct FileEntry {
+    AttributedName name;
+    std::uint64_t seq = 0;  // registration order, stable across UpdateFile
+  };
+
   static bool Matches(const AttributedName& query,
                       const AttributedName& candidate);
 
-  std::vector<std::pair<AttributedName, FileId>> files_;
+  void IndexInsert(const AttributedName& name, FileId file);
+  void IndexRemove(const AttributedName& name, FileId file);
+
+  std::unordered_map<FileId, FileEntry> files_;
+  // attribute=value → posting set of files carrying that pair.
+  std::map<std::pair<std::string, std::string>, std::set<FileId>> index_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t generation_ = 0;
+
   std::vector<std::pair<AttributedName, std::string>> devices_;
-  NamingStats stats_;
+  mutable NamingStats stats_;
 };
 
 }  // namespace rhodos::naming

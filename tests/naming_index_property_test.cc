@@ -1,0 +1,253 @@
+// Property test: the naming service's inverted-index evaluation is
+// byte-identical to the linear scan it replaced.
+//
+// A shadow model keeps the registry as a plain vector in registration
+// order and answers every query by scanning it with the original
+// subset-match rule. The real service answers from posting-list
+// intersection. A randomized schedule of register / update / unregister /
+// resolve / evaluate operations — including ambiguous names, misses, and
+// empty queries — must produce identical results (same FileId vectors in
+// the same order, same error codes) on both.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "naming/naming_service.h"
+
+namespace rhodos::naming {
+namespace {
+
+// The pre-index implementation: a vector in registration order, scanned
+// linearly with the subset-match rule.
+class ShadowNaming {
+ public:
+  Status Register(const AttributedName& name, FileId file) {
+    if (name.empty()) {
+      return {ErrorCode::kInvalidArgument, "empty attributed name"};
+    }
+    if (Find(file) != files_.end()) {
+      return {ErrorCode::kAlreadyExists, "file already registered"};
+    }
+    files_.emplace_back(name, file);
+    return OkStatus();
+  }
+
+  Status Unregister(FileId file) {
+    auto it = Find(file);
+    if (it == files_.end()) {
+      return {ErrorCode::kNotFound, "file not registered"};
+    }
+    files_.erase(it);
+    return OkStatus();
+  }
+
+  Status Update(FileId file, const AttributedName& name) {
+    auto it = Find(file);
+    if (it == files_.end()) {
+      return {ErrorCode::kNotFound, "file not registered"};
+    }
+    it->first = name;  // keeps its registration-order position
+    return OkStatus();
+  }
+
+  std::vector<FileId> Evaluate(const AttributedName& query) const {
+    std::vector<FileId> out;
+    for (const auto& [name, file] : files_) {
+      if (Matches(query, name)) out.push_back(file);
+    }
+    return out;
+  }
+
+  Result<FileId> Resolve(const AttributedName& query) const {
+    const auto matches = Evaluate(query);
+    if (matches.empty()) {
+      return Error{ErrorCode::kNameNotResolved, "no file matches the name"};
+    }
+    if (matches.size() > 1) {
+      return Error{ErrorCode::kAmbiguousName, "multiple files match"};
+    }
+    return matches.front();
+  }
+
+  std::size_t Count() const { return files_.size(); }
+  FileId At(std::size_t i) const { return files_[i].second; }
+
+ private:
+  static bool Matches(const AttributedName& query,
+                      const AttributedName& candidate) {
+    for (const auto& [key, value] : query) {
+      auto it = candidate.find(key);
+      if (it == candidate.end() || it->second != value) return false;
+    }
+    return true;
+  }
+
+  std::vector<std::pair<AttributedName, FileId>>::iterator Find(FileId file) {
+    return std::find_if(files_.begin(), files_.end(),
+                        [file](const auto& e) { return e.second == file; });
+  }
+
+  std::vector<std::pair<AttributedName, FileId>> files_;
+};
+
+// Small attribute/value alphabets so collisions (shared pairs, ambiguous
+// names, updates landing on existing names) are common.
+const char* const kAttrs[] = {"name", "owner", "type", "host"};
+const char* const kValues[] = {"a", "b", "c", "d", "e"};
+
+AttributedName RandomName(Rng& rng, std::size_t max_attrs) {
+  AttributedName name;
+  const std::size_t n = rng.Between(1, max_attrs);
+  for (std::size_t i = 0; i < n; ++i) {
+    name[kAttrs[rng.Below(std::size(kAttrs))]] =
+        kValues[rng.Below(std::size(kValues))];
+  }
+  return name;
+}
+
+void ExpectSameResolve(const Result<FileId>& real,
+                       const Result<FileId>& shadow, std::uint64_t step) {
+  ASSERT_EQ(real.ok(), shadow.ok()) << "step " << step;
+  if (real.ok()) {
+    EXPECT_EQ(real->value, shadow->value) << "step " << step;
+  } else {
+    EXPECT_EQ(real.error().code, shadow.error().code) << "step " << step;
+  }
+}
+
+TEST(NamingIndexPropertyTest, IndexedEvaluationMatchesLinearScan) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 7919);
+    NamingService real;
+    ShadowNaming shadow;
+    std::uint64_t next_file = 1;
+
+    for (std::uint64_t step = 0; step < 600; ++step) {
+      const std::uint64_t roll = rng.Below(100);
+      if (roll < 35) {  // register (sometimes a duplicate id, sometimes empty)
+        const bool dup = shadow.Count() > 0 && rng.Chance(0.1);
+        const FileId file{dup ? shadow.At(rng.Below(shadow.Count())).value
+                              : next_file++};
+        const AttributedName name =
+            rng.Chance(0.05) ? AttributedName{} : RandomName(rng, 3);
+        const Status a = real.RegisterFile(name, file);
+        const Status b = shadow.Register(name, file);
+        ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed << " step " << step;
+        if (!a.ok()) EXPECT_EQ(a.error().code, b.error().code);
+      } else if (roll < 50) {  // unregister (sometimes a miss)
+        const FileId file{shadow.Count() > 0 && rng.Chance(0.8)
+                              ? shadow.At(rng.Below(shadow.Count())).value
+                              : next_file + 1000};
+        const Status a = real.UnregisterFile(file);
+        const Status b = shadow.Unregister(file);
+        ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed << " step " << step;
+      } else if (roll < 60) {  // update (keeps registration order)
+        const FileId file{shadow.Count() > 0 && rng.Chance(0.8)
+                              ? shadow.At(rng.Below(shadow.Count())).value
+                              : next_file + 1000};
+        const AttributedName name = RandomName(rng, 3);
+        const Status a = real.UpdateFile(file, name);
+        const Status b = shadow.Update(file, name);
+        ASSERT_EQ(a.ok(), b.ok()) << "seed " << seed << " step " << step;
+      } else if (roll < 80) {  // evaluate — byte-identical ordered list
+        const AttributedName query =
+            rng.Chance(0.1) ? AttributedName{} : RandomName(rng, 2);
+        const auto a = real.EvaluateFiles(query);
+        const auto b = shadow.Evaluate(query);
+        ASSERT_EQ(a, b) << "seed " << seed << " step " << step << " query "
+                        << ToString(query);
+      } else {  // resolve — same value or same error code
+        const AttributedName query = RandomName(rng, 2);
+        ExpectSameResolve(real.ResolveFile(query), shadow.Resolve(query),
+                          step);
+      }
+    }
+    EXPECT_EQ(real.FileCount(), shadow.Count()) << "seed " << seed;
+  }
+}
+
+TEST(NamingIndexPropertyTest, EmptyQueryListsEverythingInRegistrationOrder) {
+  NamingService real;
+  ShadowNaming shadow;
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    const AttributedName name{{"name", "f" + std::to_string(i)},
+                              {"type", i % 2 == 0 ? "even" : "odd"}};
+    ASSERT_TRUE(real.RegisterFile(name, FileId{i}).ok());
+    ASSERT_TRUE(shadow.Register(name, FileId{i}).ok());
+  }
+  // Unregistering from the middle and re-registering moves the file to the
+  // back of registration order — on both.
+  ASSERT_TRUE(real.UnregisterFile(FileId{7}).ok());
+  ASSERT_TRUE(shadow.Unregister(FileId{7}).ok());
+  ASSERT_TRUE(real.RegisterFile(ByName("back"), FileId{7}).ok());
+  ASSERT_TRUE(shadow.Register(ByName("back"), FileId{7}).ok());
+  // An update keeps position — on both.
+  ASSERT_TRUE(real.UpdateFile(FileId{3}, ByName("renamed")).ok());
+  ASSERT_TRUE(shadow.Update(FileId{3}, ByName("renamed")).ok());
+
+  EXPECT_EQ(real.EvaluateFiles({}), shadow.Evaluate({}));
+  EXPECT_EQ(real.EvaluateFiles({{"type", "even"}}),
+            shadow.Evaluate({{"type", "even"}}));
+}
+
+TEST(NamingIndexPropertyTest, AmbiguityErrorNamesTheCandidates) {
+  NamingService naming;
+  ASSERT_TRUE(naming
+                  .RegisterFile({{"name", "cfg"}, {"owner", "alice"}},
+                                FileId{1})
+                  .ok());
+  ASSERT_TRUE(
+      naming.RegisterFile({{"name", "cfg"}, {"owner", "bob"}}, FileId{2})
+          .ok());
+  auto r = naming.ResolveFile(ByName("cfg"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kAmbiguousName);
+  // The diagnostic names the colliding registrations so the caller can see
+  // which attribute disambiguates.
+  EXPECT_NE(r.error().message.find("2 files match"), std::string::npos)
+      << r.error().message;
+  EXPECT_NE(r.error().message.find("owner=alice"), std::string::npos)
+      << r.error().message;
+  EXPECT_NE(r.error().message.find("owner=bob"), std::string::npos)
+      << r.error().message;
+}
+
+TEST(NamingIndexPropertyTest, AmbiguityErrorTruncatesLongCandidateLists) {
+  NamingService naming;
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    ASSERT_TRUE(naming
+                    .RegisterFile({{"name", "log"},
+                                   {"host", "h" + std::to_string(i)}},
+                                  FileId{i})
+                    .ok());
+  }
+  auto r = naming.ResolveFile(ByName("log"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("6 files match"), std::string::npos);
+  EXPECT_NE(r.error().message.find("..."), std::string::npos)
+      << r.error().message;
+}
+
+TEST(NamingIndexPropertyTest, IndexProbesStayProportionalToQuerySize) {
+  NamingService naming;
+  for (std::uint64_t i = 1; i <= 100; ++i) {
+    ASSERT_TRUE(naming
+                    .RegisterFile({{"name", "f" + std::to_string(i)},
+                                   {"type", "bulk"}},
+                                  FileId{i})
+                    .ok());
+  }
+  const std::uint64_t before = naming.stats().index_probes;
+  (void)naming.EvaluateFiles({{"name", "f42"}, {"type", "bulk"}});
+  // Two query pairs → two posting-list probes, regardless of the 100
+  // registered files (the linear scan did 100 name comparisons here).
+  EXPECT_EQ(naming.stats().index_probes - before, 2u);
+}
+
+}  // namespace
+}  // namespace rhodos::naming
