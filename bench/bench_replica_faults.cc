@@ -1,0 +1,171 @@
+// E20 — what the quorum buys: write latency pinned to the W-th replica
+// (not the slowest), the price of serving through faults, and how fast
+// anti-entropy makes a battered group whole.
+//
+//  * BM_QuorumWriteSlowReplica — a 3-replica group where one replica's
+//    disk is 8x slower (per_disk_geometry). W=2 must commit at the speed
+//    of the two fast replicas; W=3 is held hostage by the slow one. The
+//    gap is the headline number of the quorum rewrite: before it, EVERY
+//    write was a write-all and paid the W=3 column.
+//  * BM_DegradedServing — one replica disk crashed: reads fail over,
+//    writes commit at W=2 with hints queued. Columns: simulated ms for
+//    the stream plus the degraded/hint counters that measure the detour.
+//  * BM_TimeToConsistency — crash a replica disk, write versions past it,
+//    bring it back, and count anti-entropy ticks (and simulated repair
+//    time) until AllCurrent(), for N in {2, 3, 5}.
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+constexpr std::size_t kRegion = 4096;
+constexpr int kOps = 64;
+
+void BM_QuorumWriteSlowReplica(benchmark::State& state) {
+  const std::uint32_t w = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    core::FacilityConfig cfg = DefaultFacility(/*disks=*/3,
+                                               /*fragments=*/16 * 1024);
+    // Disk 2 is the straggler: 8x the seek settle and rotation.
+    sim::DiskGeometry slow = cfg.geometry;
+    slow.seek_base *= 8;
+    slow.rotational_latency *= 8;
+    cfg.per_disk_geometry = {cfg.geometry, cfg.geometry, slow};
+    core::DistributedFileFacility f(cfg);
+    auto& repl = f.replication();
+    auto g = repl.CreateReplicated(file::ServiceType::kTransaction, 3,
+                                   kRegion, replication::GroupPolicy{w, 1});
+    if (!g.ok()) {
+      state.SkipWithError("group create failed");
+      return;
+    }
+    const auto data = Pattern(kRegion, 3);
+    (void)repl.Write(*g, 0, data);  // warm allocation
+
+    const SimTime start = f.clock().Now();
+    for (int i = 0; i < kOps; ++i) {
+      if (!repl.Write(*g, 0, data).ok()) {
+        state.SkipWithError("quorum write failed on a healthy group");
+        return;
+      }
+    }
+    const SimTime elapsed = f.clock().Now() - start;
+    state.counters["sim_ms"] = SimMillis(elapsed);
+    state.counters["sim_ms_per_write"] = SimMillis(elapsed) / kOps;
+    // All replicas still took the bytes — the quorum trims the *wait*,
+    // not the redundancy.
+    auto all = repl.AllCurrent(*g);
+    state.counters["all_current"] = (all.ok() && *all) ? 1.0 : 0.0;
+  }
+}
+BENCHMARK(BM_QuorumWriteSlowReplica)
+    ->Arg(2)  // commit at the two fast replicas' speed
+    ->Arg(3)  // write-all: the slow disk sets the pace
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_DegradedServing(benchmark::State& state) {
+  const bool degraded = state.range(0) != 0;
+  for (auto _ : state) {
+    core::FacilityConfig cfg = DefaultFacility(/*disks=*/3,
+                                               /*fragments=*/16 * 1024);
+    core::DistributedFileFacility f(cfg);
+    auto& repl = f.replication();
+    auto g = repl.CreateReplicated(file::ServiceType::kTransaction, 3,
+                                   kRegion,
+                                   replication::GroupPolicy{2, 2});
+    if (!g.ok()) {
+      state.SkipWithError("group create failed");
+      return;
+    }
+    const auto data = Pattern(kRegion, 3);
+    (void)repl.Write(*g, 0, data);
+
+    if (degraded) {
+      const auto reps = repl.Replicas(*g);
+      (void)f.CrashDisk((*reps)[0].disk);  // the read path's first choice
+      f.recovery().Tick();
+    }
+
+    const SimTime start = f.clock().Now();
+    std::vector<std::uint8_t> out(kRegion);
+    std::uint64_t failures = 0;
+    for (int i = 0; i < kOps; ++i) {
+      if (i % 2 == 0) {
+        failures += repl.Write(*g, 0, data).ok() ? 0 : 1;
+      } else {
+        failures += repl.Read(*g, 0, out).ok() ? 0 : 1;
+      }
+    }
+    const SimTime elapsed = f.clock().Now() - start;
+    state.counters["sim_ms"] = SimMillis(elapsed);
+    state.counters["op_failures"] = static_cast<double>(failures);
+    state.counters["degraded_writes"] =
+        static_cast<double>(repl.stats().degraded_writes);
+    state.counters["hints_queued"] =
+        static_cast<double>(repl.stats().hints_queued);
+    state.counters["failovers"] = static_cast<double>(repl.stats().failovers);
+  }
+}
+BENCHMARK(BM_DegradedServing)
+    ->Arg(0)  // healthy
+    ->Arg(1)  // one replica disk down, quorum still met
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+constexpr int kOutageWrites = 8;
+
+void BM_TimeToConsistency(benchmark::State& state) {
+  const std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    core::FacilityConfig cfg = DefaultFacility(/*disks=*/n,
+                                               /*fragments=*/16 * 1024);
+    core::DistributedFileFacility f(cfg);
+    auto& repl = f.replication();
+    auto g = repl.CreateReplicated(file::ServiceType::kTransaction, n,
+                                   kRegion);
+    if (!g.ok()) {
+      state.SkipWithError("group create failed");
+      return;
+    }
+    (void)repl.Write(*g, 0, Pattern(kRegion, 3));
+
+    const DiskId victim = (*repl.Replicas(*g))[0].disk;
+    (void)f.CrashDisk(victim);
+    f.recovery().Tick();
+    for (int i = 0; i < kOutageWrites; ++i) {
+      (void)repl.Write(*g, 0, Pattern(kRegion, static_cast<std::uint8_t>(i)));
+    }
+
+    (void)f.RecoverDisk(victim);
+    const SimTime start = f.clock().Now();
+    int ticks = 0;
+    bool current = false;
+    while (!current && ticks < 32) {
+      f.recovery().Tick();
+      ++ticks;
+      auto all = repl.AllCurrent(*g);
+      current = all.ok() && *all;
+    }
+    if (!current) {
+      state.SkipWithError("group never converged");
+      return;
+    }
+    state.counters["anti_entropy_ticks"] = static_cast<double>(ticks);
+    state.counters["repair_sim_ms"] = SimMillis(f.clock().Now() - start);
+    state.counters["hints_replayed"] =
+        static_cast<double>(repl.stats().hints_replayed);
+    state.counters["repairs"] = static_cast<double>(repl.stats().repairs);
+  }
+}
+BENCHMARK(BM_TimeToConsistency)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+RHODOS_BENCH_MAIN();

@@ -19,8 +19,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCHES=(bench_contiguous_read bench_fault_recovery bench_striping bench_group_commit bench_messages_per_op bench_client_cache)
-KEYS=(disk.read_references disk.write_references disk.tracks_seeked txn.log.forces bus.calls agent.writeback_batches)
+BENCHES=(bench_contiguous_read bench_fault_recovery bench_striping bench_group_commit bench_messages_per_op bench_client_cache bench_replica_faults)
+KEYS=(disk.read_references disk.write_references disk.tracks_seeked txn.log.forces bus.calls agent.writeback_batches replication.degraded_writes replication.hints_queued replication.read_repairs)
 BUILD=build
 BASELINES=bench/baselines
 TOLERANCE=1.10
@@ -42,7 +42,9 @@ extract() {
 import json, sys
 keys = ("disk.read_references", "disk.write_references",
         "disk.tracks_seeked", "txn.log.forces",
-        "bus.calls", "agent.writeback_batches")
+        "bus.calls", "agent.writeback_batches",
+        "replication.degraded_writes", "replication.hints_queued",
+        "replication.read_repairs")
 with open(sys.argv[1]) as f:
     snap = json.load(f)
 counters = snap.get("counters", {})

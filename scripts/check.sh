@@ -26,6 +26,9 @@ run_suite() {
   # changes; run it by label so a mislabelled suite fails loudly here.
   echo "== $dir: transaction matrix (ctest -L txn) =="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L txn
+  # The quorum / replica-fault matrix gates replication-protocol changes.
+  echo "== $dir: replication matrix (ctest -L repl) =="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L repl
 }
 
 if [[ "$mode" != "--sanitize-only" ]]; then

@@ -95,6 +95,8 @@ Result<ChaosReport> ChaosRunner::Run(sim::FaultPlan plan) {
   }
 
   report.failovers = repl.stats().failovers;
+  report.read_repairs = repl.stats().read_repairs;
+  report.token_replays = repl.stats().token_replays;
   report.auto_repairs = f_->recovery().stats().auto_repairs;
   report.disk_failures_seen = f_->recovery().stats().disk_failures_detected;
   report.disk_recoveries_seen =
@@ -112,14 +114,23 @@ void ChaosRunner::StepReplicatedWrite(std::size_t target, std::uint64_t op,
                                       ChaosReport& report) {
   ++report.replicated_writes;
   auto data = OpPattern(op);
-  auto n = f_->replication().Write(groups_[target], 0, data);
+  // Each op carries a unique deterministic idempotency token, and a failed
+  // attempt gets one client-style retry with the SAME token — the retried
+  // exchange whose first delivery committed must replay the recorded ack,
+  // not apply the bytes as a second version (the double-apply regression).
+  const std::uint64_t token = op + 1;
+  auto n = f_->replication().Write(groups_[target], 0, data, token);
+  if (!n.ok() && n.error().code == ErrorCode::kUnavailable) {
+    n = f_->replication().Write(groups_[target], 0, data, token);
+  }
   Oracle& o = group_oracle_[target];
   if (n.ok()) {
     o.data = std::move(data);
     o.known = true;
   } else {
-    // A failed write-all may have torn a replica; nobody can say which
-    // bytes landed until the next successful write re-establishes truth.
+    // A failed quorum write may still have landed on some replicas (the
+    // roll-forward); nobody can say which bytes are current until the next
+    // successful write re-establishes truth.
     o.known = false;
     ++report.op_failures;
   }
@@ -135,7 +146,13 @@ void ChaosRunner::StepReplicatedRead(std::size_t target,
     ++report.op_failures;
     return;
   }
-  if (o.known && (*n != o.data.size() ||
+  if (n->stale) {
+    // Explicitly-flagged degraded serve: old bytes are legal here, and the
+    // flag is exactly what keeps them from masquerading as current.
+    ++report.stale_reads;
+    return;
+  }
+  if (o.known && (n->bytes != o.data.size() ||
                   !std::equal(o.data.begin(), o.data.end(), out.begin()))) {
     ++report.corrupt_reads;  // I1: success with wrong bytes
   }
@@ -208,6 +225,7 @@ void ChaosRunner::HealAndRecover(ChaosReport& report) {
   // dead disk, replay the intention log, repair every stale replica.
   f_->bus().ClearFaults();
   for (const auto& disk : f_->disks().disks()) {
+    if (disk->partitioned()) (void)f_->HealDisk(disk->id());
     if (disk->crashed()) (void)f_->RecoverDisk(disk->id());
   }
   (void)f_->transactions().Recover();
@@ -293,8 +311,11 @@ std::string ChaosReport::Summary() const {
   s += " aborts=" + std::to_string(txn_aborts);
   s += " agent_w=" + std::to_string(agent_writes);
   s += " agent_r=" + std::to_string(agent_reads);
+  s += " stale_r=" + std::to_string(stale_reads);
   s += " | failovers=" + std::to_string(failovers);
   s += " auto_repairs=" + std::to_string(auto_repairs);
+  s += " read_repairs=" + std::to_string(read_repairs);
+  s += " token_replays=" + std::to_string(token_replays);
   s += " disk_down=" + std::to_string(disk_failures_seen);
   s += " disk_up=" + std::to_string(disk_recoveries_seen);
   s += " | corrupt=" + std::to_string(corrupt_reads);

@@ -55,9 +55,12 @@ struct ChaosReport {
   std::uint64_t txn_aborts = 0;
   std::uint64_t agent_writes = 0;
   std::uint64_t agent_reads = 0;
+  std::uint64_t stale_reads = 0;  // reads served best-effort, flagged stale
   // What the recovery machinery did while the faults ran.
   std::uint64_t failovers = 0;
   std::uint64_t auto_repairs = 0;
+  std::uint64_t read_repairs = 0;
+  std::uint64_t token_replays = 0;  // duplicate writes absorbed by token
   std::uint64_t disk_failures_seen = 0;
   std::uint64_t disk_recoveries_seen = 0;
   // Invariant verdicts (all zero / clean on a surviving run).

@@ -8,7 +8,9 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
     : config_(config), bus_(&clock_, config.network), disks_(config.placement) {
   for (std::uint32_t i = 0; i < config_.disk_count; ++i) {
     disk::DiskServerConfig dc;
-    dc.geometry = config_.geometry;
+    dc.geometry = i < config_.per_disk_geometry.size()
+                      ? config_.per_disk_geometry[i]
+                      : config_.geometry;
     dc.cache_capacity_tracks = config_.disk_cache_tracks;
     dc.track_readahead = config_.track_readahead;
     dc.fault_seed = 100 + i;
@@ -21,12 +23,29 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
   auto disk0 = disks_.Get(DiskId{0});
   txns_ = std::make_unique<txn::TransactionService>(files_.get(), *disk0,
                                                     config_.txn);
-  replication_ =
-      std::make_unique<replication::ReplicationService>(files_.get());
+  replication_ = std::make_unique<replication::ReplicationService>(
+      files_.get(), config_.replication);
+  anti_entropy_ = std::make_unique<replication::AntiEntropyScanner>(
+      replication_.get(), config_.anti_entropy);
   recovery_ = std::make_unique<recovery::RecoveryManager>(
       &disks_, replication_.get());
+  recovery_->SetAntiEntropy(anti_entropy_.get());
   detector_ = std::make_unique<recovery::FailureDetector>(&bus_);
   detector_->Watch(kFileServiceAddress);
+  // Disks are local to the file service machine, not bus services: the
+  // detector probes them through a local prober instead of burning network
+  // timeouts. Bus addresses still go over the wire.
+  detector_->SetProber([this](const std::string& address) -> bool {
+    const std::string prefix = "disk-";
+    if (address.rfind(prefix, 0) == 0) {
+      const DiskId disk{static_cast<std::uint32_t>(
+          std::strtoul(address.c_str() + prefix.size(), nullptr, 10))};
+      auto server = disks_.Get(disk);
+      return server.ok() && (*server)->Reachable();
+    }
+    return bus_.Probe(address, "failure-detector").ok();
+  });
+  recovery_->SetDiskDetector(detector_.get());
   file_server_ = std::make_unique<agent::FileServiceServer>(
       files_.get(), &bus_, kFileServiceAddress);
   // Observability: one bundle for the whole facility. The bus carries it to
@@ -52,6 +71,10 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
       (void)CrashDisk(disk);
     } else if (ev.action == sim::FaultAction::kDiskRecover) {
       (void)RecoverDisk(disk);
+    } else if (ev.action == sim::FaultAction::kDiskPartition) {
+      (void)PartitionDisk(disk);
+    } else if (ev.action == sim::FaultAction::kDiskHeal) {
+      (void)HealDisk(disk);
     }
   });
 }
@@ -65,6 +88,18 @@ Status DistributedFileFacility::CrashDisk(DiskId disk) {
 Status DistributedFileFacility::RecoverDisk(DiskId disk) {
   RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server, disks_.Get(disk));
   if (server->crashed()) return server->Recover();
+  return OkStatus();
+}
+
+Status DistributedFileFacility::PartitionDisk(DiskId disk) {
+  RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server, disks_.Get(disk));
+  server->SetPartitioned(true);
+  return OkStatus();
+}
+
+Status DistributedFileFacility::HealDisk(DiskId disk) {
+  RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server, disks_.Get(disk));
+  server->SetPartitioned(false);
   return OkStatus();
 }
 
@@ -190,9 +225,14 @@ constexpr const char* kCounters[] = {
     "recovery.auto_repairs", "recovery.disk_failures_detected",
     "recovery.disk_recoveries_detected", "recovery.repair_failures",
     "recovery.replicas_marked_down", "recovery.ticks",
-    // Replicated files.
+    // Replicated files: quorum outcomes, hinted handoff, anti-entropy.
+    "replication.anti_entropy_repairs", "replication.anti_entropy_scans",
     "replication.degraded_reads", "replication.degraded_writes",
-    "replication.reads", "replication.repairs", "replication.writes",
+    "replication.epoch_bumps", "replication.hints_dropped",
+    "replication.hints_queued", "replication.hints_replayed",
+    "replication.read_repairs", "replication.reads", "replication.repairs",
+    "replication.stale_reads", "replication.token_replays",
+    "replication.unavailable_writes", "replication.writes",
     // At-least-once RPC (summed over every machine's file agent), plus the
     // push-model circuit-breaker trip count.
     "rpc.backoff_wait_ns", "rpc.calls", "rpc.circuit_trips",
@@ -224,10 +264,12 @@ constexpr const char* kGauges[] = {
     "facility.disk_count",
     "facility.machine_count",
     "facility.sim_now_ns",
+    "replication.hint_queue_depth",
 };
 
 constexpr const char* kHistograms[] = {
     "agent.op_latency_ns", "disk.reference_ns", "disk.seek_ns",
+    "replication.hint_age_ns", "replication.staleness_ns",
     "rpc.backoff_ns", "rpc.call_latency_ns", "txn.commit_latency_ns",
     "txn.group_commit.ack_latency_ns", "txn.group_commit.batch_records",
 };
@@ -371,6 +413,18 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("replication.degraded_writes", rep.degraded_writes);
   m.SetCounter("replication.degraded_reads", rep.failovers);
   m.SetCounter("replication.repairs", rep.repairs);
+  m.SetCounter("replication.unavailable_writes", rep.unavailable_writes);
+  m.SetCounter("replication.stale_reads", rep.stale_reads);
+  m.SetCounter("replication.read_repairs", rep.read_repairs);
+  m.SetCounter("replication.hints_queued", rep.hints_queued);
+  m.SetCounter("replication.hints_replayed", rep.hints_replayed);
+  m.SetCounter("replication.hints_dropped", rep.hints_dropped);
+  m.SetCounter("replication.epoch_bumps", rep.epoch_bumps);
+  m.SetCounter("replication.token_replays", rep.token_replays);
+
+  const replication::AntiEntropyStats& ae = anti_entropy_->stats();
+  m.SetCounter("replication.anti_entropy_scans", ae.scans);
+  m.SetCounter("replication.anti_entropy_repairs", ae.replicas_caught_up);
 
   const recovery::RecoveryStats& rec = recovery_->stats();
   m.SetCounter("recovery.ticks", rec.ticks);
@@ -457,6 +511,8 @@ void DistributedFileFacility::PullLayerStats() {
              static_cast<double>(machines_.size()));
   m.SetGauge("facility.sim_now_ns", static_cast<double>(clock_.Now()));
   m.SetGauge("disk.free_fragments", static_cast<double>(free_fragments));
+  m.SetGauge("replication.hint_queue_depth",
+             static_cast<double>(replication_->TotalPendingHints()));
 }
 
 obs::MetricsSnapshot DistributedFileFacility::StatsSnapshot() {

@@ -32,6 +32,7 @@
 #include "obs/observability.h"
 #include "recovery/failure_detector.h"
 #include "recovery/recovery_manager.h"
+#include "replication/anti_entropy.h"
 #include "replication/replication_service.h"
 #include "sim/message_bus.h"
 #include "txn/transaction_service.h"
@@ -41,6 +42,10 @@ namespace rhodos::core {
 struct FacilityConfig {
   std::uint32_t disk_count = 1;
   sim::DiskGeometry geometry{};
+  // Optional per-disk geometry overrides by disk index (shorter than
+  // disk_count is fine; missing entries use `geometry`). The replica-fault
+  // bench uses this to model one slow replica among fast ones.
+  std::vector<sim::DiskGeometry> per_disk_geometry{};
   std::size_t disk_cache_tracks = 16;
   bool track_readahead = true;
   disk::PlacementPolicy placement = disk::PlacementPolicy::kRoundRobin;
@@ -48,6 +53,8 @@ struct FacilityConfig {
   txn::TxnServiceConfig txn{};
   sim::NetworkConfig network{};
   agent::FileAgentConfig agent{};
+  replication::ReplicationConfig replication{};
+  replication::AntiEntropyConfig anti_entropy{};
 };
 
 // One client workstation: its agents (paper §3: "on each machine, all
@@ -79,6 +86,7 @@ class DistributedFileFacility {
   txn::TransactionService& transactions() { return *txns_; }
   naming::NamingService& naming() { return naming_; }
   replication::ReplicationService& replication() { return *replication_; }
+  replication::AntiEntropyScanner& anti_entropy() { return *anti_entropy_; }
   recovery::RecoveryManager& recovery() { return *recovery_; }
   recovery::FailureDetector& detector() { return *detector_; }
   sim::MessageBus& bus() { return bus_; }
@@ -118,6 +126,12 @@ class DistributedFileFacility {
   Status CrashDisk(DiskId disk);
   Status RecoverDisk(DiskId disk);
 
+  // Network partition of a single disk server: I/O fails with kUnavailable
+  // but volatile state survives, unlike CrashDisk. FaultPlan reaches these
+  // through kDiskPartition/kDiskHeal events.
+  Status PartitionDisk(DiskId disk);
+  Status HealDisk(DiskId disk);
+
   void ResetStats();
 
   // --- Observability -----------------------------------------------------------
@@ -151,6 +165,7 @@ class DistributedFileFacility {
   std::unique_ptr<txn::TransactionService> txns_;
   naming::NamingService naming_;
   std::unique_ptr<replication::ReplicationService> replication_;
+  std::unique_ptr<replication::AntiEntropyScanner> anti_entropy_;
   std::unique_ptr<recovery::RecoveryManager> recovery_;
   std::unique_ptr<recovery::FailureDetector> detector_;
   std::unique_ptr<agent::FileServiceServer> file_server_;

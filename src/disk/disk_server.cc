@@ -172,8 +172,17 @@ void DiskServer::ReadAheadTrack(FragmentIndex first, std::uint32_t count) {
   }
 }
 
+Status DiskServer::CheckReachable() const {
+  if (partitioned_) {
+    return {ErrorCode::kUnavailable,
+            "disk-" + std::to_string(id_.value) + " partitioned"};
+  }
+  return OkStatus();
+}
+
 Status DiskServer::GetBlock(FragmentIndex first, std::uint32_t count,
                             std::span<std::uint8_t> out, ReadSource source) {
+  RHODOS_RETURN_IF_ERROR(CheckReachable());
   if (out.size() < static_cast<std::size_t>(count) * kFragmentSize) {
     return {ErrorCode::kInvalidArgument, "get_block buffer too small"};
   }
@@ -231,6 +240,7 @@ Status DiskServer::PutBlock(FragmentIndex first, std::uint32_t count,
                             std::span<const std::uint8_t> in,
                             StableMode stable, WriteSync sync,
                             WritePolicy policy) {
+  RHODOS_RETURN_IF_ERROR(CheckReachable());
   if (in.size() < static_cast<std::size_t>(count) * kFragmentSize) {
     return {ErrorCode::kInvalidArgument, "put_block buffer too small"};
   }
@@ -288,6 +298,7 @@ void DiskServer::ObserveSeek(FragmentIndex first) {
 
 Status DiskServer::GetBlocksVec(std::span<const ReadRun> runs,
                                 ReadSource source) {
+  RHODOS_RETURN_IF_ERROR(CheckReachable());
   for (const ReadRun& r : runs) {
     if (r.out.size() < static_cast<std::size_t>(r.count) * kFragmentSize) {
       return {ErrorCode::kInvalidArgument, "get_blocks_vec buffer too small"};
@@ -368,6 +379,7 @@ Status DiskServer::GetBlocksVec(std::span<const ReadRun> runs,
 Status DiskServer::PutBlocksVec(std::span<const WriteRun> runs,
                                 StableMode stable, WriteSync sync,
                                 WritePolicy policy) {
+  RHODOS_RETURN_IF_ERROR(CheckReachable());
   for (const WriteRun& r : runs) {
     if (r.in.size() < static_cast<std::size_t>(r.count) * kFragmentSize) {
       return {ErrorCode::kInvalidArgument, "put_blocks_vec buffer too small"};
@@ -432,6 +444,7 @@ Status DiskServer::PutBlocksVec(std::span<const WriteRun> runs,
 }
 
 Status DiskServer::FlushBlock(FragmentIndex first, std::uint32_t count) {
+  RHODOS_RETURN_IF_ERROR(CheckReachable());
   obs::SpanScope span(obs::TracerOf(obs_), "disk", "flush");
   obs::LatencyScope lat(obs_, "disk.reference_ns");
   Status result = OkStatus();
@@ -446,6 +459,7 @@ Status DiskServer::FlushBlock(FragmentIndex first, std::uint32_t count) {
 }
 
 Status DiskServer::FlushAll() {
+  RHODOS_RETURN_IF_ERROR(CheckReachable());
   Status result = OkStatus();
   cache_.FlushDirty([&](FragmentIndex f, std::span<const std::uint8_t> data) {
     if (auto st = main_.WriteFragments(f, 1, data); !st.ok()) result = st;

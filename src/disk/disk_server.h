@@ -192,6 +192,16 @@ class DiskServer {
 
   bool crashed() const { return main_.crashed(); }
 
+  // Network partition: the server stops answering I/O (kUnavailable) but
+  // keeps its volatile state — cache, delayed writes, stable queue — unlike
+  // Crash(). Models a replica that is unreachable yet undamaged.
+  void SetPartitioned(bool partitioned) { partitioned_ = partitioned; }
+  bool partitioned() const { return partitioned_; }
+
+  // The liveness predicate the recovery loop polls: not crashed and not
+  // partitioned away.
+  bool Reachable() const { return !crashed() && !partitioned_; }
+
   // --- Fault injection and statistics --------------------------------------
 
   void SetFaultPlan(sim::DiskFaultPlan plan) { main_.SetFaultPlan(plan); }
@@ -213,6 +223,7 @@ class DiskServer {
   sim::DiskModel& stable_device() { return *stable_; }
 
  private:
+  Status CheckReachable() const;
   Status ReadMain(FragmentIndex first, std::uint32_t count,
                   std::span<std::uint8_t> out);
   Status WriteMain(FragmentIndex first, std::uint32_t count,
@@ -243,6 +254,7 @@ class DiskServer {
   std::deque<PendingStableWrite> stable_queue_;
   std::uint64_t metadata_fragments_;
   VecIoStats vec_stats_;
+  bool partitioned_ = false;
   obs::Observability* obs_ = nullptr;
 };
 

@@ -5,7 +5,9 @@ namespace rhodos::recovery {
 ServiceState FailureDetector::Probe(const std::string& address) {
   Entry& e = watched_[address];
   ++stats_.probes;
-  const bool answered = bus_->Probe(address, "failure-detector").ok();
+  const bool answered =
+      prober_ ? prober_(address)
+              : bus_->Probe(address, "failure-detector").ok();
   if (answered) {
     if (e.state == ServiceState::kSuspected ||
         e.state == ServiceState::kDown) {

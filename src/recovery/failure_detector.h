@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -50,6 +51,12 @@ class FailureDetector {
 
   void Watch(std::string address) { watched_[std::move(address)]; }
 
+  // Replaces the bus probe with a local liveness check (true = answered).
+  // The facility uses this to watch disks, which are not bus services and
+  // whose reachability a co-located recovery manager can read directly.
+  using Prober = std::function<bool(const std::string&)>;
+  void SetProber(Prober prober) { prober_ = std::move(prober); }
+
   // One probe of one service, now; returns its (possibly new) state.
   ServiceState Probe(const std::string& address);
 
@@ -69,6 +76,7 @@ class FailureDetector {
   };
 
   sim::MessageBus* bus_;
+  Prober prober_;
   FailureDetectorConfig config_;
   std::map<std::string, Entry> watched_;  // ordered: deterministic rounds
   FailureDetectorStats stats_;

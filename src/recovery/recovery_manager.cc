@@ -22,7 +22,16 @@ void RecoveryManager::Tick() {
   if (disk_up_.size() < disks.size()) disk_up_.resize(disks.size(), true);
 
   for (std::size_t i = 0; i < disks.size(); ++i) {
-    const bool up = !disks[i]->crashed();
+    bool up;
+    if (detector_ != nullptr) {
+      // One probe through the three-state machine: anything short of a
+      // clean kHealthy verdict (suspected or down) routes reads away.
+      const auto state = detector_->Probe(
+          "disk-" + std::to_string(disks[i]->id().value));
+      up = state == ServiceState::kHealthy;
+    } else {
+      up = disks[i]->Reachable();
+    }
     const bool was_up = disk_up_[i];
     disk_up_[i] = up;
     if (was_up && !up) {
@@ -30,8 +39,22 @@ void RecoveryManager::Tick() {
       stats_.replicas_marked_down += replication_->MarkDiskDown(disks[i]->id());
     } else if (!was_up && up) {
       ++stats_.disk_recoveries_detected;
-      if (config_.auto_repair) RepairGroupsOnDisk(disks[i]->id());
+      if (scanner_ != nullptr) {
+        // Readmit replicas that are still current; stale ones stay
+        // suspected and the scanner round below converges them.
+        (void)replication_->MarkDiskUp(disks[i]->id());
+      } else if (config_.auto_repair) {
+        RepairGroupsOnDisk(disks[i]->id());
+      }
     }
+  }
+
+  // Background anti-entropy: drain complete hint chains everywhere and run
+  // the periodic full version-vector scan. This is what converges replicas
+  // that diverged without a clean failure/recovery edge (flapping disks,
+  // partitions that healed between ticks, torn mid-write copies).
+  if (scanner_ != nullptr && config_.auto_repair) {
+    stats_.auto_repairs += scanner_->Tick();
   }
 }
 

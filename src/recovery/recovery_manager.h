@@ -5,14 +5,17 @@
 // replication" for availability (§2.1); availability in practice is a
 // control loop, not a data structure. Each Tick() the manager:
 //
-//  * polls every disk server for liveness (the per-disk analogue of the
-//    bus-level failure detector);
-//  * on a crash edge, marks all replicas on that disk suspected, so the
-//    replication service's read path fails over immediately instead of
-//    discovering the corpse one failed read at a time;
-//  * on a recovery edge, automatically invokes ReplicationService::Repair()
-//    for every group with a replica on the healed disk — the "disk returns
-//    to service" path runs without an operator.
+//  * polls every disk server for liveness — directly via Reachable(), or
+//    through a disk-targeted FailureDetector when one is installed, so
+//    suspicion feeds the same three-state machine the bus services use;
+//  * on a failure edge (crash or partition), marks all replicas on that
+//    disk suspected, so the replication service's read path fails over
+//    immediately instead of discovering the corpse one failed read at a
+//    time — and the suspicion bumps the group epoch, fencing the replica;
+//  * on a recovery edge, readmits still-current replicas and lets the
+//    AntiEntropyScanner converge the rest — hint replay first, full copy
+//    when hints cannot cover the gap. Without a scanner the manager falls
+//    back to eager per-disk Repair() (the legacy path).
 //
 // Polling disks directly (rather than through the bus) is deliberate: disk
 // servers are local to the file service machine in the paper's
@@ -24,6 +27,7 @@
 
 #include "disk/disk_registry.h"
 #include "recovery/failure_detector.h"
+#include "replication/anti_entropy.h"
 #include "replication/replication_service.h"
 #include "txn/txn_log.h"
 
@@ -55,6 +59,20 @@ class RecoveryManager {
   RecoveryManager(const RecoveryManager&) = delete;
   RecoveryManager& operator=(const RecoveryManager&) = delete;
 
+  // Installs the background anti-entropy scanner. With it set, Tick() stops
+  // eagerly repairing on recovery edges and instead readmits current
+  // replicas (MarkDiskUp) and runs one scanner round, which drains hints
+  // and schedules full copies; caught-up replicas count as auto_repairs.
+  void SetAntiEntropy(replication::AntiEntropyScanner* scanner) {
+    scanner_ = scanner;
+  }
+
+  // Installs a disk-targeted failure detector (probing "disk-<id>"). With
+  // it set, liveness verdicts come from the detector's three-state machine
+  // instead of raw Reachable() polling: a disk counts as up only while the
+  // detector says kHealthy.
+  void SetDiskDetector(FailureDetector* detector) { detector_ = detector; }
+
   // One control-loop round: poll disks, mark/repair as edges dictate.
   // Deterministic: state depends only on the disks' crash flags.
   void Tick();
@@ -78,6 +96,8 @@ class RecoveryManager {
 
   disk::DiskRegistry* disks_;
   replication::ReplicationService* replication_;
+  replication::AntiEntropyScanner* scanner_ = nullptr;
+  FailureDetector* detector_ = nullptr;
   RecoveryConfig config_;
   std::vector<bool> disk_up_;  // last observed liveness, per disk index
   RecoveryStats stats_;

@@ -1,0 +1,24 @@
+#include "replication/anti_entropy.h"
+
+namespace rhodos::replication {
+
+std::size_t AntiEntropyScanner::Tick() {
+  ++stats_.ticks;
+  const bool full_scan_due =
+      config_.scan_interval_ticks != 0 &&
+      stats_.ticks % config_.scan_interval_ticks == 0;
+
+  std::size_t caught_up = 0;
+  for (GroupId id : replication_->GroupIds()) {
+    // Hint drain first: it is cheap and may make the full scan a no-op.
+    caught_up += replication_->SyncGroup(id, /*full_copies=*/false);
+    if (full_scan_due && config_.full_repair) {
+      caught_up += replication_->SyncGroup(id, /*full_copies=*/true);
+    }
+  }
+  if (full_scan_due) ++stats_.scans;
+  stats_.replicas_caught_up += caught_up;
+  return caught_up;
+}
+
+}  // namespace rhodos::replication

@@ -51,6 +51,8 @@ void MessageBus::ApplyEvent(const FaultEvent& e) {
       break;
     case FaultAction::kDiskCrash:
     case FaultAction::kDiskRecover:
+    case FaultAction::kDiskPartition:
+    case FaultAction::kDiskHeal:
       if (fault_handler_) fault_handler_(e);
       break;
   }

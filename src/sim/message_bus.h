@@ -83,6 +83,8 @@ enum class FaultAction : std::uint8_t {
   kHeal,          // the partition lifts
   kDiskCrash,     // forwarded to the fault handler (the bus knows no disks)
   kDiskRecover,   // forwarded to the fault handler
+  kDiskPartition, // forwarded: disk unreachable, volatile state intact
+  kDiskHeal,      // forwarded: the disk partition lifts
 };
 
 // One scheduled fault. Fires once, when simulated time reaches `at` AND the
@@ -136,6 +138,24 @@ struct FaultPlan {
   }
   FaultPlan& DiskRecover(SimTime at, std::uint32_t disk) {
     return Add({at, 0, FaultAction::kDiskRecover, DiskFaultTarget(disk), ""});
+  }
+  // Partition one disk server: it stops answering but keeps its volatile
+  // state, unlike a crash. Heal lifts it.
+  FaultPlan& DiskPartition(SimTime at, std::uint32_t disk) {
+    return Add(
+        {at, 0, FaultAction::kDiskPartition, DiskFaultTarget(disk), ""});
+  }
+  FaultPlan& DiskHeal(SimTime at, std::uint32_t disk) {
+    return Add({at, 0, FaultAction::kDiskHeal, DiskFaultTarget(disk), ""});
+  }
+  // A flapping disk: `cycles` crash/recover pairs, one edge every `period`.
+  FaultPlan& DiskFlap(SimTime at, std::uint32_t disk, SimTime period,
+                      int cycles) {
+    for (int i = 0; i < cycles; ++i) {
+      DiskCrash(at + 2 * static_cast<SimTime>(i) * period, disk);
+      DiskRecover(at + (2 * static_cast<SimTime>(i) + 1) * period, disk);
+    }
+    return *this;
   }
   // Adds a call-count condition to the most recently added event.
   FaultPlan& AfterCalls(std::uint64_t n) {

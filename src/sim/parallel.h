@@ -61,10 +61,14 @@ class ParallelSection {
     clock_->RewindTo(fork_);
   }
 
-  void EndLane() {
-    if (clock_ == nullptr) return;
-    max_end_ = std::max(max_end_, clock_->Now());
+  // Returns the lane's end time (callers that commit at a quorum point keep
+  // the ends they care about and pass one to CommitAt()).
+  SimTime EndLane() {
+    if (clock_ == nullptr) return 0;
+    const SimTime end = clock_->Now();
+    max_end_ = std::max(max_end_, end);
     ++lanes_;
+    return end;
   }
 
   // Advances the clock to the latest lane end, plus the serial dispatch
@@ -75,6 +79,24 @@ class ParallelSection {
     max_end_ = std::max(max_end_, clock_->Now());
     clock_->AdvanceTo(max_end_ +
                       kLaneDispatchCost * static_cast<SimTime>(lanes_));
+  }
+
+  // Commits at an explicit lane end instead of the latest one: a quorum
+  // write returns when the k-th fastest replica acks, so the caller passes
+  // that lane's end and the stragglers' time is NOT charged to the issuing
+  // thread (each straggler's device still accrues its own busy time). The
+  // clock may rewind here — the last lane executed may have pushed Now past
+  // the quorum point — but never below the fork.
+  void CommitAt(SimTime lane_end) {
+    if (clock_ == nullptr || committed_) return;
+    committed_ = true;
+    const SimTime target = std::max(lane_end, fork_) +
+                           kLaneDispatchCost * static_cast<SimTime>(lanes_);
+    if (target >= clock_->Now()) {
+      clock_->AdvanceTo(target);
+    } else {
+      clock_->RewindTo(target);
+    }
   }
 
   std::size_t lanes() const { return lanes_; }
