@@ -29,6 +29,10 @@ run_suite() {
   # The quorum / replica-fault matrix gates replication-protocol changes.
   echo "== $dir: replication matrix (ctest -L repl) =="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L repl
+  # The placement / shard-failover / cross-shard matrix gates changes to
+  # the sharded metadata plane (docs/SHARDING.md).
+  echo "== $dir: shard matrix (ctest -L shard) =="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L shard
 }
 
 if [[ "$mode" != "--sanitize-only" ]]; then

@@ -26,7 +26,7 @@ namespace rhodos::agent {
 
 class DeviceAgent {
  public:
-  explicit DeviceAgent(naming::NamingService* naming) : naming_(naming) {
+  explicit DeviceAgent(naming::NamingFacade* naming) : naming_(naming) {
     // The console exists on every machine and backs the default standard
     // streams (descriptors 0, 1, 2).
     (void)CreateDevice("console");
@@ -69,7 +69,7 @@ class DeviceAgent {
 
   Result<Device*> DeviceOf(const std::string& system_name);
 
-  naming::NamingService* naming_;
+  naming::NamingFacade* naming_;
   std::unordered_map<std::string, Device> devices_;
   std::unordered_map<ObjectDescriptor, std::string> open_;
   ObjectDescriptor next_descriptor_{3};  // 0,1,2 are the standard streams

@@ -13,25 +13,80 @@ namespace {
 // (100001..100003) so every descriptor the agent issues is > 100000 and
 // never collides with the fixed stream constants.
 constexpr ObjectDescriptor kFirstAgentDescriptor = 100'010;
+
+sim::RpcRetryConfig RetryOf(const FileAgentConfig& config) {
+  sim::RpcRetryConfig r = config.rpc;
+  r.max_attempts = config.rpc_attempts;
+  return r;
+}
 }  // namespace
 
 FileAgent::FileAgent(MachineId machine, sim::MessageBus* bus,
-                     std::string fs_address, naming::NamingService* naming,
+                     std::string fs_address, naming::NamingFacade* naming,
                      FileAgentConfig config)
     : machine_(machine),
       bus_(bus),
-      // Identify the machine to the bus so FaultPlan partitions can cut a
-      // single caller off from the file service.
-      rpc_(bus, std::move(fs_address),
-           [&config] {
-             sim::RpcRetryConfig r = config.rpc;
-             r.max_attempts = config.rpc_attempts;
-             return r;
-           }(),
-           "machine-" + std::to_string(machine.value)),
       naming_(naming),
       config_(config),
-      next_descriptor_(kFirstAgentDescriptor) {}
+      next_descriptor_(kFirstAgentDescriptor) {
+  // Identify the machine to the bus so FaultPlan partitions can cut a
+  // single caller off from the file service.
+  rpcs_.push_back(std::make_unique<sim::RpcClient>(
+      bus, std::move(fs_address), RetryOf(config),
+      "machine-" + std::to_string(machine.value)));
+}
+
+FileAgent::FileAgent(MachineId machine, sim::MessageBus* bus,
+                     placement::ShardRouter* router,
+                     naming::NamingFacade* naming, FileAgentConfig config)
+    : machine_(machine),
+      bus_(bus),
+      router_(router),
+      naming_(naming),
+      config_(config),
+      next_descriptor_(kFirstAgentDescriptor) {
+  const std::string caller = "machine-" + std::to_string(machine.value);
+  for (std::uint32_t s = 0; s < router->ShardCount(); ++s) {
+    rpcs_.push_back(std::make_unique<sim::RpcClient>(
+        bus, router->AddressOf(s), RetryOf(config), caller));
+  }
+}
+
+std::uint32_t FileAgent::RouteShard(FileId file) {
+  return router_ == nullptr ? 0 : router_->RouteFile(file).shard;
+}
+
+std::uint32_t FileAgent::RouteTokenShard(std::uint64_t token) {
+  return router_ == nullptr ? 0 : router_->RouteToken(token).shard;
+}
+
+std::uint64_t FileAgent::rpc_retries() const {
+  std::uint64_t n = 0;
+  for (const auto& rpc : rpcs_) n += rpc->retries();
+  return n;
+}
+
+const sim::RpcHealth& FileAgent::rpc_health() const {
+  health_agg_ = sim::RpcHealth{};
+  for (const auto& rpc : rpcs_) {
+    const sim::RpcHealth& h = rpc->health();
+    health_agg_.calls += h.calls;
+    health_agg_.successes += h.successes;
+    health_agg_.failures += h.failures;
+    health_agg_.deadline_exhausted += h.deadline_exhausted;
+    health_agg_.consecutive_failures =
+        std::max(health_agg_.consecutive_failures, h.consecutive_failures);
+    health_agg_.backoff_waited += h.backoff_waited;
+  }
+  return health_agg_;
+}
+
+bool FileAgent::ServerSuspectedDead() const {
+  for (const auto& rpc : rpcs_) {
+    if (rpc->SuspectedDead()) return true;
+  }
+  return false;
+}
 
 std::uint64_t FileAgent::NextToken() {
   // Unique across machines: machine id in the top bits.
@@ -47,11 +102,9 @@ Result<FileAgent::OpenHandle*> FileAgent::Handle(ObjectDescriptor od) {
   return &it->second;
 }
 
-Result<sim::Payload> FileAgent::Call(FsOp op,
+Result<sim::Payload> FileAgent::Call(std::uint32_t shard, FsOp op,
                                      std::span<const std::uint8_t> body) {
-  auto reply = rpc_.Call(static_cast<std::uint32_t>(op), body);
-  if (!reply.ok()) return reply;
-  return reply;
+  return rpcs_.at(shard)->Call(static_cast<std::uint32_t>(op), body);
 }
 
 // --- version-token coherence ----------------------------------------------------
@@ -113,7 +166,11 @@ Result<ObjectDescriptor> FileAgent::Create(const naming::AttributedName& name,
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   CreateRequest req{NextToken(), type, size_hint};
   const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kCreate, body));
+  // The FileId does not exist yet (the server mints it), so creates spread
+  // across shards by their idempotency token.
+  RHODOS_ASSIGN_OR_RETURN(
+      sim::Payload reply,
+      Call(RouteTokenShard(req.token), FsOp::kCreate, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
   const FileId file{in.U64()};
@@ -143,7 +200,8 @@ Result<ObjectDescriptor> FileAgent::OpenById(FileId file) {
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "open_by_id");
   FileRequest req{0, file};
   const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kOpen, body));
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
+                          Call(RouteShard(file), FsOp::kOpen, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
   // The open reply carries the version token and attributes — one exchange
@@ -166,9 +224,16 @@ Status FileAgent::Close(ObjectDescriptor od) {
   RHODOS_RETURN_IF_ERROR(Flush(od));
   FileRequest req{0, h->file};
   const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kClose, body));
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
+                          Call(RouteShard(h->file), FsOp::kClose, body));
   Deserializer in{reply};
-  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  if (Status st = DecodeStatus(in);
+      !st.ok() && st.code() != ErrorCode::kBadDescriptor) {
+    return st;
+  }
+  // A kBadDescriptor reply means the serving shard lost its open-file state
+  // (fence or failover rerouted us to a shard that never saw the open). The
+  // flush above already landed the data; the descriptor is gone either way.
   handles_.erase(od);
   return OkStatus();
 }
@@ -179,9 +244,25 @@ Status FileAgent::Delete(const naming::AttributedName& name) {
   RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
   FileRequest req{NextToken(), file};
   const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kDelete, body));
-  Deserializer in{reply};
-  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  // Step 1 of the cross-shard delete: remove the file on its file shard
+  // (tokened, so a retry replays). Failures name the shard so an operator
+  // can tell which side of the two-step protocol stalled.
+  const std::uint32_t shard = RouteShard(file);
+  auto reply = Call(shard, FsOp::kDelete, body);
+  if (!reply.ok()) {
+    if (router_ == nullptr) return Error{reply.error()};
+    return Error{reply.error().code,
+                 reply.error().message + " (file shard " +
+                     std::to_string(shard) + ")"};
+  }
+  Deserializer in{*reply};
+  if (Status st = DecodeStatus(in); !st.ok()) {
+    if (router_ == nullptr) return st;
+    return Error{st.error().code, st.error().message + " (file shard " +
+                                      std::to_string(shard) + ")"};
+  }
+  // Step 2: unregister the name (the sharded naming layer fans this out to
+  // the shards owning the name's attribute keys).
   if (Status ns = naming_->UnregisterFile(file); !ns.ok()) {
     // The file is gone from the service but its name survived — every later
     // resolve of this name will dangle. Surface it instead of dropping it.
@@ -273,46 +354,58 @@ Status FileAgent::FlushDirtyFiles(std::span<const FileId> files) {
     std::uint64_t extents = 0;
     std::set<std::uint64_t> blocks;
   };
-  PwriteVecRequest req;
-  std::vector<PerFile> flushed;
+  // One PwriteVec exchange per shard batch: files group by the shard that
+  // serves them, so an unsharded agent still pushes everything in a single
+  // exchange. Bookkeeping is applied per successful batch; a failed batch
+  // leaves its files dirty for the next trigger to retry.
+  std::map<std::uint32_t, std::vector<FileId>> by_shard;
   for (const FileId file : files) {
     const auto dit = dirty_.find(file);
     if (dit == dirty_.end() || dit->second.empty()) continue;
-    PerFile pf;
-    pf.file = file;
-    pf.blocks = dit->second;
-    pf.extents = BuildExtents(file, req.extents);
-    flushed.push_back(std::move(pf));
+    by_shard[RouteShard(file)].push_back(file);
   }
-  if (req.extents.empty()) return OkStatus();
-
-  const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPwriteVec, body));
-  Deserializer in{reply};
-  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
-  (void)in.U64();  // total bytes applied
-  const std::uint32_t nfiles = in.U32();
-  std::unordered_map<FileId, std::uint64_t> tokens;
-  for (std::uint32_t i = 0; i < nfiles && in.ok(); ++i) {
-    const FileId f{in.U64()};
-    tokens[f] = in.U64();
-  }
-  if (!in.ok()) return Error{ErrorCode::kInternal, "bad pwritevec reply"};
-
-  ++stats_.writeback_batches;
-  stats_.writeback_runs += req.extents.size();
-  for (const PerFile& pf : flushed) {
-    for (const std::uint64_t block : pf.blocks) {
-      if (auto it = cache_.find(CacheKey{pf.file, block}); it != cache_.end()) {
-        it->second.dirty = false;
-      }
-      ++stats_.writebacks;
+  for (const auto& [shard, shard_files] : by_shard) {
+    PwriteVecRequest req;
+    std::vector<PerFile> flushed;
+    for (const FileId file : shard_files) {
+      PerFile pf;
+      pf.file = file;
+      pf.blocks = dirty_.at(file);
+      pf.extents = BuildExtents(file, req.extents);
+      flushed.push_back(std::move(pf));
     }
-    dirty_blocks_ -= pf.blocks.size();
-    dirty_.erase(pf.file);
-    first_dirty_at_.erase(pf.file);
-    if (auto it = tokens.find(pf.file); it != tokens.end()) {
-      AdoptWriteVersion(pf.file, it->second, pf.extents, pf.blocks);
+    if (req.extents.empty()) continue;
+
+    const auto body = req.Encode();
+    RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
+                            Call(shard, FsOp::kPwriteVec, body));
+    Deserializer in{reply};
+    RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+    (void)in.U64();  // total bytes applied
+    const std::uint32_t nfiles = in.U32();
+    std::unordered_map<FileId, std::uint64_t> tokens;
+    for (std::uint32_t i = 0; i < nfiles && in.ok(); ++i) {
+      const FileId f{in.U64()};
+      tokens[f] = in.U64();
+    }
+    if (!in.ok()) return Error{ErrorCode::kInternal, "bad pwritevec reply"};
+
+    ++stats_.writeback_batches;
+    stats_.writeback_runs += req.extents.size();
+    for (const PerFile& pf : flushed) {
+      for (const std::uint64_t block : pf.blocks) {
+        if (auto it = cache_.find(CacheKey{pf.file, block});
+            it != cache_.end()) {
+          it->second.dirty = false;
+        }
+        ++stats_.writebacks;
+      }
+      dirty_blocks_ -= pf.blocks.size();
+      dirty_.erase(pf.file);
+      first_dirty_at_.erase(pf.file);
+      if (auto it = tokens.find(pf.file); it != tokens.end()) {
+        AdoptWriteVersion(pf.file, it->second, pf.extents, pf.blocks);
+      }
     }
   }
   return OkStatus();
@@ -399,7 +492,8 @@ Result<std::uint64_t> FileAgent::ServerPread(FileId file,
                                              std::span<std::uint8_t> out) {
   PreadRequest req{file, offset, out.size()};
   const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPread, body));
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
+                          Call(RouteShard(file), FsOp::kPread, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
   const std::uint64_t version = in.U64();
@@ -416,7 +510,8 @@ Result<std::uint64_t> FileAgent::ServerPwrite(
   PwriteRequest req{file, offset,
                     std::vector<std::uint8_t>(in.begin(), in.end())};
   const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kPwrite, body));
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
+                          Call(RouteShard(file), FsOp::kPwrite, body));
   Deserializer din{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(din));
   const std::uint64_t version = din.U64();
@@ -601,7 +696,8 @@ Result<file::FileAttributes> FileAgent::GetAttribute(ObjectDescriptor od) {
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
   FileRequest req{0, h->file};
   const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(FsOp::kGetAttr, body));
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
+                          Call(RouteShard(h->file), FsOp::kGetAttr, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
   const std::uint64_t version = in.U64();

@@ -25,20 +25,27 @@
 //    can serve a stale image — AFS-style validation, Sprite-style delayed
 //    write;
 //  * retries lost messages over the at-least-once RPC client, counting on
-//    idempotence for safety.
+//    idempotence for safety;
+//  * routes every server call through the placement layer when the facility
+//    is sharded: one RPC client per metadata shard, the shard picked per
+//    FileId (creates by idempotency token) from the shared ShardRouter, so
+//    a suspected shard is routed around without the agent noticing.
 #pragma once
 
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
+#include <vector>
 
 #include "agent/fs_protocol.h"
 #include "common/result.h"
 #include "common/sim_clock.h"
 #include "common/types.h"
 #include "naming/naming_service.h"
+#include "placement/shard_router.h"
 #include "sim/message_bus.h"
 
 namespace rhodos::agent {
@@ -77,8 +84,14 @@ struct FileAgentStats {
 
 class FileAgent {
  public:
+  // Unsharded agent: one RPC client against `fs_address`.
   FileAgent(MachineId machine, sim::MessageBus* bus, std::string fs_address,
-            naming::NamingService* naming, FileAgentConfig config = {});
+            naming::NamingFacade* naming, FileAgentConfig config = {});
+  // Shard-routed agent: one RPC client per metadata shard, routes chosen by
+  // the facility's shared router (which also owns failover state).
+  FileAgent(MachineId machine, sim::MessageBus* bus,
+            placement::ShardRouter* router, naming::NamingFacade* naming,
+            FileAgentConfig config = {});
 
   // --- The paper's client operations ---------------------------------------
 
@@ -125,10 +138,11 @@ class FileAgent {
   void Crash();
 
   const FileAgentStats& stats() const { return stats_; }
-  std::uint64_t rpc_retries() const { return rpc_.retries(); }
-  const sim::RpcHealth& rpc_health() const { return rpc_.health(); }
-  // Circuit-breaker verdict on the file service, from this agent's seat.
-  bool ServerSuspectedDead() const { return rpc_.SuspectedDead(); }
+  std::uint64_t rpc_retries() const;
+  // Aggregated over the per-shard clients (one client when unsharded).
+  const sim::RpcHealth& rpc_health() const;
+  // Circuit-breaker verdict: any shard's client suspects its peer dead.
+  bool ServerSuspectedDead() const;
   MachineId machine() const { return machine_; }
 
   // Dirty-block accounting, two ways (tests assert they agree): the
@@ -165,8 +179,12 @@ class FileAgent {
 
   Result<OpenHandle*> Handle(ObjectDescriptor od);
 
-  // RPC plumbing.
-  Result<sim::Payload> Call(FsOp op, std::span<const std::uint8_t> body);
+  // RPC plumbing: every call names the shard it goes to. Unsharded agents
+  // have exactly one client and every route is shard 0.
+  Result<sim::Payload> Call(std::uint32_t shard, FsOp op,
+                            std::span<const std::uint8_t> body);
+  std::uint32_t RouteShard(FileId file);
+  std::uint32_t RouteTokenShard(std::uint64_t token);
 
   // Cache plumbing.
   CacheEntry* Lookup(FileId file, std::uint64_t block);
@@ -225,9 +243,13 @@ class FileAgent {
 
   MachineId machine_;
   sim::MessageBus* bus_;
-  sim::RpcClient rpc_;
-  naming::NamingService* naming_;
+  // One at-least-once client per metadata shard (a single entry when the
+  // facility is unsharded). Null router means "everything is shard 0".
+  std::vector<std::unique_ptr<sim::RpcClient>> rpcs_;
+  placement::ShardRouter* router_ = nullptr;
+  naming::NamingFacade* naming_;
   FileAgentConfig config_;
+  mutable sim::RpcHealth health_agg_;  // scratch for rpc_health()
   std::unordered_map<ObjectDescriptor, OpenHandle> handles_;
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> cache_;
   std::list<CacheKey> lru_;

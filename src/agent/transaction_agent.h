@@ -38,7 +38,7 @@ struct TxnAgentStats {
 class TransactionAgentHost {
  public:
   TransactionAgentHost(MachineId machine, txn::TransactionService* service,
-                       naming::NamingService* naming)
+                       naming::NamingFacade* naming)
       : machine_(machine), service_(service), naming_(naming) {}
 
   // --- The paper's t-operations --------------------------------------------
@@ -151,7 +151,7 @@ class TransactionAgentHost {
 
   MachineId machine_;
   txn::TransactionService* service_;
-  naming::NamingService* naming_;
+  naming::NamingFacade* naming_;
   std::unique_ptr<Agent> agent_;
   TxnAgentStats stats_;
   obs::Observability* obs_ = nullptr;

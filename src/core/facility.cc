@@ -16,22 +16,45 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
     dc.fault_seed = 100 + i;
     disks_.AddDisk(dc, &clock_);
   }
-  files_ = std::make_unique<file::FileService>(&disks_, &clock_,
-                                               config_.file);
+  const std::uint32_t file_shards =
+      config_.sharding.file_shards == 0 ? 1 : config_.sharding.file_shards;
+  router_ = std::make_unique<placement::ShardRouter>(
+      file_shards, config_.sharding.virtual_nodes);
+  // Every shard serves from the SAME disk registry: ownership is a routing
+  // convention, so a failover target can load any file's index table from
+  // the shared substrate. Sharded services are forced write-through — the
+  // epoch fence purges volatile state, and a fence must never be able to
+  // lose acknowledged (delayed-write) data. Version tokens are salted with
+  // the shard id so two shards can never mint aliasing tokens for one file.
+  for (std::uint32_t s = 0; s < file_shards; ++s) {
+    file::FileServiceConfig fc = config_.file;
+    if (file_shards > 1) {
+      fc.version_base = static_cast<std::uint64_t>(s) << 56;
+      fc.basic_write_policy = disk::WritePolicy::kWriteThrough;
+    }
+    file_shards_.push_back(
+        std::make_unique<file::FileService>(&disks_, &clock_, fc));
+  }
+  naming_ = std::make_unique<placement::ShardedNamingService>(
+      config_.sharding.naming_shards, config_.sharding.virtual_nodes);
   // The transaction service reserves its log region on disk 0 before any
-  // file allocation touches it.
+  // file allocation touches it. Transactional and replicated files stay on
+  // shard 0 (their services hold server-side state the failover fence must
+  // not purge; see docs/SHARDING.md §"what is sharded").
   auto disk0 = disks_.Get(DiskId{0});
-  txns_ = std::make_unique<txn::TransactionService>(files_.get(), *disk0,
-                                                    config_.txn);
+  txns_ = std::make_unique<txn::TransactionService>(file_shards_[0].get(),
+                                                    *disk0, config_.txn);
   replication_ = std::make_unique<replication::ReplicationService>(
-      files_.get(), config_.replication);
+      file_shards_[0].get(), config_.replication);
   anti_entropy_ = std::make_unique<replication::AntiEntropyScanner>(
       replication_.get(), config_.anti_entropy);
   recovery_ = std::make_unique<recovery::RecoveryManager>(
       &disks_, replication_.get());
   recovery_->SetAntiEntropy(anti_entropy_.get());
   detector_ = std::make_unique<recovery::FailureDetector>(&bus_);
-  detector_->Watch(kFileServiceAddress);
+  for (std::uint32_t s = 0; s < file_shards; ++s) {
+    detector_->Watch(router_->AddressOf(s));
+  }
   // Disks are local to the file service machine, not bus services: the
   // detector probes them through a local prober instead of burning network
   // timeouts. Bus addresses still go over the wire.
@@ -46,12 +69,27 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
     return bus_.Probe(address, "failure-detector").ok();
   });
   recovery_->SetDiskDetector(detector_.get());
-  file_server_ = std::make_unique<agent::FileServiceServer>(
-      files_.get(), &bus_, kFileServiceAddress);
+  if (file_shards > 1) {
+    // Failover is live only when there is somewhere to fail over TO. A
+    // single-shard facility keeps the seed behavior exactly: no fencing
+    // (its service may run delayed writes) and no rerouting.
+    recovery_->SetShardRouter(router_.get());
+    router_->SetFenceHook([this](std::uint32_t s) {
+      // Epoch fence: purge the shard's volatile state (caches, open files)
+      // and bump its version tokens. Write-through made this lossless, and
+      // the token bump forces every client to revalidate blocks it cached
+      // from whichever shard served the file before the route change.
+      file_shards_[s]->Crash();
+    });
+  }
+  for (std::uint32_t s = 0; s < file_shards; ++s) {
+    file_servers_.push_back(std::make_unique<agent::FileServiceServer>(
+        file_shards_[s].get(), &bus_, router_->AddressOf(s)));
+  }
   // Observability: one bundle for the whole facility. The bus carries it to
   // every RpcClient and file agent; server-side layers get it directly.
   bus_.SetObservability(&obs_);
-  files_->SetObservability(&obs_);
+  for (auto& shard : file_shards_) shard->SetObservability(&obs_);
   txns_->SetObservability(&obs_);
   replication_->SetObservability(&obs_);
   for (std::uint32_t i = 0; i < config_.disk_count; ++i) {
@@ -106,11 +144,13 @@ Status DistributedFileFacility::HealDisk(DiskId disk) {
 Machine& DistributedFileFacility::AddMachine() {
   auto m = std::make_unique<Machine>();
   m->id = MachineId{static_cast<std::uint32_t>(machines_.size())};
+  // Agents always go through the router; with one shard every route is
+  // shard 0 at the historic address, identical to the unrouted path.
   m->file_agent = std::make_unique<agent::FileAgent>(
-      m->id, &bus_, kFileServiceAddress, &naming_, config_.agent);
-  m->device_agent = std::make_unique<agent::DeviceAgent>(&naming_);
+      m->id, &bus_, router_.get(), naming_.get(), config_.agent);
+  m->device_agent = std::make_unique<agent::DeviceAgent>(naming_.get());
   m->txn_agent = std::make_unique<agent::TransactionAgentHost>(
-      m->id, txns_.get(), &naming_);
+      m->id, txns_.get(), naming_.get());
   m->txn_agent->SetObservability(&obs_);
   machines_.push_back(std::move(m));
   return *machines_.back();
@@ -149,7 +189,7 @@ Result<std::uint64_t> DistributedFileFacility::ReadStream(
 }
 
 void DistributedFileFacility::CrashServers() {
-  files_->Crash();
+  for (auto& shard : file_shards_) shard->Crash();
   disks_.CrashAll();
 }
 
@@ -160,7 +200,7 @@ Status DistributedFileFacility::RecoverServers() {
 
 void DistributedFileFacility::ResetStats() {
   disks_.ResetStats();
-  files_->ResetStats();
+  for (auto& shard : file_shards_) shard->ResetStats();
   txns_->ResetStats();
   bus_.ResetStats();
   obs_.metrics.Reset();
@@ -188,8 +228,9 @@ constexpr const char* kCounters[] = {
     // name cache (summed across machines).
     "agent.writeback_batches", "agent.writeback_runs",
     "agent.stale_invalidations", "agent.name_cache_hits",
-    // Inverted-index probes inside the naming service.
-    "naming.index_probes",
+    // Naming service: inverted-index probes (summed over shards) and the
+    // sharded layer's fan-out of registrations onto key-owning shards.
+    "naming.fanout_registrations", "naming.index_probes",
     // Message bus (NetStats).
     "bus.bytes_moved", "bus.calls", "bus.deliveries", "bus.drops_reply",
     "bus.drops_request", "bus.duplicates", "bus.probes",
@@ -216,7 +257,11 @@ constexpr const char* kCounters[] = {
     "file.bytes_read", "file.bytes_written", "file.cache.hits",
     "file.cache.misses", "file.fit_loads", "file.fit_stores",
     "file.readahead_hits", "file.readahead_issued", "file.readahead_wasted",
-    "file.reads", "file.writes",
+    "file.reads", "file.shard_failovers", "file.shard_readmissions",
+    "file.writes",
+    // Placement layer: shard routing and the failover state machine.
+    "placement.lookups", "placement.reroutes", "placement.shard_readmissions",
+    "placement.shard_suspicions",
     // Lock manager.
     "lock.aborts_signalled", "lock.breaks", "lock.conversions",
     "lock.grants", "lock.immediate_grants", "lock.records_peak",
@@ -264,6 +309,9 @@ constexpr const char* kGauges[] = {
     "facility.disk_count",
     "facility.machine_count",
     "facility.sim_now_ns",
+    "placement.epoch",
+    "placement.file_shards",
+    "placement.naming_shards",
     "replication.hint_queue_depth",
 };
 
@@ -339,7 +387,9 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("agent.writeback_runs", fa.writeback_runs);
   m.SetCounter("agent.stale_invalidations", fa.stale_invalidations);
   m.SetCounter("agent.name_cache_hits", fa.name_cache_hits);
-  m.SetCounter("naming.index_probes", naming_.stats().index_probes);
+  m.SetCounter("naming.index_probes", naming_->stats().index_probes);
+  m.SetCounter("naming.fanout_registrations",
+               naming_->sharding_stats().fanout_registrations);
   m.SetCounter("rpc.calls", rpc.calls);
   m.SetCounter("rpc.successes", rpc.successes);
   m.SetCounter("rpc.failures", rpc.failures);
@@ -353,11 +403,29 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("txn_agent.page_cache.hits", tc.page_hits);
   m.SetCounter("txn_agent.page_cache.misses", tc.page_misses);
 
-  const agent::FsServerStats& srv = file_server_->stats();
+  agent::FsServerStats srv;
+  for (const auto& server : file_servers_) {
+    srv.requests += server->stats().requests;
+    srv.duplicate_replays += server->stats().duplicate_replays;
+  }
   m.SetCounter("service.requests", srv.requests);
   m.SetCounter("service.duplicate_replays", srv.duplicate_replays);
 
-  const file::FileServiceStats& fs = files_->stats();
+  file::FileServiceStats fs;
+  for (const auto& shard : file_shards_) {
+    const file::FileServiceStats& s = shard->stats();
+    fs.cache_hits += s.cache_hits;
+    fs.cache_misses += s.cache_misses;
+    fs.reads += s.reads;
+    fs.writes += s.writes;
+    fs.bytes_read += s.bytes_read;
+    fs.bytes_written += s.bytes_written;
+    fs.fit_loads += s.fit_loads;
+    fs.fit_stores += s.fit_stores;
+    fs.readahead_issued += s.readahead_issued;
+    fs.readahead_hits += s.readahead_hits;
+    fs.readahead_wasted += s.readahead_wasted;
+  }
   m.SetCounter("file.cache.hits", fs.cache_hits);
   m.SetCounter("file.cache.misses", fs.cache_misses);
   m.SetCounter("file.reads", fs.reads);
@@ -369,6 +437,13 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("file.readahead_issued", fs.readahead_issued);
   m.SetCounter("file.readahead_hits", fs.readahead_hits);
   m.SetCounter("file.readahead_wasted", fs.readahead_wasted);
+
+  const placement::ShardRouterStats& pl = router_->stats();
+  m.SetCounter("placement.lookups",
+               pl.lookups + naming_->sharding_stats().lookups);
+  m.SetCounter("placement.reroutes", pl.reroutes);
+  m.SetCounter("placement.shard_suspicions", pl.suspicions);
+  m.SetCounter("placement.shard_readmissions", pl.readmissions);
 
   const txn::LockStats& lk = txns_->locks().stats();
   m.SetCounter("lock.grants", lk.grants);
@@ -435,6 +510,8 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("recovery.replicas_marked_down", rec.replicas_marked_down);
   m.SetCounter("recovery.auto_repairs", rec.auto_repairs);
   m.SetCounter("recovery.repair_failures", rec.repair_failures);
+  m.SetCounter("file.shard_failovers", rec.shard_failovers);
+  m.SetCounter("file.shard_readmissions", rec.shard_readmissions);
 
   const recovery::FailureDetectorStats& det = detector_->stats();
   m.SetCounter("detector.probes", det.probes);
@@ -510,6 +587,11 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetGauge("facility.machine_count",
              static_cast<double>(machines_.size()));
   m.SetGauge("facility.sim_now_ns", static_cast<double>(clock_.Now()));
+  m.SetGauge("placement.epoch", static_cast<double>(router_->epoch()));
+  m.SetGauge("placement.file_shards",
+             static_cast<double>(router_->ShardCount()));
+  m.SetGauge("placement.naming_shards",
+             static_cast<double>(naming_->ShardCount()));
   m.SetGauge("disk.free_fragments", static_cast<double>(free_fragments));
   m.SetGauge("replication.hint_queue_depth",
              static_cast<double>(replication_->TotalPendingHints()));

@@ -1,11 +1,11 @@
 // The RHODOS distributed file facility — the assembled architecture of
-// Figure 1 (paper §2.2).
+// Figure 1 (paper §2.2), generalised to N metadata shards.
 //
 //   client process
 //     -> file agent / transaction agent / device agent   (per machine)
-//       -> naming service, replication service
-//       -> transaction-oriented file service + basic file service
-//         -> block (disk) service                         (per disk)
+//       -> placement layer (shard router / sharded naming)
+//         -> file-service shard 0 .. N-1  +  naming shard 0 .. M-1
+//           -> block (disk) service                       (per disk, shared)
 //
 // "Each of these services has been implemented as a separate layer and
 // provides a clean interface to its users"; caching exists at each level so
@@ -13,6 +13,14 @@
 // wires the message bus between client machines and the file service, and
 // offers the whole-system failure controls (crash / recover) the
 // reliability experiments exercise.
+//
+// Sharding (docs/SHARDING.md): FacilityConfig::sharding partitions the
+// metadata plane. Every file-service shard sits on the SAME disk registry
+// (the paper's block service is the shared substrate, like Lustre's OSTs
+// under multiple MDSes), so ownership is a routing convention: the
+// placement map says which shard serves a FileId, and failover is a route
+// change, not a data migration. The default config (1 shard) is
+// wire-identical to the paper's single-instance topology.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +38,8 @@
 #include "file/file_service.h"
 #include "naming/naming_service.h"
 #include "obs/observability.h"
+#include "placement/shard_router.h"
+#include "placement/sharded_naming.h"
 #include "recovery/failure_detector.h"
 #include "recovery/recovery_manager.h"
 #include "replication/anti_entropy.h"
@@ -55,6 +65,8 @@ struct FacilityConfig {
   agent::FileAgentConfig agent{};
   replication::ReplicationConfig replication{};
   replication::AntiEntropyConfig anti_entropy{};
+  // Metadata-plane partitioning; the default (1/1) is the paper topology.
+  placement::ShardingConfig sharding{};
 };
 
 // One client workstation: its agents (paper §3: "on each machine, all
@@ -82,15 +94,26 @@ class DistributedFileFacility {
 
   SimClock& clock() { return clock_; }
   disk::DiskRegistry& disks() { return disks_; }
-  file::FileService& files() { return *files_; }
+  // Shard 0's file service — THE file service of unsharded facilities.
+  file::FileService& files() { return *file_shards_[0]; }
+  file::FileService& files(std::uint32_t shard) {
+    return *file_shards_.at(shard);
+  }
+  std::uint32_t file_shard_count() const {
+    return static_cast<std::uint32_t>(file_shards_.size());
+  }
   txn::TransactionService& transactions() { return *txns_; }
-  naming::NamingService& naming() { return naming_; }
+  placement::ShardedNamingService& naming() { return *naming_; }
+  placement::ShardRouter& placement() { return *router_; }
   replication::ReplicationService& replication() { return *replication_; }
   replication::AntiEntropyScanner& anti_entropy() { return *anti_entropy_; }
   recovery::RecoveryManager& recovery() { return *recovery_; }
   recovery::FailureDetector& detector() { return *detector_; }
   sim::MessageBus& bus() { return bus_; }
-  agent::FileServiceServer& file_server() { return *file_server_; }
+  agent::FileServiceServer& file_server() { return *file_servers_[0]; }
+  agent::FileServiceServer& file_server(std::uint32_t shard) {
+    return *file_servers_.at(shard);
+  }
   const FacilityConfig& config() const { return config_; }
 
   // --- Client machines and processes ------------------------------------------
@@ -161,14 +184,18 @@ class DistributedFileFacility {
   obs::Observability obs_{&clock_};
   sim::MessageBus bus_;
   disk::DiskRegistry disks_;
-  std::unique_ptr<file::FileService> files_;
+  std::unique_ptr<placement::ShardRouter> router_;
+  // file_shards_[s] listens on router_->AddressOf(s); shard 0 keeps the
+  // historic "file-service" address. The transaction and replication
+  // services wrap shard 0 (transactional files stay unsharded).
+  std::vector<std::unique_ptr<file::FileService>> file_shards_;
   std::unique_ptr<txn::TransactionService> txns_;
-  naming::NamingService naming_;
+  std::unique_ptr<placement::ShardedNamingService> naming_;
   std::unique_ptr<replication::ReplicationService> replication_;
   std::unique_ptr<replication::AntiEntropyScanner> anti_entropy_;
   std::unique_ptr<recovery::RecoveryManager> recovery_;
   std::unique_ptr<recovery::FailureDetector> detector_;
-  std::unique_ptr<agent::FileServiceServer> file_server_;
+  std::vector<std::unique_ptr<agent::FileServiceServer>> file_servers_;
   std::vector<std::unique_ptr<Machine>> machines_;
   std::uint64_t next_pid_{1};
 };

@@ -942,12 +942,13 @@ void FileService::Crash() {
 
 std::uint64_t FileService::Version(FileId id) const {
   auto it = versions_.find(id);
-  return it == versions_.end() ? 1 : it->second;
+  return it == versions_.end() ? config_.version_base + 1 : it->second;
 }
 
 void FileService::BumpVersion(FileId id) {
-  // First mutation moves the file from the implicit version 1 to 2.
-  auto [it, inserted] = versions_.emplace(id, 2);
+  // First mutation moves the file from the implicit version 1 to 2
+  // (relative to this service's salt).
+  auto [it, inserted] = versions_.emplace(id, config_.version_base + 2);
   if (!inserted) ++it->second;
 }
 

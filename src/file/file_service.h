@@ -63,6 +63,12 @@ struct FileServiceConfig {
   // streak. 0 blocks disables read-ahead.
   std::uint32_t readahead_trigger = 2;
   std::uint32_t readahead_blocks = 16;
+  // Added to every version token this service hands out. The sharded
+  // facility salts each shard's tokens (shard id in the top byte) so tokens
+  // minted by different shards can never alias: after a failover reroutes a
+  // file, the first reply from the new shard is guaranteed to look like a
+  // foreign write to the client agent, which drops its clean cached blocks.
+  std::uint64_t version_base = 0;
 };
 
 struct FileServiceStats {

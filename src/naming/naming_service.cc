@@ -59,6 +59,21 @@ Status NamingService::RegisterFile(const AttributedName& name, FileId file) {
   return OkStatus();
 }
 
+Status NamingService::RegisterFileAt(const AttributedName& name, FileId file,
+                                     std::uint64_t seq) {
+  if (name.empty()) {
+    return {ErrorCode::kInvalidArgument, "empty attributed name"};
+  }
+  if (files_.count(file) != 0) {
+    return {ErrorCode::kAlreadyExists, "file already registered"};
+  }
+  files_.emplace(file, FileEntry{name, seq});
+  next_seq_ = std::max(next_seq_, seq + 1);
+  IndexInsert(name, file);
+  ++generation_;
+  return OkStatus();
+}
+
 Status NamingService::UnregisterFile(FileId file) {
   auto it = files_.find(file);
   if (it == files_.end()) {

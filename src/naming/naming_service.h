@@ -54,40 +54,80 @@ struct NamingStats {
   std::uint64_t index_probes = 0;
 };
 
-class NamingService {
+// The naming interface agents program against. One concrete NamingService
+// implements it directly (the paper's single-instance topology); the
+// sharded metadata plane substitutes placement::ShardedNamingService, which
+// partitions the inverted index by attribute-key hash behind the same
+// contract (see docs/SHARDING.md).
+class NamingFacade {
  public:
+  virtual ~NamingFacade() = default;
+
   // --- Files ---------------------------------------------------------------
 
-  Status RegisterFile(const AttributedName& name, FileId file);
-  Status UnregisterFile(FileId file);
+  virtual Status RegisterFile(const AttributedName& name, FileId file) = 0;
+  virtual Status UnregisterFile(FileId file) = 0;
 
   // Resolves an attributed name to a file's system name. All attributes of
   // `query` must match (registered names may carry extra attributes).
-  Result<FileId> ResolveFile(const AttributedName& query);
+  virtual Result<FileId> ResolveFile(const AttributedName& query) = 0;
 
   // All files matching the query (directory-listing style evaluation),
   // in registration order.
-  std::vector<FileId> EvaluateFiles(const AttributedName& query) const;
+  virtual std::vector<FileId> EvaluateFiles(
+      const AttributedName& query) const = 0;
 
   // The full attributed name under which a file was registered.
-  Result<AttributedName> NameOf(FileId file) const;
+  virtual Result<AttributedName> NameOf(FileId file) const = 0;
 
   // Re-binds an existing registration (e.g. rename, attribute change).
   // The file keeps its registration-order position.
-  Status UpdateFile(FileId file, const AttributedName& name);
+  virtual Status UpdateFile(FileId file, const AttributedName& name) = 0;
 
   // --- Devices -------------------------------------------------------------
 
-  Status RegisterDevice(const AttributedName& name, std::string system_name);
-  Result<std::string> ResolveDevice(const AttributedName& query);
+  virtual Status RegisterDevice(const AttributedName& name,
+                                std::string system_name) = 0;
+  virtual Result<std::string> ResolveDevice(const AttributedName& query) = 0;
 
-  const NamingStats& stats() const { return stats_; }
-  std::size_t FileCount() const { return files_.size(); }
+  virtual const NamingStats& stats() const = 0;
+  virtual std::size_t FileCount() const = 0;
 
   // Bumped on every mutation of the file registry (register / unregister /
   // update). Agents key their name→FileId caches off this: a cached binding
   // is valid only while the generation it was filled at is still current.
-  std::uint64_t generation() const { return generation_; }
+  virtual std::uint64_t generation() const = 0;
+};
+
+class NamingService : public NamingFacade {
+ public:
+  // --- Files ---------------------------------------------------------------
+
+  Status RegisterFile(const AttributedName& name, FileId file) override;
+  Status UnregisterFile(FileId file) override;
+
+  // Registration with a caller-assigned sequence number. The sharded naming
+  // layer duplicates a registration onto every shard owning one of its
+  // attribute keys; a shared global seq keeps EvaluateFiles emitting the
+  // same registration order from every shard.
+  Status RegisterFileAt(const AttributedName& name, FileId file,
+                        std::uint64_t seq);
+
+  Result<FileId> ResolveFile(const AttributedName& query) override;
+  std::vector<FileId> EvaluateFiles(
+      const AttributedName& query) const override;
+  Result<AttributedName> NameOf(FileId file) const override;
+  Status UpdateFile(FileId file, const AttributedName& name) override;
+
+  // --- Devices -------------------------------------------------------------
+
+  Status RegisterDevice(const AttributedName& name,
+                        std::string system_name) override;
+  Result<std::string> ResolveDevice(const AttributedName& query) override;
+
+  const NamingStats& stats() const override { return stats_; }
+  std::size_t FileCount() const override { return files_.size(); }
+  std::uint64_t generation() const override { return generation_; }
 
  private:
   struct FileEntry {

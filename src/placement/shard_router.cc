@@ -1,0 +1,71 @@
+#include "placement/shard_router.h"
+
+namespace rhodos::placement {
+
+std::string FileShardAddress(std::uint32_t shard) {
+  return shard == 0 ? "file-service" : "file-service-" + std::to_string(shard);
+}
+
+ShardRouter::ShardRouter(std::uint32_t file_shards,
+                         std::uint32_t virtual_nodes)
+    : map_(file_shards == 0 ? 1 : file_shards, virtual_nodes) {
+  const std::uint32_t n = map_.ShardCount();
+  addresses_.reserve(n);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    addresses_.push_back(FileShardAddress(s));
+  }
+  suspected_.assign(n, false);
+}
+
+ShardRouter::Route ShardRouter::Pick(std::uint64_t point) {
+  ++stats_.lookups;
+  const std::vector<std::uint32_t> preference = map_.PreferenceForHash(point);
+  if (preference.empty()) return Route{0, false};
+  for (const std::uint32_t shard : preference) {
+    if (!suspected_[shard]) {
+      const bool rerouted = shard != preference.front();
+      if (rerouted) ++stats_.reroutes;
+      return Route{shard, rerouted};
+    }
+  }
+  // Nobody is live; hand back the home shard and let the RPC layer time
+  // out, the same failure the unsharded facility exposes.
+  return Route{preference.front(), false};
+}
+
+ShardRouter::Route ShardRouter::RouteFile(FileId id) {
+  return Pick(Mix64(id.value));
+}
+
+ShardRouter::Route ShardRouter::RouteToken(std::uint64_t token) {
+  return Pick(Mix64(token ^ 0x9e3779b97f4a7c15ULL));
+}
+
+void ShardRouter::BumpEpoch() {
+  ++epoch_;
+  if (fence_) {
+    for (std::uint32_t s = 0; s < ShardCount(); ++s) fence_(s);
+  }
+}
+
+void ShardRouter::SuspectShard(std::uint32_t shard) {
+  if (shard >= suspected_.size() || suspected_[shard]) return;
+  suspected_[shard] = true;
+  ++stats_.suspicions;
+  BumpEpoch();
+}
+
+void ShardRouter::ReadmitShard(std::uint32_t shard) {
+  if (shard >= suspected_.size() || !suspected_[shard]) return;
+  suspected_[shard] = false;
+  ++stats_.readmissions;
+  BumpEpoch();
+}
+
+std::uint32_t ShardRouter::SuspectedCount() const {
+  std::uint32_t n = 0;
+  for (const bool s : suspected_) n += s ? 1 : 0;
+  return n;
+}
+
+}  // namespace rhodos::placement

@@ -49,6 +49,24 @@ void RecoveryManager::Tick() {
     }
   }
 
+  // Metadata shard failover: probe every shard address through the same
+  // three-state machine the disks use. Suspect → agents route around from
+  // their next request; healthy again → readmit (the router fences on both
+  // edges, so nothing stale survives the transition).
+  if (router_ != nullptr && detector_ != nullptr) {
+    for (std::uint32_t s = 0; s < router_->ShardCount(); ++s) {
+      const bool healthy =
+          detector_->Probe(router_->AddressOf(s)) == ServiceState::kHealthy;
+      if (!healthy && !router_->Suspected(s)) {
+        router_->SuspectShard(s);
+        ++stats_.shard_failovers;
+      } else if (healthy && router_->Suspected(s)) {
+        router_->ReadmitShard(s);
+        ++stats_.shard_readmissions;
+      }
+    }
+  }
+
   // Background anti-entropy: drain complete hint chains everywhere and run
   // the periodic full version-vector scan. This is what converges replicas
   // that diverged without a clean failure/recovery edge (flapping disks,

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "disk/disk_registry.h"
+#include "placement/shard_router.h"
 #include "recovery/failure_detector.h"
 #include "replication/anti_entropy.h"
 #include "replication/replication_service.h"
@@ -47,6 +48,8 @@ struct RecoveryStats {
   std::uint64_t log_audits = 0;       // AuditIntentionLog() calls
   std::uint64_t log_torn_batches = 0;      // torn group-commit frames seen
   std::uint64_t log_salvaged_records = 0;  // records salvaged from tears
+  std::uint64_t shard_failovers = 0;    // metadata shards routed around
+  std::uint64_t shard_readmissions = 0;  // metadata shards readmitted
 };
 
 class RecoveryManager {
@@ -73,6 +76,14 @@ class RecoveryManager {
   // detector says kHealthy.
   void SetDiskDetector(FailureDetector* detector) { detector_ = detector; }
 
+  // Installs the metadata shard router. With it (and a detector) set, every
+  // Tick() also probes each file-service shard's bus address: a shard that
+  // is not kHealthy is suspected on the router (agents route around it from
+  // the next request on), and a healthy-again shard is readmitted. Both
+  // edges fence via the router's epoch machinery. The facility installs
+  // this only when it actually runs more than one shard.
+  void SetShardRouter(placement::ShardRouter* router) { router_ = router; }
+
   // One control-loop round: poll disks, mark/repair as edges dictate.
   // Deterministic: state depends only on the disks' crash flags.
   void Tick();
@@ -98,6 +109,7 @@ class RecoveryManager {
   replication::ReplicationService* replication_;
   replication::AntiEntropyScanner* scanner_ = nullptr;
   FailureDetector* detector_ = nullptr;
+  placement::ShardRouter* router_ = nullptr;
   RecoveryConfig config_;
   std::vector<bool> disk_up_;  // last observed liveness, per disk index
   RecoveryStats stats_;

@@ -1,0 +1,300 @@
+// The placement layer in isolation: the consistent-hash map's stability
+// and balance properties, the router's failover state machine, and the
+// sharded naming service's equivalence to a single-instance shadow.
+//
+// The load-bearing property is STABILITY: adding or removing a shard may
+// move only about 1/N of the keys, and every moved key must land on (or
+// leave) the shard that changed — that is what makes shard membership a
+// config knob instead of a data migration. A property test pins it across
+// shard counts, alongside a randomized-schedule equivalence test that
+// drives the sharded naming service and a plain NamingService through the
+// same register / update / unregister / resolve / evaluate history.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "naming/naming_service.h"
+#include "placement/placement_map.h"
+#include "placement/shard_router.h"
+#include "placement/sharded_naming.h"
+
+namespace rhodos::placement {
+namespace {
+
+TEST(PlacementMap, DeterministicAndInRange) {
+  PlacementMap a(4), b(4);
+  for (std::uint64_t v = 1; v <= 1000; ++v) {
+    const FileId id{v * 7919};
+    EXPECT_EQ(a.ShardForFile(id), b.ShardForFile(id));
+    EXPECT_LT(a.ShardForFile(id), 4u);
+  }
+  EXPECT_EQ(a.ShardForKey("name"), b.ShardForKey("name"));
+  EXPECT_EQ(a.ShardForToken(42), b.ShardForToken(42));
+}
+
+TEST(PlacementMap, VirtualNodesSpreadLoadAcrossShards) {
+  const std::uint32_t kShards = 4;
+  PlacementMap map(kShards);
+  std::map<std::uint32_t, std::uint64_t> histogram;
+  const std::uint64_t kKeys = 20'000;
+  for (std::uint64_t v = 1; v <= kKeys; ++v) {
+    ++histogram[map.ShardForFile(FileId{v})];
+  }
+  ASSERT_EQ(histogram.size(), kShards);
+  for (const auto& [shard, count] : histogram) {
+    // Perfect balance would be 25%; virtual nodes keep every shard within
+    // a loose band of it.
+    EXPECT_GT(count, kKeys / 10) << "shard " << shard << " starved";
+    EXPECT_LT(count, kKeys / 2) << "shard " << shard << " overloaded";
+  }
+}
+
+TEST(PlacementMapProperty, AddingAShardMovesAboutOneNthOfKeys) {
+  const std::uint64_t kKeys = 10'000;
+  for (std::uint32_t n : {1u, 2u, 4u, 8u}) {
+    PlacementMap before(n);
+    PlacementMap after(n);
+    after.AddShard(n);  // shards 0..n-1 plus the new shard n
+    std::uint64_t moved = 0;
+    for (std::uint64_t v = 1; v <= kKeys; ++v) {
+      const FileId id{v * 2654435761ULL};
+      const std::uint32_t from = before.ShardForFile(id);
+      const std::uint32_t to = after.ShardForFile(id);
+      if (from != to) {
+        ++moved;
+        // Stability: a key may only move TO the shard that joined.
+        EXPECT_EQ(to, n) << "key moved between two old shards";
+      }
+    }
+    const double expected = static_cast<double>(kKeys) / (n + 1);
+    EXPECT_GT(moved, expected * 0.5) << "n=" << n;
+    EXPECT_LT(moved, expected * 1.8) << "n=" << n;
+  }
+}
+
+TEST(PlacementMapProperty, RemovingAShardMovesOnlyItsKeys) {
+  const std::uint64_t kKeys = 10'000;
+  for (std::uint32_t n : {2u, 4u, 8u}) {
+    PlacementMap before(n);
+    PlacementMap after(n);
+    const std::uint32_t removed = n - 1;
+    after.RemoveShard(removed);
+    for (std::uint64_t v = 1; v <= kKeys; ++v) {
+      const FileId id{v * 6364136223846793005ULL};
+      const std::uint32_t from = before.ShardForFile(id);
+      const std::uint32_t to = after.ShardForFile(id);
+      if (from != removed) {
+        // A key not on the removed shard must not move at all.
+        EXPECT_EQ(from, to);
+      } else {
+        EXPECT_NE(to, removed);
+      }
+    }
+  }
+}
+
+TEST(PlacementMap, PreferenceOrderStartsAtOwnerAndCoversAllShards) {
+  PlacementMap map(5);
+  for (std::uint64_t v = 1; v <= 200; ++v) {
+    const FileId id{v};
+    const auto pref = map.PreferenceForFile(id);
+    ASSERT_EQ(pref.size(), 5u);
+    EXPECT_EQ(pref.front(), map.ShardForFile(id));
+    EXPECT_EQ(std::set<std::uint32_t>(pref.begin(), pref.end()).size(), 5u);
+  }
+}
+
+TEST(ShardRouter, RoutesHomeWhenHealthyAndAroundSuspects) {
+  ShardRouter router(4);
+  const FileId id{12345};
+  const std::uint32_t home = router.HomeShard(id);
+  auto route = router.RouteFile(id);
+  EXPECT_EQ(route.shard, home);
+  EXPECT_FALSE(route.rerouted);
+
+  router.SuspectShard(home);
+  route = router.RouteFile(id);
+  EXPECT_NE(route.shard, home);
+  EXPECT_TRUE(route.rerouted);
+  EXPECT_EQ(router.stats().reroutes, 1u);
+  // The failover target is the ring successor: deterministic, so every
+  // agent picks the same survivor.
+  EXPECT_EQ(route.shard, router.map().PreferenceForFile(id)[1]);
+
+  router.ReadmitShard(home);
+  route = router.RouteFile(id);
+  EXPECT_EQ(route.shard, home);
+  EXPECT_FALSE(route.rerouted);
+}
+
+TEST(ShardRouter, EpochBumpsAndFencesEveryShardOnBothEdges) {
+  ShardRouter router(3);
+  std::vector<std::uint32_t> fenced;
+  router.SetFenceHook([&fenced](std::uint32_t s) { fenced.push_back(s); });
+
+  EXPECT_EQ(router.epoch(), 0u);
+  router.SuspectShard(1);
+  EXPECT_EQ(router.epoch(), 1u);
+  EXPECT_EQ(fenced, (std::vector<std::uint32_t>{0, 1, 2}));
+
+  // Idempotent: suspecting again is not an edge.
+  router.SuspectShard(1);
+  EXPECT_EQ(router.epoch(), 1u);
+  EXPECT_EQ(fenced.size(), 3u);
+
+  fenced.clear();
+  router.ReadmitShard(1);
+  EXPECT_EQ(router.epoch(), 2u);
+  EXPECT_EQ(fenced, (std::vector<std::uint32_t>{0, 1, 2}));
+  router.ReadmitShard(1);
+  EXPECT_EQ(router.epoch(), 2u);
+  EXPECT_EQ(router.stats().suspicions, 1u);
+  EXPECT_EQ(router.stats().readmissions, 1u);
+}
+
+TEST(ShardRouter, Shard0KeepsTheHistoricAddress) {
+  ShardRouter router(3);
+  EXPECT_EQ(router.AddressOf(0), "file-service");
+  EXPECT_EQ(router.AddressOf(1), "file-service-1");
+  EXPECT_EQ(router.AddressOf(2), "file-service-2");
+}
+
+// --- sharded naming -------------------------------------------------------
+
+naming::AttributedName RandomName(Rng& rng) {
+  static const char* kKeys[] = {"name", "owner", "type", "project", "host"};
+  static const char* kValues[] = {"a", "b", "c", "d"};
+  naming::AttributedName name;
+  const std::size_t n = 1 + rng.Below(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    name[kKeys[rng.Below(5)]] = kValues[rng.Below(4)];
+  }
+  return name;
+}
+
+TEST(ShardedNamingProperty, MatchesSingleInstanceUnderRandomSchedules) {
+  for (std::uint64_t seed : {1u, 7u, 23u}) {
+    ShardedNamingService sharded(4);
+    naming::NamingService shadow;
+    Rng rng(seed);
+    std::vector<FileId> known;
+    for (int step = 0; step < 800; ++step) {
+      switch (rng.Below(5)) {
+        case 0: {  // register
+          const FileId id{1000 + static_cast<std::uint64_t>(step)};
+          const auto name = RandomName(rng);
+          const Status a = sharded.RegisterFile(name, id);
+          const Status b = shadow.RegisterFile(name, id);
+          ASSERT_EQ(a.code(), b.code());
+          if (a.ok()) known.push_back(id);
+          break;
+        }
+        case 1: {  // unregister
+          if (known.empty()) break;
+          const std::size_t i = rng.Below(known.size());
+          const FileId id = known[i];
+          ASSERT_EQ(sharded.UnregisterFile(id).code(),
+                    shadow.UnregisterFile(id).code());
+          known.erase(known.begin() + static_cast<std::ptrdiff_t>(i));
+          break;
+        }
+        case 2: {  // update (rename / attribute change)
+          if (known.empty()) break;
+          const FileId id = known[rng.Below(known.size())];
+          const auto name = RandomName(rng);
+          ASSERT_EQ(sharded.UpdateFile(id, name).code(),
+                    shadow.UpdateFile(id, name).code());
+          break;
+        }
+        case 3: {  // resolve
+          const auto query = RandomName(rng);
+          const auto a = sharded.ResolveFile(query);
+          const auto b = shadow.ResolveFile(query);
+          ASSERT_EQ(a.code(), b.code()) << naming::ToString(query);
+          if (a.ok()) {
+            ASSERT_EQ(*a, *b);
+          }
+          break;
+        }
+        default: {  // evaluate, including the scatter-gather empty query
+          naming::AttributedName query;
+          if (rng.Below(4) != 0) query = RandomName(rng);
+          ASSERT_EQ(sharded.EvaluateFiles(query), shadow.EvaluateFiles(query))
+              << naming::ToString(query);
+          break;
+        }
+      }
+      ASSERT_EQ(sharded.FileCount(), shadow.FileCount());
+    }
+    // End state: every survivor's name agrees.
+    for (const FileId id : known) {
+      const auto a = sharded.NameOf(id);
+      const auto b = shadow.NameOf(id);
+      ASSERT_TRUE(a.ok() && b.ok());
+      ASSERT_EQ(*a, *b);
+    }
+  }
+}
+
+TEST(ShardedNaming, FansRegistrationsOutToKeyOwningShards) {
+  ShardedNamingService sharded(4);
+  naming::AttributedName name{{"name", "ledger"}, {"owner", "alice"},
+                              {"type", "data"}};
+  ASSERT_TRUE(sharded.RegisterFile(name, FileId{9}).ok());
+  std::set<std::uint32_t> owners;
+  for (const auto& [key, value] : name) owners.insert(sharded.ShardForKey(key));
+  // The full registration lives on every owning shard and nowhere else.
+  for (std::uint32_t s = 0; s < sharded.ShardCount(); ++s) {
+    EXPECT_EQ(sharded.shard(s).FileCount(), owners.count(s) ? 1u : 0u);
+  }
+  EXPECT_EQ(sharded.sharding_stats().fanout_registrations, owners.size());
+  // Any single-key query resolves from one shard.
+  for (const auto& [key, value] : name) {
+    const auto res = sharded.ResolveFile({{key, value}});
+    ASSERT_TRUE(res.ok()) << key;
+    EXPECT_EQ(*res, FileId{9});
+  }
+}
+
+TEST(ShardedNaming, ResolutionErrorsNameTheShard) {
+  ShardedNamingService sharded(4);
+  const auto miss = sharded.ResolveFile({{"name", "ghost"}});
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.code(), ErrorCode::kNameNotResolved);
+  const std::string expected =
+      "(naming shard " + std::to_string(sharded.ShardForKey("name")) + ")";
+  EXPECT_NE(miss.error().message.find(expected), std::string::npos)
+      << miss.error().message;
+
+  ASSERT_TRUE(sharded.RegisterFile({{"type", "log"}, {"name", "x"}}, FileId{1})
+                  .ok());
+  ASSERT_TRUE(sharded.RegisterFile({{"type", "log"}, {"name", "y"}}, FileId{2})
+                  .ok());
+  const auto ambiguous = sharded.ResolveFile({{"type", "log"}});
+  ASSERT_FALSE(ambiguous.ok());
+  EXPECT_EQ(ambiguous.code(), ErrorCode::kAmbiguousName);
+  EXPECT_NE(ambiguous.error().message.find("(naming shard "),
+            std::string::npos)
+      << ambiguous.error().message;
+}
+
+TEST(ShardedNaming, RetriedUnregisterToleratesPartialState) {
+  // Cross-shard delete retry safety: if a prior attempt already removed the
+  // registration from some shard, the retry must still converge. Simulate
+  // the partial state by unregistering directly on one owning shard.
+  ShardedNamingService sharded(4);
+  naming::AttributedName name{{"name", "w"}, {"owner", "z"}};
+  ASSERT_TRUE(sharded.RegisterFile(name, FileId{5}).ok());
+  const std::uint32_t one = sharded.ShardForKey("name");
+  ASSERT_TRUE(sharded.shard(one).UnregisterFile(FileId{5}).ok());
+  EXPECT_TRUE(sharded.UnregisterFile(FileId{5}).ok());
+  EXPECT_EQ(sharded.FileCount(), 0u);
+  EXPECT_EQ(sharded.UnregisterFile(FileId{5}).code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace rhodos::placement
