@@ -1,0 +1,116 @@
+// E22 — the invalidation storm: one writer against a crowd of readers all
+// holding callback promises on the same hot file.
+//
+// The callback bet (DESIGN.md §callbacks) is that ONE break per writer
+// mutation replaces ONE validation per reader open/read. This bench
+// measures both sides of that trade as the crowd grows 10^2 → 10^4:
+//
+//   * breaks_per_write       — the fan-out a mutation pays (should track N)
+//   * sim_ms_per_write       — simulated cost of the break round (the
+//                              parallel fan-out charges max-lane, not sum)
+//   * msgs_per_warm_read     — GATED AT ZERO: once a reader has refetched
+//                              after a break, its reads must cost no
+//                              exchanges at all while the promise holds
+//   * warm reads/s           — client-side throughput of the fast path
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+constexpr std::size_t kBlock = 8 * 1024;
+
+std::uint64_t BusCalls(core::DistributedFileFacility& f) {
+  return f.bus().stats().calls;
+}
+
+void BM_CallbackStorm(benchmark::State& state) {
+  const int readers = static_cast<int>(state.range(0));
+  core::FacilityConfig cfg = DefaultFacility();
+  cfg.agent.delayed_write = true;
+  cfg.agent.cache_blocks = 2;  // bound memory: 10^4 agents ride along
+  // A long lease so the crowd's warm-up cannot expire the early grants.
+  cfg.callback.lease_ns = 60 * kSimSecond;
+  core::DistributedFileFacility f(cfg);
+
+  core::Machine& writer = f.AddMachine();
+  auto wd = *writer.file_agent->Create(naming::ByName("hot"),
+                                      file::ServiceType::kBasic);
+  (void)writer.file_agent->Pwrite(wd, 0, Pattern(kBlock));
+  (void)writer.file_agent->Flush(wd);
+
+  std::vector<core::Machine*> crowd;
+  std::vector<ObjectDescriptor> rds;
+  crowd.reserve(readers);
+  rds.reserve(readers);
+  std::vector<std::uint8_t> out(kBlock);
+  for (int i = 0; i < readers; ++i) {
+    core::Machine& r = f.AddMachine();
+    auto rd = *r.file_agent->Open(naming::ByName("hot"));
+    (void)r.file_agent->Pread(rd, 0, out);  // prime cache + promise
+    crowd.push_back(&r);
+    rds.push_back(rd);
+  }
+
+  std::uint64_t writes = 0, warm_reads = 0, warm_calls = 0;
+  std::uint64_t breaks_before = f.file_server().stats().callback_breaks;
+  SimTime write_sim = 0;
+  std::uint8_t round = 1;
+  for (auto _ : state) {
+    // One mutation: the server revokes every reader's promise before the
+    // flush reply comes back.
+    const SimTime t0 = f.clock().Now();
+    if (!writer.file_agent->Pwrite(wd, 0, Pattern(kBlock, round)).ok() ||
+        !writer.file_agent->Flush(wd).ok()) {
+      state.SkipWithError("write failed");
+    }
+    write_sim += f.clock().Now() - t0;
+    ++writes;
+    ++round;
+
+    // Every reader refetches once (miss + new grant)...
+    for (int i = 0; i < readers; ++i) {
+      if (!crowd[i]->file_agent->Pread(rds[i], 0, out).ok()) {
+        state.SkipWithError("refetch failed");
+      }
+    }
+    // ...and from then on reads are warm again: ZERO exchanges, gated.
+    const std::uint64_t calls_before = BusCalls(f);
+    for (int i = 0; i < readers; ++i) {
+      if (!crowd[i]->file_agent->Pread(rds[i], 0, out).ok()) {
+        state.SkipWithError("warm read failed");
+      }
+      ++warm_reads;
+    }
+    warm_calls += BusCalls(f) - calls_before;
+  }
+  if (warm_calls != 0) {
+    state.SkipWithError("warm reads under callbacks cost exchanges");
+  }
+
+  const std::uint64_t breaks =
+      f.file_server().stats().callback_breaks - breaks_before;
+  state.counters["breaks_per_write"] =
+      writes == 0 ? 0.0
+                  : static_cast<double>(breaks) / static_cast<double>(writes);
+  state.counters["sim_ms_per_write"] =
+      writes == 0 ? 0.0 : SimMillis(write_sim) / static_cast<double>(writes);
+  state.counters["msgs_per_warm_read"] =
+      warm_reads == 0
+          ? 0.0
+          : static_cast<double>(warm_calls) / static_cast<double>(warm_reads);
+  state.SetItemsProcessed(static_cast<std::int64_t>(warm_reads));
+}
+BENCHMARK(BM_CallbackStorm)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(3)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+RHODOS_BENCH_MAIN();

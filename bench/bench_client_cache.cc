@@ -4,8 +4,10 @@
 // The agent's per-file dirty-block index coalesces adjacent dirty blocks
 // into runs and pushes a whole file to the server in ONE PwriteVec
 // exchange, so the cost of a flush is one message, not one message per
-// dirty block. The naming cache plus the version-token-carrying open
-// reply make a warm re-open a single exchange with zero naming work.
+// dirty block. The naming cache plus the callback promise riding the
+// create/open reply make a warm re-open ZERO exchanges and zero naming
+// work (the server swore to break the promise on any change, so there
+// is nothing to validate).
 // This bench pins both, plus the background write-behind batching, via
 // `bus.calls` from the facility registry — the same numbers an operator
 // reads out of DumpStats().
@@ -67,9 +69,11 @@ void BM_ExchangesPerFlush(benchmark::State& state) {
 BENCHMARK(BM_ExchangesPerFlush)->Iterations(8);
 
 // Exchanges to re-open a file whose binding is warm in the agent's name
-// cache: the open reply carries attributes + version token, so the whole
-// operation is ONE exchange and zero naming resolutions (E16's open row
-// used to cost two exchanges plus a resolution every time).
+// cache and whose callback promise is still held: the cached attributes
+// answer locally, so the whole operation is ZERO exchanges and zero
+// naming resolutions (this row used to cost one validating exchange
+// under the version-token scheme, and two plus a resolution before
+// that).
 void BM_ExchangesPerWarmReopen(benchmark::State& state) {
   core::DistributedFileFacility facility(
       WritebehindFacility(/*threshold=*/0, /*age_ns=*/0));

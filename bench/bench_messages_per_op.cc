@@ -41,8 +41,11 @@ struct Client {
   }
 };
 
-// Exchanges to open an existing file by attributed name (resolution +
-// open + attribute fetch) and close it again.
+// Exchanges to open an existing file by attributed name and close it
+// again. The agent that created the file still holds its callback
+// promise, so even this first open is zero-exchange; the cold cost
+// (resolution + open) lives in BM_MessagesPerRead's cold row, which
+// crashes the agent first.
 void BM_MessagesPerOpen(benchmark::State& state) {
   Client c(/*delayed_write=*/true);
   std::uint64_t ops = 0, calls = 0;
@@ -87,6 +90,60 @@ void BM_MessagesPerWarmReopen(benchmark::State& state) {
       c.facility.naming().stats().resolutions - resolutions_before);
 }
 BENCHMARK(BM_MessagesPerWarmReopen)->Iterations(16);
+
+// Warm open under a held callback promise: the server promised to notify
+// us of any change, so there is NOTHING to validate — the open is
+// assembled entirely from the agent's cached attributes. This row is a
+// GATE, not a measurement: any exchange at all fails the bench.
+void BM_MessagesPerWarmOpenUnderCallback(benchmark::State& state) {
+  Client c(/*delayed_write=*/true);
+  // Prime: one open grants the callback and fills the name cache.
+  auto warm = c.machine->file_agent->Open(naming::ByName("target"));
+  if (!warm.ok()) state.SkipWithError("open failed");
+  (void)c.machine->file_agent->Close(*warm);
+  std::uint64_t ops = 0, calls = 0;
+  for (auto _ : state) {
+    c.facility.ResetStats();
+    auto od = c.machine->file_agent->Open(naming::ByName("target"));
+    if (!od.ok()) state.SkipWithError("open failed");
+    calls += BusCalls(c.facility);
+    (void)c.machine->file_agent->Close(*od);
+    ++ops;
+  }
+  if (calls != 0) {
+    state.SkipWithError("warm open under callback cost an exchange");
+  }
+  state.counters["msgs_per_warm_open_cb"] =
+      static_cast<double>(calls) / static_cast<double>(ops);
+  state.counters["callback_fast_opens"] =
+      static_cast<double>(c.machine->file_agent->stats().callback_fast_opens);
+}
+BENCHMARK(BM_MessagesPerWarmOpenUnderCallback)->Iterations(16);
+
+// Warm read under a held callback promise — same gate: zero exchanges, or
+// the bench fails itself.
+void BM_MessagesPerWarmReadUnderCallback(benchmark::State& state) {
+  Client c(/*delayed_write=*/true);
+  auto od = *c.machine->file_agent->Open(naming::ByName("target"));
+  std::vector<std::uint8_t> out(kBlock);
+  (void)c.machine->file_agent->Pread(od, 0, out);  // prime the block
+  std::uint64_t ops = 0, calls = 0;
+  for (auto _ : state) {
+    c.facility.ResetStats();
+    if (!c.machine->file_agent->Pread(od, 0, out).ok()) {
+      state.SkipWithError("read failed");
+    }
+    calls += BusCalls(c.facility);
+    ++ops;
+  }
+  if (calls != 0) {
+    state.SkipWithError("warm read under callback cost an exchange");
+  }
+  state.counters["msgs_per_warm_read_cb"] =
+      static_cast<double>(calls) / static_cast<double>(ops);
+  (void)c.machine->file_agent->Close(od);
+}
+BENCHMARK(BM_MessagesPerWarmReadUnderCallback)->Iterations(16);
 
 // One-block positional read: first cold (descends to the service), then
 // warm (the agent cache answers — the §2.2 zero-message case).

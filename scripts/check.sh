@@ -33,6 +33,11 @@ run_suite() {
   # the sharded metadata plane (docs/SHARDING.md).
   echo "== $dir: shard matrix (ctest -L shard) =="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L shard
+  # The callback/lease coherence matrix (break-before-reply, lease expiry,
+  # crash grace, epoch fences) gates changes to the client-cache coherence
+  # protocol.
+  echo "== $dir: lease matrix (ctest -L lease) =="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L lease
 }
 
 if [[ "$mode" != "--sanitize-only" ]]; then

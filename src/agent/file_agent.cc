@@ -34,6 +34,7 @@ FileAgent::FileAgent(MachineId machine, sim::MessageBus* bus,
   rpcs_.push_back(std::make_unique<sim::RpcClient>(
       bus, std::move(fs_address), RetryOf(config),
       "machine-" + std::to_string(machine.value)));
+  RegisterCallbackService();
 }
 
 FileAgent::FileAgent(MachineId machine, sim::MessageBus* bus,
@@ -50,6 +51,89 @@ FileAgent::FileAgent(MachineId machine, sim::MessageBus* bus,
     rpcs_.push_back(std::make_unique<sim::RpcClient>(
         bus, router->AddressOf(s), RetryOf(config), caller));
   }
+  RegisterCallbackService();
+}
+
+FileAgent::~FileAgent() {
+  if (!cb_address_.empty()) bus_->UnregisterService(cb_address_);
+}
+
+void FileAgent::RegisterCallbackService() {
+  if (!config_.callbacks) return;
+  cb_address_ = "cb-machine-" + std::to_string(machine_.value);
+  bus_->RegisterService(
+      cb_address_, [this](std::uint32_t opcode,
+                          std::span<const std::uint8_t> request) {
+        return HandleCallbackMessage(opcode, request);
+      });
+}
+
+sim::Payload FileAgent::HandleCallbackMessage(
+    std::uint32_t opcode, std::span<const std::uint8_t> request) {
+  Serializer out;
+  if (static_cast<FsOp>(opcode) != FsOp::kCallbackBreak) {
+    EncodeError(out, {ErrorCode::kNotSupported, "unexpected agent opcode"});
+    return std::move(out).Take();
+  }
+  auto brk = CallbackBreak::Decode(request);
+  if (!brk.ok()) {
+    EncodeError(out, brk.error());
+    return std::move(out).Take();
+  }
+  // The server is revoking its promise ahead of a foreign mutation: forget
+  // the promise, and let the piggybacked post-mutation token drop this
+  // file's clean cached blocks before they can serve the old image.
+  ++stats_.callback_breaks;
+  callbacks_.erase(brk->file);
+  NoteVersion(brk->file, brk->version);
+  EncodeStatus(out, OkStatus());
+  return std::move(out).Take();
+}
+
+bool FileAgent::HoldsCallback(FileId file) const {
+  if (!config_.callbacks) return false;
+  const auto it = callbacks_.find(file);
+  if (it == callbacks_.end()) return false;
+  if (it->second.expiry <= bus_->clock()->Now()) return false;
+  if (router_ != nullptr && it->second.epoch != router_->epoch()) return false;
+  return true;
+}
+
+void FileAgent::AdoptGrant(FileId file, SimTime expiry,
+                           const file::FileAttributes* attrs) {
+  if (!config_.callbacks) return;
+  if (expiry <= 0) return;
+  CallbackState& cb = callbacks_[file];
+  cb.expiry = expiry;
+  cb.epoch = router_ == nullptr ? 0 : router_->epoch();
+  if (attrs != nullptr) {
+    cb.attrs = *attrs;
+    cb.attrs_valid = true;
+  }
+}
+
+void FileAgent::NoteLocalSize(FileId file, std::uint64_t size) {
+  if (auto it = callbacks_.find(file);
+      it != callbacks_.end() && it->second.attrs_valid) {
+    it->second.attrs.size = std::max(it->second.attrs.size, size);
+  }
+}
+
+Status FileAgent::RenewCallback(FileId file) {
+  FileRequest req{0, file, cb_address_};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(
+      sim::Payload reply,
+      Call(RouteShard(file), FsOp::kCallbackRenew, body));
+  Deserializer in{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  const std::uint64_t version = in.U64();
+  const SimTime expiry = in.I64();
+  if (!in.ok()) return Error{ErrorCode::kInternal, "bad renew reply"};
+  ++stats_.callback_renewals;
+  NoteVersion(file, version);
+  AdoptGrant(file, expiry, nullptr);
+  return OkStatus();
 }
 
 std::uint32_t FileAgent::RouteShard(FileId file) {
@@ -132,6 +216,9 @@ void FileAgent::NoteVersion(FileId file, std::uint64_t token) {
   // when they flush).
   it->second = token;
   InvalidateStaleClean(file, nullptr);
+  if (auto cit = callbacks_.find(file); cit != callbacks_.end()) {
+    cit->second.attrs_valid = false;
+  }
 }
 
 void FileAgent::AdoptWriteVersion(FileId file, std::uint64_t token,
@@ -145,6 +232,9 @@ void FileAgent::AdoptWriteVersion(FileId file, std::uint64_t token,
     // just pushed are known current — the server applied them last — but
     // other clean blocks may be stale.
     InvalidateStaleClean(file, &keep);
+    if (auto cit = callbacks_.find(file); cit != callbacks_.end()) {
+      cit->second.attrs_valid = false;
+    }
   }
   it->second = token;
 }
@@ -164,17 +254,34 @@ Result<ObjectDescriptor> FileAgent::Create(const naming::AttributedName& name,
                                            std::uint64_t size_hint) {
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "create");
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
-  CreateRequest req{NextToken(), type, size_hint};
+  CreateRequest req{NextToken(), type, size_hint, cb_address_};
   const auto body = req.Encode();
   // The FileId does not exist yet (the server mints it), so creates spread
   // across shards by their idempotency token.
-  RHODOS_ASSIGN_OR_RETURN(
-      sim::Payload reply,
-      Call(RouteTokenShard(req.token), FsOp::kCreate, body));
+  const std::uint32_t create_shard = RouteTokenShard(req.token);
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
+                          Call(create_shard, FsOp::kCreate, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
   const FileId file{in.U64()};
+  const std::uint64_t version = in.U64();
+  const SimTime expiry = in.I64();
   if (!in.ok()) return Error{ErrorCode::kInternal, "bad create reply"};
+  NoteVersion(file, version);
+  // Future mutations of this file are served by its HOME shard; a promise
+  // from any other shard could never be broken, so adopting it would let
+  // this agent serve stale reads for a whole lease. Only the creator lucky
+  // enough to have its create land on the home shard keeps the grant.
+  if (RouteShard(file) == create_shard) {
+    AdoptGrant(file, expiry, nullptr);
+    if (auto cit = callbacks_.find(file); cit != callbacks_.end()) {
+      // The creator knows the new file is empty, so the OpenById below can
+      // be zero-exchange under the just-granted promise.
+      cit->second.attrs = file::FileAttributes{};
+      cit->second.attrs.service_type = type;
+      cit->second.attrs_valid = true;
+    }
+  }
   RHODOS_RETURN_IF_ERROR(naming_->RegisterFile(name, file));
   // Our registration moved the naming generation; adopt it and prime the
   // binding so re-opening by name skips resolution.
@@ -198,21 +305,37 @@ Result<ObjectDescriptor> FileAgent::Open(const naming::AttributedName& name) {
 
 Result<ObjectDescriptor> FileAgent::OpenById(FileId file) {
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "open_by_id");
-  FileRequest req{0, file};
+  // Zero-exchange warm open: an unbroken, unexpired callback promise means
+  // the server would have notified us of any change, so the attributes and
+  // version token we hold are current — no validation round trip needed.
+  if (HoldsCallback(file)) {
+    if (const auto it = callbacks_.find(file); it->second.attrs_valid) {
+      ++stats_.callback_fast_opens;
+      const ObjectDescriptor od = next_descriptor_++;
+      handles_.emplace(
+          od, OpenHandle{file, 0, it->second.attrs.size, /*local=*/true});
+      ++stats_.descriptors_issued;
+      return od;
+    }
+  }
+  FileRequest req{0, file, cb_address_};
   const auto body = req.Encode();
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
                           Call(RouteShard(file), FsOp::kOpen, body));
   Deserializer in{reply};
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
-  // The open reply carries the version token and attributes — one exchange
-  // primes the handle and validates any blocks cached from a prior open.
+  // The open reply carries the version token, attributes, and a callback
+  // grant — one exchange primes the handle, validates any blocks cached
+  // from a prior open, and arms the zero-exchange path for the next one.
   const std::uint64_t version = in.U64();
   const file::FileAttributes attrs = DecodeAttributes(in);
+  const SimTime expiry = in.I64();
   if (!in.ok()) return Error{ErrorCode::kInternal, "bad open reply"};
   NoteVersion(file, version);
+  AdoptGrant(file, expiry, &attrs);
 
   const ObjectDescriptor od = next_descriptor_++;
-  handles_.emplace(od, OpenHandle{file, 0, attrs.size});
+  handles_.emplace(od, OpenHandle{file, 0, attrs.size, /*local=*/false});
   ++stats_.descriptors_issued;
   return od;
 }
@@ -222,7 +345,24 @@ Status FileAgent::Close(ObjectDescriptor od) {
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
   RHODOS_RETURN_IF_ERROR(Flush(od));
-  FileRequest req{0, h->file};
+  if (h->local) {
+    // Opened under a callback promise with no server exchange — the server
+    // never pinned it, so the close is agent-local too (zero exchanges
+    // when nothing was written). A written handle still owes the service a
+    // flush: the server-side close normally forces the service's delayed
+    // writes to disk, and skipping it must not weaken close-to-stable.
+    if (h->wrote) {
+      FileRequest req{0, h->file, cb_address_};
+      const auto body = req.Encode();
+      RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
+                              Call(RouteShard(h->file), FsOp::kFlush, body));
+      Deserializer in{reply};
+      if (Status st = DecodeStatus(in); !st.ok()) return st;
+    }
+    handles_.erase(od);
+    return OkStatus();
+  }
+  FileRequest req{0, h->file, cb_address_};
   const auto body = req.Encode();
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
                           Call(RouteShard(h->file), FsOp::kClose, body));
@@ -242,7 +382,7 @@ Status FileAgent::Delete(const naming::AttributedName& name) {
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "delete");
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(FileId file, naming_->ResolveFile(name));
-  FileRequest req{NextToken(), file};
+  FileRequest req{NextToken(), file, cb_address_};
   const auto body = req.Encode();
   // Step 1 of the cross-shard delete: remove the file on its file shard
   // (tokened, so a retry replays). Failures name the shard so an operator
@@ -313,6 +453,7 @@ void FileAgent::DropFileState(FileId file) {
   }
   first_dirty_at_.erase(file);
   versions_.erase(file);
+  callbacks_.erase(file);
 }
 
 std::size_t FileAgent::BuildExtents(FileId file,
@@ -366,6 +507,7 @@ Status FileAgent::FlushDirtyFiles(std::span<const FileId> files) {
   }
   for (const auto& [shard, shard_files] : by_shard) {
     PwriteVecRequest req;
+    req.cb = cb_address_;
     std::vector<PerFile> flushed;
     for (const FileId file : shard_files) {
       PerFile pf;
@@ -490,7 +632,7 @@ Status FileAgent::InsertBlock(FileId file, std::uint64_t block,
 Result<std::uint64_t> FileAgent::ServerPread(FileId file,
                                              std::uint64_t offset,
                                              std::span<std::uint8_t> out) {
-  PreadRequest req{file, offset, out.size()};
+  PreadRequest req{file, offset, out.size(), cb_address_};
   const auto body = req.Encode();
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
                           Call(RouteShard(file), FsOp::kPread, body));
@@ -498,8 +640,10 @@ Result<std::uint64_t> FileAgent::ServerPread(FileId file,
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
   const std::uint64_t version = in.U64();
   const std::vector<std::uint8_t> data = in.Bytes();
+  const SimTime expiry = in.I64();
   if (!in.ok()) return Error{ErrorCode::kInternal, "bad pread reply"};
   NoteVersion(file, version);
+  AdoptGrant(file, expiry, nullptr);
   std::memcpy(out.data(), data.data(),
               std::min<std::size_t>(data.size(), out.size()));
   return static_cast<std::uint64_t>(data.size());
@@ -508,7 +652,8 @@ Result<std::uint64_t> FileAgent::ServerPread(FileId file,
 Result<std::uint64_t> FileAgent::ServerPwrite(
     FileId file, std::uint64_t offset, std::span<const std::uint8_t> in) {
   PwriteRequest req{file, offset,
-                    std::vector<std::uint8_t>(in.begin(), in.end())};
+                    std::vector<std::uint8_t>(in.begin(), in.end()),
+                    cb_address_};
   const auto body = req.Encode();
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
                           Call(RouteShard(file), FsOp::kPwrite, body));
@@ -544,6 +689,15 @@ Result<std::uint64_t> FileAgent::CachedRead(OpenHandle& h,
     const std::uint64_t n =
         std::min<std::uint64_t>(len - done, kBlockSize - in_block);
     CacheEntry* entry = Lookup(h.file, block);
+    if (config_.callbacks && entry != nullptr && !entry->dirty &&
+        entry->valid_bytes >= in_block + n && !HoldsCallback(h.file)) {
+      // Clean cached data, but the promise covering it lapsed (lease
+      // expiry, broken, or the shard epoch moved): revalidate before
+      // serving. The renew both checks the version token (dropping the
+      // block if the file changed) and re-arms the zero-exchange path.
+      RHODOS_RETURN_IF_ERROR(RenewCallback(h.file));
+      entry = Lookup(h.file, block);
+    }
     if (entry != nullptr && entry->valid_bytes >= in_block + n) {
       ++stats_.cache_hits;
       std::memcpy(out.data() + done, entry->data.data() + in_block, n);
@@ -590,6 +744,8 @@ Result<std::uint64_t> FileAgent::CachedWrite(OpenHandle& h,
       done += len;
     }
     h.size = std::max(h.size, offset + n);
+    h.wrote = true;
+    NoteLocalSize(h.file, h.size);
     return n;
   }
   std::uint64_t done = 0;
@@ -626,6 +782,8 @@ Result<std::uint64_t> FileAgent::CachedWrite(OpenHandle& h,
     done += n;
   }
   h.size = std::max(h.size, offset + done);
+  h.wrote = true;
+  NoteLocalSize(h.file, h.size);
   return done;
 }
 
@@ -694,7 +852,7 @@ Result<file::FileAttributes> FileAgent::GetAttribute(ObjectDescriptor od) {
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "getattr");
   obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
-  FileRequest req{0, h->file};
+  FileRequest req{0, h->file, cb_address_};
   const auto body = req.Encode();
   RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
                           Call(RouteShard(h->file), FsOp::kGetAttr, body));
@@ -702,9 +860,13 @@ Result<file::FileAttributes> FileAgent::GetAttribute(ObjectDescriptor od) {
   RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
   const std::uint64_t version = in.U64();
   file::FileAttributes attrs = DecodeAttributes(in);
+  const SimTime expiry = in.I64();
   if (!in.ok()) return Error{ErrorCode::kInternal, "bad getattr reply"};
   NoteVersion(h->file, version);
-  // The agent may hold dirty data the server has not seen yet.
+  AdoptGrant(h->file, expiry, &attrs);
+  // The agent may hold dirty data the server has not seen yet (and the
+  // callback's cached size must reflect it too).
+  NoteLocalSize(h->file, h->size);
   attrs.size = std::max(attrs.size, h->size);
   return attrs;
 }
@@ -742,6 +904,7 @@ void FileAgent::Crash() {
   dirty_blocks_ = 0;
   first_dirty_at_.clear();
   versions_.clear();
+  callbacks_.clear();
   name_cache_.clear();
   naming_generation_ = 0;
 }

@@ -55,6 +55,12 @@ enum class SeekWhence : std::uint8_t { kSet = 0, kCurrent = 1, kEnd = 2 };
 struct FileAgentConfig {
   std::size_t cache_blocks = 64;  // client block cache capacity
   bool delayed_write = true;      // false: write through to the server
+  // Callback/lease coherence: the agent registers a bus service for break
+  // notifications, asks the server for callback promises on read-path
+  // replies, and — while it holds an unbroken, unexpired promise — serves
+  // warm opens and clean cached reads with ZERO exchanges. With callbacks
+  // off the agent falls back to PR 5 validation-on-open semantics.
+  bool callbacks = true;
   int rpc_attempts = 8;           // shorthand; overrides rpc.max_attempts
   sim::RpcRetryConfig rpc{};      // backoff/deadline policy for server calls
   // Background write-behind (checked at the top of data operations; the
@@ -80,6 +86,10 @@ struct FileAgentStats {
   std::uint64_t stale_invalidations = 0;
   std::uint64_t name_cache_hits = 0;  // opens resolved without the naming svc
   std::uint64_t naming_unregister_failures = 0;  // delete left naming behind
+  // Callback/lease coherence.
+  std::uint64_t callback_fast_opens = 0;  // opens served with zero exchanges
+  std::uint64_t callback_renewals = 0;    // expired promises re-armed
+  std::uint64_t callback_breaks = 0;      // break notifications received
 };
 
 class FileAgent {
@@ -92,6 +102,10 @@ class FileAgent {
   FileAgent(MachineId machine, sim::MessageBus* bus,
             placement::ShardRouter* router, naming::NamingFacade* naming,
             FileAgentConfig config = {});
+  ~FileAgent();
+
+  FileAgent(const FileAgent&) = delete;
+  FileAgent& operator=(const FileAgent&) = delete;
 
   // --- The paper's client operations ---------------------------------------
 
@@ -145,6 +159,13 @@ class FileAgent {
   bool ServerSuspectedDead() const;
   MachineId machine() const { return machine_; }
 
+  // Bus address this agent receives callback breaks on (tests partition it
+  // to model undeliverable breaks). Empty when callbacks are disabled.
+  const std::string& callback_address() const { return cb_address_; }
+  // True while the agent holds an unbroken, unexpired callback promise for
+  // `file` granted under the current routing epoch.
+  bool HoldsCallback(FileId file) const;
+
   // Dirty-block accounting, two ways (tests assert they agree): the
   // per-file index the flush path uses, and the full cache scan the old
   // flush path used.
@@ -158,6 +179,23 @@ class FileAgent {
     FileId file{};
     std::uint64_t cursor = 0;
     std::uint64_t size = 0;  // agent's view; refreshed on open/getattr
+    // Opened without a server exchange (under a callback promise): the
+    // server holds no pin for it, so its close is agent-local too.
+    bool local = false;
+    // Wrote through this handle: a LOCAL close must still force the
+    // service's delayed writes (normally the server-side close's job) so
+    // close-to-stable durability survives the zero-exchange open.
+    bool wrote = false;
+  };
+
+  // One callback promise held by this agent: trusted until the lease
+  // expires, a break arrives, or the routing epoch moves (a failed-over or
+  // readmitted shard never saw the grant — PR 7 fencing semantics).
+  struct CallbackState {
+    SimTime expiry = 0;
+    std::uint64_t epoch = 0;  // router epoch at grant time
+    file::FileAttributes attrs{};
+    bool attrs_valid = false;  // attrs trustworthy for zero-exchange opens
   };
 
   struct CacheKey {
@@ -222,6 +260,19 @@ class FileAgent {
                          const std::set<std::uint64_t>& keep);
   void InvalidateStaleClean(FileId file, const std::set<std::uint64_t>* keep);
 
+  // --- Callback/lease coherence ---------------------------------------------
+
+  void RegisterCallbackService();
+  sim::Payload HandleCallbackMessage(std::uint32_t opcode,
+                                     std::span<const std::uint8_t> request);
+  // Adopt a grant piggybacked on a server reply (expiry 0 = no promise).
+  void AdoptGrant(FileId file, SimTime expiry,
+                  const file::FileAttributes* attrs);
+  // Local writes extend the size the callback's cached attrs vouch for.
+  void NoteLocalSize(FileId file, std::uint64_t size);
+  // One-exchange lease re-arm + version revalidation (after expiry).
+  Status RenewCallback(FileId file);
+
   // Clears the name cache when the naming generation moved.
   void SyncNameCache();
 
@@ -260,6 +311,9 @@ class FileAgent {
   std::unordered_map<FileId, SimTime> first_dirty_at_;
   // Latest server version token seen per file.
   std::unordered_map<FileId, std::uint64_t> versions_;
+  // Callback promises held, keyed by file.
+  std::unordered_map<FileId, CallbackState> callbacks_;
+  std::string cb_address_;
   // name → FileId bindings, valid while naming_generation_ is current.
   std::map<naming::AttributedName, FileId> name_cache_;
   std::uint64_t naming_generation_ = 0;

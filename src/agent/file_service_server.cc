@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/parallel.h"
+
 namespace rhodos::agent {
 
 namespace {
@@ -24,6 +26,8 @@ std::string_view OpName(FsOp op) {
     case FsOp::kResize: return "resize";
     case FsOp::kFlush: return "flush";
     case FsOp::kPwriteVec: return "pwritevec";
+    case FsOp::kCallbackBreak: return "cb-break";
+    case FsOp::kCallbackRenew: return "cb-renew";
   }
   return "unknown";
 }
@@ -32,19 +36,162 @@ std::string_view OpName(FsOp op) {
 
 FileServiceServer::FileServiceServer(file::FileService* service,
                                      sim::MessageBus* bus, std::string address,
-                                     std::size_t token_capacity)
+                                     std::size_t token_capacity,
+                                     CallbackConfig callbacks)
     : service_(service),
       bus_(bus),
       address_(std::move(address)),
-      token_capacity_(token_capacity) {
+      token_capacity_(token_capacity),
+      cb_config_(callbacks) {
   bus_->RegisterService(
       address_, [this](std::uint32_t opcode,
                        std::span<const std::uint8_t> request) {
         return Handle(opcode, request);
       });
+  if (cb_config_.enabled) {
+    // Hooking mutations at the service (not the RPC handlers) means every
+    // mutation path — including transaction commits and replication repair
+    // that bypass this adapter — revokes callbacks before acknowledging.
+    service_->SetMutationListener(
+        [this](FileId file, std::uint64_t version) {
+          OnMutation(file, version);
+        });
+    service_->SetCrashListener([this] { OnServiceCrash(); });
+  }
 }
 
-FileServiceServer::~FileServiceServer() { bus_->UnregisterService(address_); }
+FileServiceServer::~FileServiceServer() {
+  bus_->UnregisterService(address_);
+  if (cb_config_.enabled) {
+    service_->SetMutationListener(nullptr);
+    service_->SetCrashListener(nullptr);
+  }
+}
+
+std::size_t FileServiceServer::CallbackHolderCount() const {
+  std::size_t n = 0;
+  const SimTime now = service_->clock()->Now();
+  for (const auto& [file, holders] : callbacks_) {
+    for (const Holder& h : holders) {
+      if (h.expiry > now) ++n;
+    }
+  }
+  return n;
+}
+
+SimTime FileServiceServer::Grant(FileId file, const std::string& cb) {
+  if (!cb_config_.enabled || cb.empty()) return 0;
+  const SimTime now = service_->clock()->Now();
+  auto& holders = callbacks_[file.value];
+  std::erase_if(holders, [&](const Holder& h) {
+    if (h.expiry > now) return false;
+    ++stats_.callback_expired;
+    return true;
+  });
+  const SimTime expiry = now + cb_config_.lease_ns;
+  ++stats_.callback_grants;
+  for (Holder& h : holders) {
+    if (h.address == cb) {
+      h.expiry = expiry;
+      return expiry;
+    }
+  }
+  holders.push_back(Holder{cb, expiry});
+  return expiry;
+}
+
+void FileServiceServer::OnMutation(FileId file, std::uint64_t version) {
+  if (!cb_config_.enabled) return;
+  // Cheap early-out: transaction commits on real threads reach this hook;
+  // when no promises are outstanding there must be nothing to touch.
+  if (callbacks_.empty() && grace_until_ == 0) return;
+  SimClock* clock = service_->clock();
+  if (grace_until_ > clock->Now()) {
+    // Crash grace: the table that knew who held promises is gone, so the
+    // mutation waits until every pre-crash lease has provably expired.
+    ++stats_.callback_grace_waits;
+    clock->AdvanceTo(grace_until_);
+  }
+  if (grace_until_ != 0 && clock->Now() >= grace_until_) grace_until_ = 0;
+  auto it = callbacks_.find(file.value);
+  if (it == callbacks_.end()) return;
+  const SimTime now = clock->Now();
+  std::vector<Holder> notify;
+  std::vector<Holder> keep;
+  for (Holder& h : it->second) {
+    if (h.address == current_requester_) {
+      // The writer itself: its promise survives — it learns the new
+      // version token from the mutation's own reply.
+      keep.push_back(std::move(h));
+    } else if (h.expiry <= now) {
+      ++stats_.callback_expired;
+    } else {
+      notify.push_back(std::move(h));
+    }
+  }
+  if (keep.empty()) {
+    callbacks_.erase(it);
+  } else {
+    it->second = std::move(keep);
+  }
+  if (notify.empty()) return;
+  // Break-before-reply: these calls complete before the mutating handler
+  // assembles its reply, so no acknowledged write can race a stale read.
+  Serializer out;
+  out.U64(file.value);
+  out.U64(version);
+  const sim::Payload body = std::move(out).Take();
+  // Breaks to distinct holders travel in parallel; the writer pays the
+  // slowest round trip (plus per-lane dispatch), not the sum.
+  sim::ParallelSection section(clock);
+  for (const Holder& h : notify) {
+    section.BeginLane();
+    auto r = bus_->Call(h.address,
+                        static_cast<std::uint32_t>(FsOp::kCallbackBreak), body,
+                        address_);
+    if (r.ok()) {
+      ++stats_.callback_breaks;
+    } else {
+      // Undeliverable (partition, crashed agent): the promise cannot be
+      // revoked, so the writer waits out the holder's lease — bounded by
+      // lease_ns, the staleness bound the holder was promised.
+      ++stats_.callback_break_failures;
+      clock->AdvanceTo(h.expiry);
+    }
+    section.EndLane();
+  }
+  section.Commit();
+}
+
+void FileServiceServer::OnServiceCrash() {
+  SimTime max_expiry = 0;
+  for (const auto& [file, holders] : callbacks_) {
+    for (const Holder& h : holders) {
+      max_expiry = std::max(max_expiry, h.expiry);
+    }
+  }
+  callbacks_.clear();
+  grace_until_ = std::max(grace_until_, max_expiry);
+}
+
+void FileServiceServer::SweepExpired() {
+  if (!cb_config_.enabled) return;
+  const SimTime now = service_->clock()->Now();
+  if (now < next_sweep_) return;
+  next_sweep_ = now + cb_config_.sweep_interval_ns;
+  for (auto it = callbacks_.begin(); it != callbacks_.end();) {
+    std::erase_if(it->second, [&](const Holder& h) {
+      if (h.expiry > now) return false;
+      ++stats_.callback_expired;
+      return true;
+    });
+    if (it->second.empty()) {
+      it = callbacks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
 
 const sim::Payload* FileServiceServer::FindToken(std::uint64_t token) const {
   auto it = token_replies_.find(token);
@@ -65,6 +212,8 @@ void FileServiceServer::RememberToken(std::uint64_t token,
 sim::Payload FileServiceServer::Handle(std::uint32_t opcode,
                                        std::span<const std::uint8_t> request) {
   ++stats_.requests;
+  current_requester_.clear();
+  SweepExpired();
   obs::SpanScope span(obs::TracerOf(bus_->observability()), "service",
                       OpName(static_cast<FsOp>(opcode)));
   switch (static_cast<FsOp>(opcode)) {
@@ -79,6 +228,8 @@ sim::Payload FileServiceServer::Handle(std::uint32_t opcode,
     case FsOp::kResize: return HandleResize(request);
     case FsOp::kFlush: return HandleFlush(request);
     case FsOp::kPwriteVec: return HandlePwriteVec(request);
+    case FsOp::kCallbackRenew: return HandleRenew(request);
+    case FsOp::kCallbackBreak: break;  // server->agent only
   }
   return ErrorReply({ErrorCode::kNotSupported, "unknown opcode"});
 }
@@ -99,6 +250,10 @@ sim::Payload FileServiceServer::HandleCreate(
   }
   EncodeStatus(out, OkStatus());
   out.U64(file->value);
+  // The creator gets a version token and a callback promise up front, so
+  // the open that follows a create is already zero-exchange.
+  out.U64(service_->Version(*file));
+  out.I64(Grant(*file, req->cb));
   sim::Payload reply = std::move(out).Take();
   RememberToken(req->token, reply);
   return reply;
@@ -112,6 +267,7 @@ sim::Payload FileServiceServer::HandleDelete(
     ++stats_.duplicate_replays;
     return *replay;
   }
+  current_requester_ = req->cb;
   Serializer out;
   EncodeStatus(out, service_->Delete(req->file));
   sim::Payload reply = std::move(out).Take();
@@ -143,6 +299,7 @@ sim::Payload FileServiceServer::HandleOpenClose(
   EncodeStatus(out, OkStatus());
   out.U64(service_->Version(req->file));
   EncodeAttributes(out, *attrs);
+  out.I64(Grant(req->file, req->cb));
   return std::move(out).Take();
 }
 
@@ -160,6 +317,7 @@ sim::Payload FileServiceServer::HandlePread(
   EncodeStatus(out, OkStatus());
   out.U64(service_->Version(req->file));
   out.Bytes({buf.data(), static_cast<std::size_t>(*n)});
+  out.I64(Grant(req->file, req->cb));
   return std::move(out).Take();
 }
 
@@ -167,6 +325,7 @@ sim::Payload FileServiceServer::HandlePwrite(
     std::span<const std::uint8_t> body) {
   auto req = PwriteRequest::Decode(body);
   if (!req.ok()) return ErrorReply(req.error());
+  current_requester_ = req->cb;
   auto n = service_->Write(req->file, req->offset, req->data);
   Serializer out;
   if (!n.ok()) {
@@ -183,6 +342,7 @@ sim::Payload FileServiceServer::HandlePwriteVec(
     std::span<const std::uint8_t> body) {
   auto req = PwriteVecRequest::Decode(body);
   if (!req.ok()) return ErrorReply(req.error());
+  current_requester_ = req->cb;
   // Extents apply in order through the service's vectored write path. A
   // mid-batch failure leaves a prefix applied — harmless, because every
   // extent is positional: the agent keeps the whole batch dirty and the
@@ -221,6 +381,7 @@ sim::Payload FileServiceServer::HandleGetAttr(
   EncodeStatus(out, OkStatus());
   out.U64(service_->Version(req->file));
   EncodeAttributes(out, *attrs);
+  out.I64(Grant(req->file, req->cb));
   return std::move(out).Take();
 }
 
@@ -232,6 +393,7 @@ sim::Payload FileServiceServer::HandleResize(
     ++stats_.duplicate_replays;
     return *replay;
   }
+  current_requester_ = req->cb;
   Serializer out;
   EncodeStatus(out, service_->Resize(req->file, req->size));
   sim::Payload reply = std::move(out).Take();
@@ -245,6 +407,20 @@ sim::Payload FileServiceServer::HandleFlush(
   if (!req.ok()) return ErrorReply(req.error());
   Serializer out;
   EncodeStatus(out, service_->Flush(req->file));
+  return std::move(out).Take();
+}
+
+sim::Payload FileServiceServer::HandleRenew(
+    std::span<const std::uint8_t> body) {
+  auto req = FileRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  // One exchange re-arms an expired callback AND revalidates the agent's
+  // version token — the cheap recovery path after lease expiry, compared
+  // with a full open (which would also re-pin the file server-side).
+  Serializer out;
+  EncodeStatus(out, OkStatus());
+  out.U64(service_->Version(req->file));
+  out.I64(Grant(req->file, req->cb));
   return std::move(out).Take();
 }
 

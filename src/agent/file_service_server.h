@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "agent/fs_protocol.h"
+#include "common/sim_clock.h"
 #include "file/file_service.h"
 #include "sim/message_bus.h"
 
@@ -23,13 +24,32 @@ namespace rhodos::agent {
 struct FsServerStats {
   std::uint64_t requests = 0;
   std::uint64_t duplicate_replays = 0;  // served from the token table
+  // Callback/lease coherence.
+  std::uint64_t callback_grants = 0;          // promises issued or renewed
+  std::uint64_t callback_breaks = 0;          // break notifications delivered
+  std::uint64_t callback_break_failures = 0;  // undeliverable (lease waited out)
+  std::uint64_t callback_expired = 0;         // holders dropped at lease expiry
+  std::uint64_t callback_grace_waits = 0;     // mutations stalled by crash grace
+};
+
+// Cache-coherence callback policy (NOT the disk-substrate DiskLease): how
+// long a callback promise stays trustworthy without renewal, and how often
+// the server sweeps its table for expired holders.
+struct CallbackConfig {
+  bool enabled = true;
+  // Lease duration: the staleness bound when a break cannot be delivered.
+  SimTime lease_ns = 2 * kSimSecond;
+  // Expiry sweep cadence (table hygiene; correctness never depends on it —
+  // expired holders are also pruned lazily at grant and break time).
+  SimTime sweep_interval_ns = 500 * kSimMillisecond;
 };
 
 class FileServiceServer {
  public:
   // Registers the handler under `address` on the bus.
   FileServiceServer(file::FileService* service, sim::MessageBus* bus,
-                    std::string address, std::size_t token_capacity = 1024);
+                    std::string address, std::size_t token_capacity = 1024,
+                    CallbackConfig callbacks = {});
   ~FileServiceServer();
 
   FileServiceServer(const FileServiceServer&) = delete;
@@ -37,8 +57,24 @@ class FileServiceServer {
 
   const std::string& address() const { return address_; }
   const FsServerStats& stats() const { return stats_; }
+  // Outstanding (unexpired, unbroken) callback promises across all files.
+  std::size_t CallbackHolderCount() const;
+
+  // Epoch-fence drop: discard every promise WITHOUT opening a grace window.
+  // Safe only because the router epoch bump revokes the agents' trust in
+  // those promises synchronously (HoldsCallback checks the epoch), so no
+  // client can act on a lease the server no longer remembers. A real crash
+  // (no epoch edge) must go through OnServiceCrash's grace instead.
+  void DropCallbacksFenced() { callbacks_.clear(); }
 
  private:
+  // One outstanding callback promise: the holder's bus address and the sim
+  // time its lease expires.
+  struct Holder {
+    std::string address;
+    SimTime expiry = 0;
+  };
+
   sim::Payload Handle(std::uint32_t opcode,
                       std::span<const std::uint8_t> request);
 
@@ -51,10 +87,27 @@ class FileServiceServer {
   sim::Payload HandleGetAttr(std::span<const std::uint8_t> body);
   sim::Payload HandleResize(std::span<const std::uint8_t> body);
   sim::Payload HandleFlush(std::span<const std::uint8_t> body);
+  sim::Payload HandleRenew(std::span<const std::uint8_t> body);
 
   // Token table: replay memory for non-idempotent requests.
   const sim::Payload* FindToken(std::uint64_t token) const;
   void RememberToken(std::uint64_t token, sim::Payload reply);
+
+  // --- Callback table -------------------------------------------------------
+
+  // Issue (or renew) a callback promise for `cb` on `file`. Returns the
+  // lease expiry, or 0 when no promise was granted (callbacks disabled,
+  // empty address). Piggybacked on open/pread/getattr/create/renew replies.
+  SimTime Grant(FileId file, const std::string& cb);
+  // FileService mutation hook: revoke every other holder's promise before
+  // the mutation's reply (break-before-reply). `writer` is the mutating
+  // agent's own callback address — it learns the new version from the reply.
+  void OnMutation(FileId file, std::uint64_t version);
+  // FileService crash hook: volatile table lost; open a grace window until
+  // the latest outstanding lease expiry instead of breaking.
+  void OnServiceCrash();
+  // Periodic hygiene: drop expired holders.
+  void SweepExpired();
 
   file::FileService* service_;
   sim::MessageBus* bus_;
@@ -62,6 +115,16 @@ class FileServiceServer {
   std::size_t token_capacity_;
   std::unordered_map<std::uint64_t, sim::Payload> token_replies_;
   std::deque<std::uint64_t> token_order_;
+  CallbackConfig cb_config_;
+  std::unordered_map<std::uint64_t, std::vector<Holder>> callbacks_;
+  // The callback address of the request currently being handled (empty when
+  // none): excluded from break fan-out so a writer never breaks itself.
+  std::string current_requester_;
+  // Mutations must not proceed before this time: a crashed server cannot
+  // break the promises it lost with its table, so it honours them by
+  // waiting out the longest outstanding lease (NFSv4-style grace).
+  SimTime grace_until_ = 0;
+  SimTime next_sweep_ = 0;
   FsServerStats stats_;
 };
 

@@ -55,6 +55,7 @@ std::vector<std::uint8_t> CreateRequest::Encode() const {
   out.U64(token);
   out.U8(static_cast<std::uint8_t>(type));
   out.U64(size_hint);
+  out.String(cb);
   return std::move(out).Take();
 }
 
@@ -65,6 +66,7 @@ Result<CreateRequest> CreateRequest::Decode(
   r.token = in.U64();
   r.type = static_cast<file::ServiceType>(in.U8());
   r.size_hint = in.U64();
+  r.cb = in.String();
   if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad create req"};
   return r;
 }
@@ -73,6 +75,7 @@ std::vector<std::uint8_t> FileRequest::Encode() const {
   Serializer out;
   out.U64(token);
   out.U64(file.value);
+  out.String(cb);
   return std::move(out).Take();
 }
 
@@ -81,6 +84,7 @@ Result<FileRequest> FileRequest::Decode(std::span<const std::uint8_t> data) {
   FileRequest r;
   r.token = in.U64();
   r.file = FileId{in.U64()};
+  r.cb = in.String();
   if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad file req"};
   return r;
 }
@@ -90,6 +94,7 @@ std::vector<std::uint8_t> PreadRequest::Encode() const {
   out.U64(file.value);
   out.U64(offset);
   out.U64(length);
+  out.String(cb);
   return std::move(out).Take();
 }
 
@@ -100,6 +105,7 @@ Result<PreadRequest> PreadRequest::Decode(
   r.file = FileId{in.U64()};
   r.offset = in.U64();
   r.length = in.U64();
+  r.cb = in.String();
   if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad pread req"};
   return r;
 }
@@ -109,6 +115,7 @@ std::vector<std::uint8_t> PwriteRequest::Encode() const {
   out.U64(file.value);
   out.U64(offset);
   out.Bytes(data);
+  out.String(cb);
   return std::move(out).Take();
 }
 
@@ -119,6 +126,7 @@ Result<PwriteRequest> PwriteRequest::Decode(
   r.file = FileId{in.U64()};
   r.offset = in.U64();
   r.data = in.Bytes();
+  r.cb = in.String();
   if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad pwrite req"};
   return r;
 }
@@ -128,6 +136,7 @@ std::vector<std::uint8_t> ResizeRequest::Encode() const {
   out.U64(token);
   out.U64(file.value);
   out.U64(size);
+  out.String(cb);
   return std::move(out).Take();
 }
 
@@ -138,6 +147,7 @@ Result<ResizeRequest> ResizeRequest::Decode(
   r.token = in.U64();
   r.file = FileId{in.U64()};
   r.size = in.U64();
+  r.cb = in.String();
   if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad resize req"};
   return r;
 }
@@ -150,6 +160,7 @@ std::vector<std::uint8_t> PwriteVecRequest::Encode() const {
     out.U64(e.offset);
     out.Bytes(e.data);
   }
+  out.String(cb);
   return std::move(out).Take();
 }
 
@@ -165,9 +176,27 @@ Result<PwriteVecRequest> PwriteVecRequest::Decode(
     e.data = in.Bytes();
     r.extents.push_back(std::move(e));
   }
+  r.cb = in.String();
   if (!in.ok() || r.extents.size() != count) {
     return Error{ErrorCode::kInvalidArgument, "bad pwritevec req"};
   }
+  return r;
+}
+
+std::vector<std::uint8_t> CallbackBreak::Encode() const {
+  Serializer out;
+  out.U64(file.value);
+  out.U64(version);
+  return std::move(out).Take();
+}
+
+Result<CallbackBreak> CallbackBreak::Decode(
+    std::span<const std::uint8_t> data) {
+  Deserializer in{data};
+  CallbackBreak r;
+  r.file = FileId{in.U64()};
+  r.version = in.U64();
+  if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad break"};
   return r;
 }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <optional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
@@ -33,6 +34,13 @@ enum class FsOp : std::uint32_t {
   kResize = 8,
   kFlush = 9,
   kPwriteVec = 10,
+  // Callback/lease coherence (cache callbacks, NOT the disk-substrate
+  // DiskLease): kCallbackBreak is the one server->agent message in the
+  // protocol — the service revoking a callback promise before a mutation's
+  // reply; kCallbackRenew lets an agent re-arm an expired callback (and
+  // revalidate its version token) in one exchange without a full open.
+  kCallbackBreak = 11,
+  kCallbackRenew = 12,
 };
 
 // Every reply starts with a status frame.
@@ -44,18 +52,27 @@ void EncodeAttributes(Serializer& out, const file::FileAttributes& attrs);
 file::FileAttributes DecodeAttributes(Deserializer& in);
 
 // Request bodies. Each struct has Encode/Decode mirrors used by both sides.
+// Requests carry an optional callback address `cb` (the bus service the
+// agent registered to receive kCallbackBreak notifications; empty = agent
+// does not participate in callback coherence). On read-path ops it asks the
+// server for a callback grant; on mutating ops it identifies the writer so
+// the server excludes it from the break fan-out. The field is appended at
+// the end of each struct so positional aggregate initialisation of the
+// pre-callback fields keeps working.
 struct CreateRequest {
   std::uint64_t token = 0;  // idempotency token
   file::ServiceType type = file::ServiceType::kBasic;
   std::uint64_t size_hint = 0;
+  std::string cb;
 
   std::vector<std::uint8_t> Encode() const;
   static Result<CreateRequest> Decode(std::span<const std::uint8_t> data);
 };
 
-struct FileRequest {  // delete/open/close/getattr/flush
+struct FileRequest {  // delete/open/close/getattr/flush/callback-renew
   std::uint64_t token = 0;
   FileId file{};
+  std::string cb;
 
   std::vector<std::uint8_t> Encode() const;
   static Result<FileRequest> Decode(std::span<const std::uint8_t> data);
@@ -65,6 +82,7 @@ struct PreadRequest {
   FileId file{};
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
+  std::string cb;
 
   std::vector<std::uint8_t> Encode() const;
   static Result<PreadRequest> Decode(std::span<const std::uint8_t> data);
@@ -74,6 +92,7 @@ struct PwriteRequest {
   FileId file{};
   std::uint64_t offset = 0;
   std::vector<std::uint8_t> data;
+  std::string cb;
 
   std::vector<std::uint8_t> Encode() const;
   static Result<PwriteRequest> Decode(std::span<const std::uint8_t> bytes);
@@ -83,6 +102,7 @@ struct ResizeRequest {
   std::uint64_t token = 0;
   FileId file{};
   std::uint64_t size = 0;
+  std::string cb;
 
   std::vector<std::uint8_t> Encode() const;
   static Result<ResizeRequest> Decode(std::span<const std::uint8_t> data);
@@ -103,9 +123,22 @@ struct PwriteExtent {
 // per-file version tokens after all extents applied.
 struct PwriteVecRequest {
   std::vector<PwriteExtent> extents;
+  std::string cb;
 
   std::vector<std::uint8_t> Encode() const;
   static Result<PwriteVecRequest> Decode(std::span<const std::uint8_t> bytes);
+};
+
+// Body of a kCallbackBreak notification (server -> agent): the file whose
+// callback promise is being revoked and the post-mutation version token.
+// Sent before the mutation's reply, so a holder that acknowledges the break
+// can never observe the new version while still serving stale cached data.
+struct CallbackBreak {
+  FileId file{};
+  std::uint64_t version = 0;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<CallbackBreak> Decode(std::span<const std::uint8_t> data);
 };
 
 }  // namespace rhodos::agent

@@ -79,12 +79,17 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
       // and bump its version tokens. Write-through made this lossless, and
       // the token bump forces every client to revalidate blocks it cached
       // from whichever shard served the file before the route change.
+      // Callback promises are dropped WITHOUT grace first: the epoch bump
+      // revokes the agents' trust in them synchronously, so — unlike a real
+      // crash — no writer needs to wait out the lost leases.
+      if (s < file_servers_.size()) file_servers_[s]->DropCallbacksFenced();
       file_shards_[s]->Crash();
     });
   }
   for (std::uint32_t s = 0; s < file_shards; ++s) {
     file_servers_.push_back(std::make_unique<agent::FileServiceServer>(
-        file_shards_[s].get(), &bus_, router_->AddressOf(s)));
+        file_shards_[s].get(), &bus_, router_->AddressOf(s),
+        /*token_capacity=*/1024, config_.callback));
   }
   // Observability: one bundle for the whole facility. The bus carries it to
   // every RpcClient and file agent; server-side layers get it directly.
@@ -146,8 +151,10 @@ Machine& DistributedFileFacility::AddMachine() {
   m->id = MachineId{static_cast<std::uint32_t>(machines_.size())};
   // Agents always go through the router; with one shard every route is
   // shard 0 at the historic address, identical to the unrouted path.
+  agent::FileAgentConfig ac = config_.agent;
+  ac.callbacks = ac.callbacks && config_.callback.enabled;
   m->file_agent = std::make_unique<agent::FileAgent>(
-      m->id, &bus_, router_.get(), naming_.get(), config_.agent);
+      m->id, &bus_, router_.get(), naming_.get(), ac);
   m->device_agent = std::make_unique<agent::DeviceAgent>(naming_.get());
   m->txn_agent = std::make_unique<agent::TransactionAgentHost>(
       m->id, txns_.get(), naming_.get());
@@ -228,6 +235,9 @@ constexpr const char* kCounters[] = {
     // name cache (summed across machines).
     "agent.writeback_batches", "agent.writeback_runs",
     "agent.stale_invalidations", "agent.name_cache_hits",
+    // Callback/lease coherence, agent side (summed across machines).
+    "agent.callback_fast_opens", "agent.callback_renewals",
+    "agent.callback_breaks",
     // Naming service: inverted-index probes (summed over shards) and the
     // sharded layer's fan-out of registrations onto key-owning shards.
     "naming.fanout_registrations", "naming.index_probes",
@@ -285,6 +295,10 @@ constexpr const char* kCounters[] = {
     "rpc.successes",
     // File-service server adapter (request dispatch, replay table).
     "service.duplicate_replays", "service.requests",
+    // Callback/lease coherence, server side (summed across shards).
+    "file.callback_grants", "file.callback_breaks",
+    "file.callback_break_failures", "file.callback_expired",
+    "file.callback_grace_waits",
     // Transaction service and the per-machine transaction agents.
     "txn.aborts_broken", "txn.aborts_explicit", "txn.begins",
     "txn.commits",
@@ -307,6 +321,7 @@ constexpr const char* kCounters[] = {
 constexpr const char* kGauges[] = {
     "disk.free_fragments",
     "facility.disk_count",
+    "file.callback_holders",
     "facility.machine_count",
     "facility.sim_now_ns",
     "placement.epoch",
@@ -363,6 +378,9 @@ void DistributedFileFacility::PullLayerStats() {
     fa.writeback_runs += s.writeback_runs;
     fa.stale_invalidations += s.stale_invalidations;
     fa.name_cache_hits += s.name_cache_hits;
+    fa.callback_fast_opens += s.callback_fast_opens;
+    fa.callback_renewals += s.callback_renewals;
+    fa.callback_breaks += s.callback_breaks;
     const sim::RpcHealth& h = machine->file_agent->rpc_health();
     rpc.calls += h.calls;
     rpc.successes += h.successes;
@@ -387,6 +405,9 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("agent.writeback_runs", fa.writeback_runs);
   m.SetCounter("agent.stale_invalidations", fa.stale_invalidations);
   m.SetCounter("agent.name_cache_hits", fa.name_cache_hits);
+  m.SetCounter("agent.callback_fast_opens", fa.callback_fast_opens);
+  m.SetCounter("agent.callback_renewals", fa.callback_renewals);
+  m.SetCounter("agent.callback_breaks", fa.callback_breaks);
   m.SetCounter("naming.index_probes", naming_->stats().index_probes);
   m.SetCounter("naming.fanout_registrations",
                naming_->sharding_stats().fanout_registrations);
@@ -404,12 +425,25 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("txn_agent.page_cache.misses", tc.page_misses);
 
   agent::FsServerStats srv;
+  std::size_t callback_holders = 0;
   for (const auto& server : file_servers_) {
     srv.requests += server->stats().requests;
     srv.duplicate_replays += server->stats().duplicate_replays;
+    srv.callback_grants += server->stats().callback_grants;
+    srv.callback_breaks += server->stats().callback_breaks;
+    srv.callback_break_failures += server->stats().callback_break_failures;
+    srv.callback_expired += server->stats().callback_expired;
+    srv.callback_grace_waits += server->stats().callback_grace_waits;
+    callback_holders += server->CallbackHolderCount();
   }
   m.SetCounter("service.requests", srv.requests);
   m.SetCounter("service.duplicate_replays", srv.duplicate_replays);
+  m.SetCounter("file.callback_grants", srv.callback_grants);
+  m.SetCounter("file.callback_breaks", srv.callback_breaks);
+  m.SetCounter("file.callback_break_failures", srv.callback_break_failures);
+  m.SetCounter("file.callback_expired", srv.callback_expired);
+  m.SetCounter("file.callback_grace_waits", srv.callback_grace_waits);
+  m.SetGauge("file.callback_holders", static_cast<double>(callback_holders));
 
   file::FileServiceStats fs;
   for (const auto& shard : file_shards_) {

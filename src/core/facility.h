@@ -63,6 +63,9 @@ struct FacilityConfig {
   txn::TxnServiceConfig txn{};
   sim::NetworkConfig network{};
   agent::FileAgentConfig agent{};
+  // Callback/lease coherence policy shared by every file-service shard.
+  // Disabling it here also turns off the agents' callback participation.
+  agent::CallbackConfig callback{};
   replication::ReplicationConfig replication{};
   replication::AntiEntropyConfig anti_entropy{};
   // Metadata-plane partitioning; the default (1/1) is the paper topology.

@@ -930,6 +930,10 @@ Result<disk::DiskRegistry::Placement> FileService::AllocateShadowBlock(
 // --- failure model --------------------------------------------------------------
 
 void FileService::Crash() {
+  // Notify first: the callback table layered above is volatile state too,
+  // and must be dropped (with a grace period covering outstanding leases)
+  // rather than broken — there is no server left to send the breaks.
+  if (crash_listener_) crash_listener_();
   for (const auto& [key, entry] : cache_) NoteDropped(entry);
   cache_.clear();
   lru_.clear();
@@ -950,6 +954,9 @@ void FileService::BumpVersion(FileId id) {
   // (relative to this service's salt).
   auto [it, inserted] = versions_.emplace(id, config_.version_base + 2);
   if (!inserted) ++it->second;
+  // Break-before-reply: BumpVersion runs inside the mutating operation, so
+  // the listener's callback breaks land before the mutation's reply.
+  if (mutation_listener_) mutation_listener_(id, it->second);
 }
 
 }  // namespace rhodos::file

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <span>
 #include <unordered_map>
@@ -171,6 +172,24 @@ class FileService {
   // reused at the same index table location cannot alias an old token.
   std::uint64_t Version(FileId id) const;
 
+  // Fired from BumpVersion with the post-bump token, i.e. inside the
+  // mutating operation, before its reply is assembled. The file-service
+  // server hangs callback breaks off this hook so that every mutation path
+  // (bus handlers, transaction commits, replication repair) revokes
+  // outstanding callback promises before the mutation is acknowledged.
+  using MutationListener = std::function<void(FileId, std::uint64_t)>;
+  void SetMutationListener(MutationListener listener) {
+    mutation_listener_ = std::move(listener);
+  }
+
+  // Fired at the start of Crash(): volatile server state (including any
+  // callback table layered above) is lost, so the listener can drop its
+  // table and start a grace period instead of fanning out breaks.
+  using CrashListener = std::function<void()>;
+  void SetCrashListener(CrashListener listener) {
+    crash_listener_ = std::move(listener);
+  }
+
   // --- Introspection --------------------------------------------------------
 
   const FileServiceStats& stats() const { return stats_; }
@@ -279,6 +298,8 @@ class FileService {
   std::unordered_map<FileId, std::uint64_t> versions_;
   FileServiceStats stats_;
   obs::Observability* obs_ = nullptr;
+  MutationListener mutation_listener_;
+  CrashListener crash_listener_;
 };
 
 }  // namespace rhodos::file

@@ -144,6 +144,10 @@ class LossyAgentTest : public ::testing::Test {
     cfg.network.drop_rate = 0.15;
     cfg.network.duplicate_rate = 0.3;
     cfg.agent.rpc_attempts = 64;
+    // This suite tests at-least-once idempotency, which needs actual wire
+    // traffic to lose and duplicate; callbacks would serve most of the
+    // workload from the client cache with zero exchanges.
+    cfg.callback.enabled = false;
     facility_ = std::make_unique<DistributedFileFacility>(cfg);
     m_ = &facility_->AddMachine();
   }

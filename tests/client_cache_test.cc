@@ -239,7 +239,7 @@ TEST(ClientCacheTest, EvictionPressureFlushesTheWholeCacheInOneBatch) {
   }
 }
 
-TEST(ClientCacheTest, WarmReopenSkipsNamingAndCostsOneExchange) {
+TEST(ClientCacheTest, WarmReopenUnderCallbackCostsZeroExchanges) {
   DistributedFileFacility f(CacheFacility());
   Machine& m = f.AddMachine();
   auto od = *m.file_agent->Create(naming::ByName("warm"),
@@ -251,8 +251,9 @@ TEST(ClientCacheTest, WarmReopenSkipsNamingAndCostsOneExchange) {
   const std::uint64_t calls_before = BusCalls(f);
   auto warm = m.file_agent->Open(naming::ByName("warm"));
   ASSERT_TRUE(warm.ok());
-  EXPECT_EQ(BusCalls(f) - calls_before, 1u)
-      << "open reply carries attributes + version: one exchange total";
+  EXPECT_EQ(BusCalls(f) - calls_before, 0u)
+      << "unbroken callback from the create still covers the file: the "
+         "open is satisfied entirely from the agent's cached attributes";
   EXPECT_EQ(f.naming().stats().resolutions, resolutions_before)
       << "the binding comes from the agent's name cache";
   EXPECT_EQ(m.file_agent->stats().name_cache_hits, 1u);
@@ -347,19 +348,21 @@ TEST(ClientCacheTest, ReopenInvalidatesStaleBlocksViaVersionToken) {
   ASSERT_TRUE(b.file_agent->Pread(rd, 0, out).ok());
   ASSERT_EQ(out, v1);
 
-  // A overwrites and flushes; B's open descriptor still serves its cached
-  // (session-consistent) image.
+  // A overwrites and flushes. Under callbacks the coherence is stronger
+  // than the original validate-on-open: the flush breaks B's promise
+  // before A's reply, so even B's OPEN descriptor stops serving the stale
+  // image — the next read revalidates and descends for the new bytes.
   auto wr2 = *a.file_agent->Open(naming::ByName("shared"));
   ASSERT_TRUE(a.file_agent->Pwrite(wr2, 0, v2).ok());
   ASSERT_TRUE(a.file_agent->Close(wr2).ok());
+  EXPECT_GE(b.file_agent->stats().callback_breaks, 1u);
   ASSERT_TRUE(b.file_agent->Pread(rd, 0, out).ok());
-  EXPECT_EQ(out, v1) << "validation happens on open, not mid-session";
+  EXPECT_EQ(out, v2) << "break-before-reply invalidates mid-session too";
+  EXPECT_GE(b.file_agent->stats().stale_invalidations, 1u);
   ASSERT_TRUE(b.file_agent->Close(rd).ok());
 
-  // The re-open carries the server's moved version token, drops B's stale
-  // clean blocks, and the next read descends for the new bytes.
+  // A re-open after the break also sees the new bytes, of course.
   auto rd2 = *b.file_agent->Open(naming::ByName("shared"));
-  EXPECT_GE(b.file_agent->stats().stale_invalidations, 1u);
   ASSERT_TRUE(b.file_agent->Pread(rd2, 0, out).ok());
   EXPECT_EQ(out, v2) << "stale cached block served after re-open";
   ASSERT_TRUE(b.file_agent->Close(rd2).ok());
