@@ -1,0 +1,150 @@
+// E23 — O(1) snapshots and writable clones. The paper's recovery story
+// (stable storage §4, intentions lists §6) makes mutation cheap to undo;
+// E23 measures the other direction: capturing a file's state must cost a
+// CONSTANT number of disk references, independent of file size, because a
+// capture writes one image table and one journal record — never the data.
+//
+// Rows:
+//   * BM_SnapshotCost/<blocks>: one Snapshot() of a 64..4096-block file.
+//     The interesting shape is FLAT disk_write_refs across the range; the
+//     baseline gate (scripts/bench_baseline.sh) holds the total constant,
+//     so an accidental O(n) capture fails --check.
+//   * BM_CloneFirstWrite vs BM_ExclusiveWrite: the copy-on-write penalty a
+//     clone pays exactly once per shared block, against the same write to
+//     an unshared file.
+//   * BM_SnapshotReadDuringOriginWrites: interleaved origin writes and
+//     snapshot reads — the snapshot read path adds no copies; only the
+//     origin's first write per block pays the split.
+#include "bench/bench_util.h"
+
+namespace rhodos::bench {
+namespace {
+
+std::uint64_t TotalStableWriteRefs(core::DistributedFileFacility& f) {
+  std::uint64_t n = 0;
+  for (const auto& d : f.disks().disks()) {
+    n += d->stable_stats().write_references;
+  }
+  return n;
+}
+
+void BM_SnapshotCost(benchmark::State& state) {
+  const auto blocks = static_cast<std::uint64_t>(state.range(0));
+  std::uint64_t writes = 0, stable_writes = 0, rounds = 0;
+  SimTime sim_total = 0;
+  for (auto _ : state) {
+    core::DistributedFileFacility facility(DefaultFacility());
+    auto file = facility.files().Create(file::ServiceType::kBasic,
+                                        blocks * kBlockSize);
+    // Materialize a spread of blocks so the capture is of a real file, not
+    // a hole; the count stays fixed so only `blocks` varies across rows.
+    const auto chunk = Pattern(kBlockSize);
+    for (std::uint64_t b = 0; b < blocks; b += blocks / 16) {
+      (void)facility.files().Write(*file, b * kBlockSize, chunk);
+    }
+    (void)facility.files().Flush(*file);
+    facility.ResetStats();
+    const SimTime t0 = facility.clock().Now();
+    auto snap = facility.files().Snapshot(*file);
+    benchmark::DoNotOptimize(snap);
+    sim_total += facility.clock().Now() - t0;
+    writes += TotalWriteRefs(facility);
+    stable_writes += TotalStableWriteRefs(facility);
+    ++rounds;
+  }
+  state.counters["file_blocks"] = static_cast<double>(blocks);
+  state.counters["disk_write_refs"] = static_cast<double>(writes) / rounds;
+  state.counters["stable_write_refs"] =
+      static_cast<double>(stable_writes) / rounds;
+  state.counters["sim_ms"] = SimMillis(sim_total) / rounds;
+}
+BENCHMARK(BM_SnapshotCost)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Iterations(3);
+
+// One block-sized write to a fresh clone (pays the copy-on-write split)
+// against the identical write to an exclusively-owned file.
+void RunFirstWrite(benchmark::State& state, bool through_clone) {
+  std::uint64_t writes = 0, copied = 0, rounds = 0;
+  SimTime sim_total = 0;
+  for (auto _ : state) {
+    core::DistributedFileFacility facility(DefaultFacility());
+    auto file =
+        facility.files().Create(file::ServiceType::kBasic, 64 * kBlockSize);
+    const auto block = Pattern(kBlockSize);
+    for (int b = 0; b < 64; ++b) {
+      (void)facility.files().Write(*file, b * kBlockSize, block);
+    }
+    (void)facility.files().Flush(*file);
+    FileId target = *file;
+    if (through_clone) {
+      target = *facility.files().Clone(*file);
+    }
+    facility.ResetStats();
+    const std::uint64_t copied_before =
+        facility.files().stats().cow_blocks_copied;
+    const SimTime t0 = facility.clock().Now();
+    (void)facility.files().Write(target, 0, Pattern(kBlockSize, 9));
+    (void)facility.files().Flush(target);
+    sim_total += facility.clock().Now() - t0;
+    writes += TotalWriteRefs(facility);
+    copied += facility.files().stats().cow_blocks_copied - copied_before;
+    ++rounds;
+  }
+  state.counters["disk_write_refs"] = static_cast<double>(writes) / rounds;
+  state.counters["cow_blocks_copied"] = static_cast<double>(copied) / rounds;
+  state.counters["sim_ms"] = SimMillis(sim_total) / rounds;
+}
+void BM_CloneFirstWrite(benchmark::State& state) {
+  RunFirstWrite(state, /*through_clone=*/true);
+}
+void BM_ExclusiveWrite(benchmark::State& state) {
+  RunFirstWrite(state, /*through_clone=*/false);
+}
+BENCHMARK(BM_CloneFirstWrite)->Iterations(3);
+BENCHMARK(BM_ExclusiveWrite)->Iterations(3);
+
+// Origin keeps taking writes while a reader walks the snapshot: every read
+// must come back from the frozen image (the service re-reads the shared or
+// preserved block), and the origin pays each block's split exactly once.
+void BM_SnapshotReadDuringOriginWrites(benchmark::State& state) {
+  constexpr int kBlocks = 64;
+  std::uint64_t reads = 0, splits = 0, rounds = 0;
+  SimTime sim_total = 0;
+  for (auto _ : state) {
+    core::DistributedFileFacility facility(DefaultFacility());
+    auto file = facility.files().Create(file::ServiceType::kBasic,
+                                        kBlocks * kBlockSize);
+    const auto block = Pattern(kBlockSize);
+    for (int b = 0; b < kBlocks; ++b) {
+      (void)facility.files().Write(*file, b * kBlockSize, block);
+    }
+    (void)facility.files().Flush(*file);
+    auto snap = facility.files().Snapshot(*file);
+    facility.ResetStats();
+    const std::uint64_t splits_before = facility.files().stats().cow_splits;
+    std::vector<std::uint8_t> out(kBlockSize);
+    const SimTime t0 = facility.clock().Now();
+    for (int b = 0; b < kBlocks; ++b) {
+      (void)facility.files().Write(*file, b * kBlockSize,
+                                   Pattern(kBlockSize, 7));
+      (void)facility.files().Read(*snap, b * kBlockSize, out);
+    }
+    sim_total += facility.clock().Now() - t0;
+    reads += TotalReadRefs(facility);
+    splits += facility.files().stats().cow_splits - splits_before;
+    ++rounds;
+  }
+  state.counters["disk_read_refs"] = static_cast<double>(reads) / rounds;
+  state.counters["cow_splits"] = static_cast<double>(splits) / rounds;
+  state.counters["sim_ms"] = SimMillis(sim_total) / rounds;
+}
+BENCHMARK(BM_SnapshotReadDuringOriginWrites)->Iterations(3);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+RHODOS_BENCH_MAIN();

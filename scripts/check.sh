@@ -38,6 +38,10 @@ run_suite() {
   # protocol.
   echo "== $dir: lease matrix (ctest -L lease) =="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L lease
+  # The snapshot/clone crash-at-every-boundary + COW/refcount matrix gates
+  # changes to the capture, copy-on-write, and shared-release paths.
+  echo "== $dir: snapshot matrix (ctest -L snap) =="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L snap
 }
 
 if [[ "$mode" != "--sanitize-only" ]]; then

@@ -871,6 +871,40 @@ Result<file::FileAttributes> FileAgent::GetAttribute(ObjectDescriptor od) {
   return attrs;
 }
 
+Result<FileId> FileAgent::Snapshot(ObjectDescriptor od) {
+  return Capture(od, FsOp::kSnapshot);
+}
+
+Result<FileId> FileAgent::Clone(ObjectDescriptor od) {
+  return Capture(od, FsOp::kClone);
+}
+
+Result<FileId> FileAgent::Capture(ObjectDescriptor od, FsOp op) {
+  obs::OpScope scope(obs::TracerOf(Obs()), "agent",
+                     op == FsOp::kSnapshot ? "snapshot" : "clone");
+  obs::LatencyScope lat(Obs(), "agent.op_latency_ns");
+  RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));
+  const FileId file = h->file;
+  // The image must capture everything THIS client has written, including
+  // delayed writes still sitting in the agent cache.
+  RHODOS_RETURN_IF_ERROR(FlushDirtyFiles({&file, 1}));
+  FileRequest req{NextToken(), file, cb_address_};
+  const auto body = req.Encode();
+  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply, Call(RouteShard(file), op, body));
+  Deserializer in{reply};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  const FileId image{in.U64()};
+  const std::uint64_t version = in.U64();
+  const SimTime expiry = in.I64();
+  if (!in.ok()) return Error{ErrorCode::kInternal, "bad capture reply"};
+  // The image lives on its origin's shard (it shares the origin's blocks);
+  // pin it in the facility-shared router so every agent routes it there.
+  if (router_ != nullptr) router_->PinFileTo(image, file);
+  NoteVersion(image, version);
+  AdoptGrant(image, expiry, nullptr);
+  return image;
+}
+
 Status FileAgent::Flush(ObjectDescriptor od) {
   obs::OpScope op(obs::TracerOf(Obs()), "agent", "flush");
   RHODOS_ASSIGN_OR_RETURN(OpenHandle * h, Handle(od));

@@ -140,6 +140,16 @@ class FileAgent {
 
   Result<file::FileAttributes> GetAttribute(ObjectDescriptor od);
 
+  // O(1) point-in-time images (E23). Snapshot returns a new immutable
+  // FileId frozen at the current contents; Clone returns a new writable
+  // FileId sharing blocks with the source until first write (COW). The
+  // agent flushes its own dirty blocks for the file first, so the image
+  // captures everything this client has written. The image is pinned to
+  // the source's shard in the facility router. Returned ids are opened
+  // with OpenById.
+  Result<FileId> Snapshot(ObjectDescriptor od);
+  Result<FileId> Clone(ObjectDescriptor od);
+
   // Pushes this descriptor's dirty cached blocks to the server in one
   // batched exchange (cost proportional to that file's dirty blocks).
   Status Flush(ObjectDescriptor od);
@@ -216,6 +226,7 @@ class FileAgent {
   };
 
   Result<OpenHandle*> Handle(ObjectDescriptor od);
+  Result<FileId> Capture(ObjectDescriptor od, FsOp op);
 
   // RPC plumbing: every call names the shard it goes to. Unsharded agents
   // have exactly one client and every route is shard 0.

@@ -28,6 +28,8 @@ std::string_view OpName(FsOp op) {
     case FsOp::kPwriteVec: return "pwritevec";
     case FsOp::kCallbackBreak: return "cb-break";
     case FsOp::kCallbackRenew: return "cb-renew";
+    case FsOp::kSnapshot: return "snapshot";
+    case FsOp::kClone: return "clone";
   }
   return "unknown";
 }
@@ -229,6 +231,9 @@ sim::Payload FileServiceServer::Handle(std::uint32_t opcode,
     case FsOp::kFlush: return HandleFlush(request);
     case FsOp::kPwriteVec: return HandlePwriteVec(request);
     case FsOp::kCallbackRenew: return HandleRenew(request);
+    case FsOp::kSnapshot:
+    case FsOp::kClone: return HandleCapture(static_cast<FsOp>(opcode),
+                                            request);
     case FsOp::kCallbackBreak: break;  // server->agent only
   }
   return ErrorReply({ErrorCode::kNotSupported, "unknown opcode"});
@@ -396,6 +401,34 @@ sim::Payload FileServiceServer::HandleResize(
   current_requester_ = req->cb;
   Serializer out;
   EncodeStatus(out, service_->Resize(req->file, req->size));
+  sim::Payload reply = std::move(out).Take();
+  RememberToken(req->token, reply);
+  return reply;
+}
+
+sim::Payload FileServiceServer::HandleCapture(
+    FsOp op, std::span<const std::uint8_t> body) {
+  auto req = FileRequest::Decode(body);
+  if (!req.ok()) return ErrorReply(req.error());
+  // Non-idempotent: a replayed capture must return the SAME image id.
+  if (const sim::Payload* replay = FindToken(req->token)) {
+    ++stats_.duplicate_replays;
+    return *replay;
+  }
+  current_requester_ = req->cb;
+  auto image = op == FsOp::kSnapshot ? service_->Snapshot(req->file)
+                                     : service_->Clone(req->file);
+  Serializer out;
+  if (!image.ok()) {
+    EncodeError(out, image.error());
+    return std::move(out).Take();
+  }
+  EncodeStatus(out, OkStatus());
+  out.U64(image->value);
+  // Version + grant for the NEW image, so the caller's first open of it is
+  // zero-exchange (same shape as the create reply).
+  out.U64(service_->Version(*image));
+  out.I64(Grant(*image, req->cb));
   sim::Payload reply = std::move(out).Take();
   RememberToken(req->token, reply);
   return reply;

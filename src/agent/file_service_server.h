@@ -88,6 +88,7 @@ class FileServiceServer {
   sim::Payload HandleResize(std::span<const std::uint8_t> body);
   sim::Payload HandleFlush(std::span<const std::uint8_t> body);
   sim::Payload HandleRenew(std::span<const std::uint8_t> body);
+  sim::Payload HandleCapture(FsOp op, std::span<const std::uint8_t> body);
 
   // Token table: replay memory for non-idempotent requests.
   const sim::Payload* FindToken(std::uint64_t token) const;

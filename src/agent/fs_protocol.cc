@@ -35,6 +35,8 @@ void EncodeAttributes(Serializer& out, const file::FileAttributes& a) {
   out.U8(static_cast<std::uint8_t>(a.service_type));
   out.U8(static_cast<std::uint8_t>(a.locking_level));
   out.U32(a.extra_space);
+  out.U8(a.image_flags);
+  out.U64(a.origin);
 }
 
 file::FileAttributes DecodeAttributes(Deserializer& in) {
@@ -47,6 +49,8 @@ file::FileAttributes DecodeAttributes(Deserializer& in) {
   a.service_type = static_cast<file::ServiceType>(in.U8());
   a.locking_level = static_cast<file::LockLevel>(in.U8());
   a.extra_space = in.U32();
+  a.image_flags = in.U8();
+  a.origin = in.U64();
   return a;
 }
 

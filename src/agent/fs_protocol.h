@@ -41,6 +41,10 @@ enum class FsOp : std::uint32_t {
   // revalidate its version token) in one exchange without a full open.
   kCallbackBreak = 11,
   kCallbackRenew = 12,
+  // O(1) point-in-time images (E23). Both carry an idempotency token: a
+  // replayed capture must return the SAME image id, not mint a second one.
+  kSnapshot = 13,
+  kClone = 14,
 };
 
 // Every reply starts with a status frame.

@@ -114,12 +114,23 @@ constexpr bool IsBlockAligned(FragmentIndex f) {
 // first fragment of the run, and — the paper's signature optimization — a
 // two-byte count of how many successive *blocks* are contiguous, so that the
 // whole run can be moved with a single disk reference (§5).
+// Per-run flag bits (serialized in the descriptor's pad bytes). kRunShared
+// marks a run whose blocks MAY be referenced by more than one file index
+// table (snapshots/clones): writers must copy-on-write split it, and
+// releases must consult the share refcounts instead of freeing outright.
+// The flag is conservative — it can remain set after the refcount has
+// dropped back to one (the last owner clears it lazily) — but it must never
+// be clear while the refcount is above one.
+inline constexpr std::uint16_t kRunShared = 0x0001;
+
 struct BlockDescriptor {
   DiskId disk{};
   FragmentIndex first_fragment{kInvalidFragment};
   std::uint16_t contiguous_count{0};  // number of contiguous blocks, >= 1
+  std::uint16_t flags{0};             // kRunShared et al.
 
   constexpr bool valid() const { return first_fragment != kInvalidFragment; }
+  constexpr bool shared() const { return (flags & kRunShared) != 0; }
 
   friend constexpr bool operator==(const BlockDescriptor&,
                                    const BlockDescriptor&) = default;

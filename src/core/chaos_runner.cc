@@ -80,7 +80,19 @@ Result<ChaosReport> ChaosRunner::Run(sim::FaultPlan plan) {
     f_->recovery().Tick();    // ...and the control loop reacts
     ++report.operations;
 
-    const std::uint64_t kind = rng_.Below(10);
+    if (config_.service_crash_at_op >= 0 &&
+        op == config_.service_crash_at_op) {
+      // Mid-storm total server loss: every file service and every disk
+      // crashes together, then recovery replays the snapshot journal and
+      // the intention log before the workload resumes.
+      f_->CrashServers();
+      (void)f_->RecoverServers();
+    }
+
+    // With max_images == 0 the extra step kinds never roll and the rng
+    // stream is byte-identical to the pre-snapshot runner.
+    const std::uint64_t kind =
+        config_.max_images > 0 ? rng_.Below(12) : rng_.Below(10);
     if (kind < 3 && !groups_.empty()) {
       StepReplicatedWrite(rng_.Below(groups_.size()), op, report);
     } else if (kind < 5 && !groups_.empty()) {
@@ -89,8 +101,12 @@ Result<ChaosReport> ChaosRunner::Run(sim::FaultPlan plan) {
       StepTxnCommit(rng_.Below(txn_files_.size()), op, report);
     } else if (kind < 9 && !agent_files_.empty()) {
       StepAgentWrite(rng_.Below(agent_files_.size()), op, report);
-    } else if (!agent_files_.empty()) {
+    } else if (kind < 10 && !agent_files_.empty()) {
       StepAgentRead(rng_.Below(agent_files_.size()), report);
+    } else if (kind < 11 && !agent_files_.empty()) {
+      StepCapture(rng_.Below(agent_files_.size()), op, report);
+    } else if (kind < 12) {
+      StepImageOp(op, report);
     }
   }
 
@@ -220,6 +236,76 @@ void ChaosRunner::StepAgentRead(std::size_t target, ChaosReport& report) {
   }
 }
 
+void ChaosRunner::StepCapture(std::size_t source, std::uint64_t op,
+                              ChaosReport& report) {
+  if (images_.size() >= config_.max_images) {
+    StepImageOp(op, report);
+    return;
+  }
+  const bool clone = rng_.Below(2) == 1;
+  auto id = clone ? machine_->file_agent->Clone(agent_files_[source])
+                  : machine_->file_agent->Snapshot(agent_files_[source]);
+  if (!id.ok()) {
+    ++report.op_failures;
+    return;
+  }
+  auto od = machine_->file_agent->OpenById(*id);
+  if (!od.ok()) {
+    ++report.op_failures;
+    return;
+  }
+  ImageState img;
+  img.od = *od;
+  img.id = *id;
+  img.writable = clone;
+  // The capture flushed the agent's dirty blocks first, so the image holds
+  // exactly the source's last confirmed bytes (unknown stays unknown).
+  img.oracle = agent_oracle_[source];
+  images_.push_back(std::move(img));
+  if (clone) {
+    ++report.clones_taken;
+  } else {
+    ++report.snapshots_taken;
+  }
+}
+
+void ChaosRunner::StepImageOp(std::uint64_t op, ChaosReport& report) {
+  if (images_.empty()) return;
+  ImageState& img = images_[rng_.Below(images_.size())];
+  if (img.writable && rng_.Below(2) == 1) {
+    ++report.clone_writes;
+    auto data = OpPattern(op);
+    auto n = machine_->file_agent->Pwrite(img.od, 0, data);
+    if (n.ok() && *n == data.size()) {
+      img.oracle.data = std::move(data);
+      img.oracle.known = true;
+    } else {
+      img.oracle.known = false;
+      ++report.op_failures;
+    }
+    return;
+  }
+  ++report.image_reads;
+  std::vector<std::uint8_t> out(config_.region_bytes);
+  auto n = machine_->file_agent->Pread(img.od, 0, out);
+  if (!n.ok()) {
+    ++report.op_failures;
+    return;
+  }
+  if (img.oracle.known &&
+      (*n != img.oracle.data.size() ||
+       !std::equal(img.oracle.data.begin(), img.oracle.data.end(),
+                   out.begin()))) {
+    // A clone is an ordinary mutable file (I1); a snapshot that drifted
+    // from its capture image is the dedicated I5 violation.
+    if (img.writable) {
+      ++report.corrupt_reads;
+    } else {
+      ++report.snapshot_mismatches;
+    }
+  }
+}
+
 void ChaosRunner::HealAndRecover(ChaosReport& report) {
   // End of the storm: cancel pending faults, lift partitions, restart every
   // dead disk, replay the intention log, repair every stale replica.
@@ -286,7 +372,23 @@ void ChaosRunner::Verify(ChaosReport& report) {
     }
   }
 
-  // I4: structural audit over every file the chaos touched.
+  // I5: snapshot immutability survives the final recovery; a clone's last
+  // confirmed bytes are ordinary committed data (I2).
+  for (const ImageState& img : images_) {
+    if (!img.oracle.known) continue;
+    std::vector<std::uint8_t> out(img.oracle.data.size());
+    auto n = machine_->file_agent->Pread(img.od, 0, out);
+    if (!n.ok() || *n != img.oracle.data.size() || out != img.oracle.data) {
+      if (img.writable) {
+        ++report.committed_data_lost;
+      } else {
+        ++report.snapshot_mismatches;
+      }
+    }
+  }
+
+  // I4: structural audit over every file the chaos touched — including the
+  // images, whose shared runs exercise the refcount reconciliation.
   std::vector<FileId> audit;
   for (GroupId g : groups_) {
     auto replicas = repl.Replicas(g);
@@ -296,9 +398,12 @@ void ChaosRunner::Verify(ChaosReport& report) {
   }
   audit.insert(audit.end(), txn_files_.begin(), txn_files_.end());
   audit.insert(audit.end(), agent_file_ids_.begin(), agent_file_ids_.end());
+  for (const ImageState& img : images_) audit.push_back(img.id);
   const file::AuditReport fsck = file::AuditFiles(files, audit);
   report.fsck_issues = fsck.issues.size();
   report.fsck_clean = fsck.clean();
+  report.fsck_refcounts_checked = fsck.refcounts_checked;
+  report.fsck_shared_blocks = fsck.shared_blocks;
 }
 
 std::string ChaosReport::Summary() const {
@@ -312,6 +417,12 @@ std::string ChaosReport::Summary() const {
   s += " agent_w=" + std::to_string(agent_writes);
   s += " agent_r=" + std::to_string(agent_reads);
   s += " stale_r=" + std::to_string(stale_reads);
+  if (snapshots_taken + clones_taken + image_reads + clone_writes > 0) {
+    s += " snaps=" + std::to_string(snapshots_taken);
+    s += " clones=" + std::to_string(clones_taken);
+    s += " clone_w=" + std::to_string(clone_writes);
+    s += " image_r=" + std::to_string(image_reads);
+  }
   s += " | failovers=" + std::to_string(failovers);
   s += " auto_repairs=" + std::to_string(auto_repairs);
   s += " read_repairs=" + std::to_string(read_repairs);
@@ -322,8 +433,10 @@ std::string ChaosReport::Summary() const {
   s += " lost=" + std::to_string(committed_data_lost);
   s += " mismatch=" + std::to_string(replica_mismatches);
   s += " unconverged=" + std::to_string(unconverged_groups);
+  s += " snap_bad=" + std::to_string(snapshot_mismatches);
   s += " fsck=" + (fsck_clean ? std::string("clean")
                               : std::to_string(fsck_issues) + " issues");
+  s += " refcounts=" + std::to_string(fsck_refcounts_checked);
   s += ok() ? " [OK]" : " [VIOLATED]";
   return s;
 }

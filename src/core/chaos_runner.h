@@ -21,7 +21,10 @@
 //      its data after final recovery;
 //  I3  convergence: after the final repair pass every replica of every
 //      group acknowledges the group version;
-//  I4  fsck: the structural audit of every file involved reports clean.
+//  I4  fsck: the structural audit of every file involved reports clean;
+//  I5  snapshot immutability: a snapshot read that returned OK (including
+//      after the final recovery) is byte-identical to its capture image,
+//      no matter how much the origin or any clone was overwritten.
 #pragma once
 
 #include <cstdint>
@@ -43,6 +46,13 @@ struct ChaosWorkloadConfig {
   std::uint32_t agent_files = 2;
   std::uint32_t region_bytes = 4096;  // oracle-tracked bytes per object
   SimTime time_per_op = 2 * kSimMillisecond;  // clock advance between ops
+  // Snapshot/clone storm (E23). 0 keeps the workload byte-identical to the
+  // pre-snapshot runner (the rng stream is untouched); >0 adds capture /
+  // clone-write / image-read steps up to this many live images.
+  std::uint32_t max_images = 0;
+  // When >= 0, every service and every disk crashes at this op ordinal and
+  // recovery (snapshot journal first, then the intention log) runs mid-storm.
+  int service_crash_at_op = -1;
 };
 
 struct ChaosReport {
@@ -56,6 +66,11 @@ struct ChaosReport {
   std::uint64_t agent_writes = 0;
   std::uint64_t agent_reads = 0;
   std::uint64_t stale_reads = 0;  // reads served best-effort, flagged stale
+  // Snapshot/clone storm counters (zero when max_images == 0).
+  std::uint64_t snapshots_taken = 0;
+  std::uint64_t clones_taken = 0;
+  std::uint64_t clone_writes = 0;
+  std::uint64_t image_reads = 0;
   // What the recovery machinery did while the faults ran.
   std::uint64_t failovers = 0;
   std::uint64_t auto_repairs = 0;
@@ -69,7 +84,11 @@ struct ChaosReport {
   std::uint64_t replica_mismatches = 0;   // I1 re-checked at the end
   std::uint64_t unconverged_groups = 0;   // I3 violations
   std::uint64_t fsck_issues = 0;          // I4 violations
+  std::uint64_t snapshot_mismatches = 0;  // I5 violations
   bool fsck_clean = false;
+  // What the audit actually verified (forensics for the refcount sweep).
+  std::uint64_t fsck_refcounts_checked = 0;
+  std::uint64_t fsck_shared_blocks = 0;
   bool completed = false;  // workload + verification ran to the end
   // Full facility metrics at the end of the run (Facility::DumpStats JSON):
   // the operator's forensic record of what the faults cost each layer.
@@ -77,7 +96,8 @@ struct ChaosReport {
 
   bool ok() const {
     return completed && corrupt_reads == 0 && committed_data_lost == 0 &&
-           replica_mismatches == 0 && unconverged_groups == 0 && fsck_clean;
+           replica_mismatches == 0 && unconverged_groups == 0 &&
+           snapshot_mismatches == 0 && fsck_clean;
   }
   std::string Summary() const;
 };
@@ -107,6 +127,8 @@ class ChaosRunner {
   void StepAgentWrite(std::size_t target, std::uint64_t op,
                       ChaosReport& report);
   void StepAgentRead(std::size_t target, ChaosReport& report);
+  void StepCapture(std::size_t source, std::uint64_t op, ChaosReport& report);
+  void StepImageOp(std::uint64_t op, ChaosReport& report);
   void HealAndRecover(ChaosReport& report);
   void Verify(ChaosReport& report);
 
@@ -122,6 +144,15 @@ class ChaosRunner {
   std::vector<ObjectDescriptor> agent_files_;
   std::vector<FileId> agent_file_ids_;
   std::vector<Oracle> agent_oracle_;
+  // Live snapshot/clone images. A snapshot's oracle is frozen at capture;
+  // a clone's oracle moves with its own confirmed writes.
+  struct ImageState {
+    ObjectDescriptor od{};
+    FileId id{};
+    bool writable = false;  // clone
+    Oracle oracle;
+  };
+  std::vector<ImageState> images_;
 };
 
 }  // namespace rhodos::core

@@ -32,6 +32,9 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
       fc.version_base = static_cast<std::uint64_t>(s) << 56;
       fc.basic_write_policy = disk::WritePolicy::kWriteThrough;
     }
+    // Each shard journals its snapshot/COW intentions in its own stable
+    // region slot at the tail of disk 0 (slots never overlap).
+    fc.snapshot_region_slot = s;
     file_shards_.push_back(
         std::make_unique<file::FileService>(&disks_, &clock_, fc));
   }
@@ -202,6 +205,12 @@ void DistributedFileFacility::CrashServers() {
 
 Status DistributedFileFacility::RecoverServers() {
   RHODOS_RETURN_IF_ERROR(disks_.RecoverAll());
+  // Snapshot-journal redo must run before transaction recovery: a committed
+  // transaction's redo may touch files whose COW splits or refcount edits
+  // were mid-flight at the crash, and redo assumes those are settled.
+  for (auto& shard : file_shards_) {
+    RHODOS_RETURN_IF_ERROR(shard->RecoverSnapshots());
+  }
   return txns_->Recover();
 }
 
@@ -265,10 +274,11 @@ constexpr const char* kCounters[] = {
     "disk.write_references",
     // Server-side file service (block pool, index tables, read-ahead).
     "file.bytes_read", "file.bytes_written", "file.cache.hits",
-    "file.cache.misses", "file.fit_loads", "file.fit_stores",
+    "file.cache.misses", "file.clones", "file.cow_blocks_copied",
+    "file.cow_splits", "file.fit_loads", "file.fit_stores",
     "file.readahead_hits", "file.readahead_issued", "file.readahead_wasted",
     "file.reads", "file.shard_failovers", "file.shard_readmissions",
-    "file.writes",
+    "file.shared_releases", "file.snapshots", "file.writes",
     // Placement layer: shard routing and the failover state machine.
     "placement.lookups", "placement.reroutes", "placement.shard_readmissions",
     "placement.shard_suspicions",
@@ -322,6 +332,7 @@ constexpr const char* kGauges[] = {
     "disk.free_fragments",
     "facility.disk_count",
     "file.callback_holders",
+    "file.shared_blocks",
     "facility.machine_count",
     "facility.sim_now_ns",
     "placement.epoch",
@@ -446,6 +457,7 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetGauge("file.callback_holders", static_cast<double>(callback_holders));
 
   file::FileServiceStats fs;
+  std::uint64_t shared_blocks = 0;
   for (const auto& shard : file_shards_) {
     const file::FileServiceStats& s = shard->stats();
     fs.cache_hits += s.cache_hits;
@@ -459,6 +471,12 @@ void DistributedFileFacility::PullLayerStats() {
     fs.readahead_issued += s.readahead_issued;
     fs.readahead_hits += s.readahead_hits;
     fs.readahead_wasted += s.readahead_wasted;
+    fs.snapshots += s.snapshots;
+    fs.clones += s.clones;
+    fs.cow_splits += s.cow_splits;
+    fs.cow_blocks_copied += s.cow_blocks_copied;
+    fs.shared_releases += s.shared_releases;
+    shared_blocks += shard->SharedBlockCount();
   }
   m.SetCounter("file.cache.hits", fs.cache_hits);
   m.SetCounter("file.cache.misses", fs.cache_misses);
@@ -471,6 +489,12 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("file.readahead_issued", fs.readahead_issued);
   m.SetCounter("file.readahead_hits", fs.readahead_hits);
   m.SetCounter("file.readahead_wasted", fs.readahead_wasted);
+  m.SetCounter("file.snapshots", fs.snapshots);
+  m.SetCounter("file.clones", fs.clones);
+  m.SetCounter("file.cow_splits", fs.cow_splits);
+  m.SetCounter("file.cow_blocks_copied", fs.cow_blocks_copied);
+  m.SetCounter("file.shared_releases", fs.shared_releases);
+  m.SetGauge("file.shared_blocks", static_cast<double>(shared_blocks));
 
   const placement::ShardRouterStats& pl = router_->stats();
   m.SetCounter("placement.lookups",

@@ -13,7 +13,9 @@ void SerializeRun(Serializer& out, const BlockDescriptor& run) {
   out.U32(run.disk.value);
   out.U64(run.first_fragment);
   out.U16(run.contiguous_count);
-  out.U16(0);  // pad to kRunBytes
+  // The former pad bytes carry the run flags (kRunShared): old tables read
+  // back with flags 0, which is exactly "nothing shared".
+  out.U16(run.flags);
 }
 
 BlockDescriptor DeserializeRun(Deserializer& in) {
@@ -21,7 +23,7 @@ BlockDescriptor DeserializeRun(Deserializer& in) {
   run.disk = DiskId{in.U32()};
   run.first_fragment = in.U64();
   run.contiguous_count = in.U16();
-  (void)in.U16();
+  run.flags = in.U16();
   return run;
 }
 
@@ -34,6 +36,8 @@ void SerializeAttributes(Serializer& out, const FileAttributes& a) {
   out.U8(static_cast<std::uint8_t>(a.service_type));
   out.U8(static_cast<std::uint8_t>(a.locking_level));
   out.U32(a.extra_space);
+  out.U8(a.image_flags);
+  out.U64(a.origin);
 }
 
 FileAttributes DeserializeAttributes(Deserializer& in) {
@@ -46,6 +50,8 @@ FileAttributes DeserializeAttributes(Deserializer& in) {
   a.service_type = static_cast<ServiceType>(in.U8());
   a.locking_level = static_cast<LockLevel>(in.U8());
   a.extra_space = in.U32();
+  a.image_flags = in.U8();
+  a.origin = in.U64();
   return a;
 }
 
@@ -77,16 +83,18 @@ Result<BlockLocation> FileIndexTable::Locate(std::uint64_t block_index) const {
   return BlockLocation{
       run.disk,
       run.first_fragment + offset_in_run * kFragmentsPerBlock,
-      static_cast<std::uint32_t>(run.contiguous_count - offset_in_run)};
+      static_cast<std::uint32_t>(run.contiguous_count - offset_in_run),
+      run.flags};
 }
 
 Status FileIndexTable::AppendRun(DiskId disk, FragmentIndex first_fragment,
-                                 std::uint32_t count) {
+                                 std::uint32_t count, std::uint16_t flags) {
   if (count == 0) {
     return {ErrorCode::kInvalidArgument, "empty run"};
   }
   // Coalesce with the last run when physically adjacent: the contiguity
-  // count is capped at 16 bits per descriptor.
+  // count is capped at 16 bits per descriptor. Never merge across a flag
+  // boundary — a shared run must stay a distinct descriptor.
   if (!runs_.empty()) {
     BlockDescriptor& last = runs_.back();
     const FragmentIndex last_end =
@@ -94,7 +102,7 @@ Status FileIndexTable::AppendRun(DiskId disk, FragmentIndex first_fragment,
         static_cast<FragmentIndex>(last.contiguous_count) *
             kFragmentsPerBlock;
     if (last.disk == disk && last_end == first_fragment &&
-        last.contiguous_count + count <= 0xFFFF) {
+        last.flags == flags && last.contiguous_count + count <= 0xFFFF) {
       last.contiguous_count = static_cast<std::uint16_t>(
           last.contiguous_count + count);
       RecomputeTotals();
@@ -104,7 +112,7 @@ Status FileIndexTable::AppendRun(DiskId disk, FragmentIndex first_fragment,
   while (count > 0) {
     const auto chunk = static_cast<std::uint16_t>(
         std::min<std::uint32_t>(count, 0xFFFF));
-    runs_.push_back(BlockDescriptor{disk, first_fragment, chunk});
+    runs_.push_back(BlockDescriptor{disk, first_fragment, chunk, flags});
     first_fragment += static_cast<FragmentIndex>(chunk) * kFragmentsPerBlock;
     count -= chunk;
   }
@@ -113,31 +121,95 @@ Status FileIndexTable::AppendRun(DiskId disk, FragmentIndex first_fragment,
 }
 
 Status FileIndexTable::ReplaceBlock(std::uint64_t block_index, DiskId disk,
-                                    FragmentIndex fragment) {
-  if (block_index >= total_blocks_) {
+                                    FragmentIndex fragment,
+                                    std::uint16_t flags) {
+  return ReplaceRange(block_index, 1, disk, fragment, flags);
+}
+
+Status FileIndexTable::ReplaceRange(std::uint64_t first_block,
+                                    std::uint32_t count, DiskId disk,
+                                    FragmentIndex fragment,
+                                    std::uint16_t flags) {
+  if (count == 0) {
+    return {ErrorCode::kInvalidArgument, "empty replacement range"};
+  }
+  if (first_block + count > total_blocks_) {
     return {ErrorCode::kBadAddress, "replace beyond end of file"};
   }
   const auto it = std::upper_bound(cumulative_.begin(), cumulative_.end(),
-                                   block_index);
+                                   first_block);
   const std::size_t run_idx =
       static_cast<std::size_t>(it - cumulative_.begin()) - 1;
   BlockDescriptor run = runs_[run_idx];
-  const std::uint64_t off = block_index - cumulative_[run_idx];
+  const std::uint64_t off = first_block - cumulative_[run_idx];
+  if (off + count > run.contiguous_count) {
+    return {ErrorCode::kBadAddress, "replacement range spans runs"};
+  }
 
+  // Side pieces inherit the donor's flags (still possibly shared); the new
+  // piece carries its own flags.
   std::vector<BlockDescriptor> replacement;
   if (off > 0) {
-    replacement.push_back(BlockDescriptor{
-        run.disk, run.first_fragment, static_cast<std::uint16_t>(off)});
+    replacement.push_back(BlockDescriptor{run.disk, run.first_fragment,
+                                          static_cast<std::uint16_t>(off),
+                                          run.flags});
   }
-  replacement.push_back(BlockDescriptor{disk, fragment, 1});
-  if (off + 1 < run.contiguous_count) {
+  replacement.push_back(BlockDescriptor{
+      disk, fragment, static_cast<std::uint16_t>(count), flags});
+  if (off + count < run.contiguous_count) {
     replacement.push_back(BlockDescriptor{
-        run.disk, run.first_fragment + (off + 1) * kFragmentsPerBlock,
-        static_cast<std::uint16_t>(run.contiguous_count - off - 1)});
+        run.disk, run.first_fragment + (off + count) * kFragmentsPerBlock,
+        static_cast<std::uint16_t>(run.contiguous_count - off - count),
+        run.flags});
   }
   runs_.erase(runs_.begin() + static_cast<std::ptrdiff_t>(run_idx));
   runs_.insert(runs_.begin() + static_cast<std::ptrdiff_t>(run_idx),
                replacement.begin(), replacement.end());
+  RecomputeTotals();
+  return OkStatus();
+}
+
+void FileIndexTable::SetAllRunsShared() {
+  for (auto& r : runs_) r.flags |= kRunShared;
+}
+
+Status FileIndexTable::ClearSharedInRange(std::uint64_t first_block,
+                                          std::uint32_t count) {
+  if (count == 0) return OkStatus();
+  if (first_block + count > total_blocks_) {
+    return {ErrorCode::kBadAddress, "clear-shared beyond end of file"};
+  }
+  const std::uint64_t range_end = first_block + count;
+  std::vector<BlockDescriptor> rebuilt;
+  rebuilt.reserve(runs_.size() + 2);
+  std::uint64_t start = 0;
+  for (const auto& run : runs_) {
+    const std::uint64_t end = start + run.contiguous_count;
+    const std::uint64_t lo = std::max(start, first_block);
+    const std::uint64_t hi = std::min(end, range_end);
+    if (lo >= hi || !run.shared()) {
+      rebuilt.push_back(run);
+    } else {
+      if (lo > start) {
+        rebuilt.push_back(BlockDescriptor{
+            run.disk, run.first_fragment,
+            static_cast<std::uint16_t>(lo - start), run.flags});
+      }
+      rebuilt.push_back(BlockDescriptor{
+          run.disk,
+          run.first_fragment + (lo - start) * kFragmentsPerBlock,
+          static_cast<std::uint16_t>(hi - lo),
+          static_cast<std::uint16_t>(run.flags & ~kRunShared)});
+      if (hi < end) {
+        rebuilt.push_back(BlockDescriptor{
+            run.disk,
+            run.first_fragment + (hi - start) * kFragmentsPerBlock,
+            static_cast<std::uint16_t>(end - hi), run.flags});
+      }
+    }
+    start = end;
+  }
+  runs_ = std::move(rebuilt);
   RecomputeTotals();
   return OkStatus();
 }
@@ -157,11 +229,15 @@ std::vector<BlockDescriptor> FileIndexTable::TruncateBlocks(
     const auto keep_in_run =
         static_cast<std::uint16_t>(new_block_count - kept);
     BlockDescriptor& run = runs_[i];
+    // The cut portion keeps the run's flags: a shared straddling run must
+    // release as SHARED, or the releaser frees blocks a snapshot still
+    // claims.
     freed.push_back(BlockDescriptor{
         run.disk,
         run.first_fragment +
             static_cast<FragmentIndex>(keep_in_run) * kFragmentsPerBlock,
-        static_cast<std::uint16_t>(run.contiguous_count - keep_in_run)});
+        static_cast<std::uint16_t>(run.contiguous_count - keep_in_run),
+        run.flags});
     run.contiguous_count = keep_in_run;
     ++i;
   }

@@ -37,11 +37,11 @@ namespace rhodos::file {
 
 inline constexpr std::size_t kDirectRuns = 64;
 // 56 indirect references keep the fragment-resident part within one 2 KiB
-// fragment: 4 (magic) + 34 (attributes) + 8 (counts) + 64*16 (direct runs)
-// + 4 (count) + 56*16 (indirect refs) = 1970 bytes.
+// fragment: 4 (magic) + 51 (attributes, incl. image lineage) + 8 (counts)
+// + 64*16 (direct runs) + 4 (count) + 56*16 (indirect refs) = 1987 bytes.
 inline constexpr std::size_t kIndirectRefs = 56;
-// Serialized run: disk u32 + first_fragment u64 + count u16 = 14 bytes;
-// pad to 16 for alignment headroom.
+// Serialized run: disk u32 + first_fragment u64 + count u16 + flags u16
+// = 16 bytes.
 inline constexpr std::size_t kRunBytes = 16;
 // Each indirect block starts with a u32 run count, then the runs.
 inline constexpr std::size_t kRunsPerIndirectBlock =
@@ -55,6 +55,8 @@ struct BlockLocation {
   // contiguous on `disk` (including this one). The read path turns this
   // directly into a single multi-block get_block.
   std::uint32_t contiguous_blocks;
+  // Flags of the run the block lives in (kRunShared => COW before writing).
+  std::uint16_t flags = 0;
 };
 
 class FileIndexTable {
@@ -76,16 +78,53 @@ class FileIndexTable {
 
   // Appends `count` blocks at (disk, first_fragment). Coalesces with the
   // previous run when physically adjacent on the same disk — this is how
-  // the two-byte contiguity count grows.
+  // the two-byte contiguity count grows. Runs with differing flags are
+  // never coalesced (a shared run must keep its boundary).
   Status AppendRun(DiskId disk, FragmentIndex first_fragment,
-                   std::uint32_t count);
+                   std::uint32_t count, std::uint16_t flags = 0);
+
+  // Appends a run verbatim (flags included). Used when duplicating another
+  // table's run list for a snapshot or clone image.
+  Status AppendDescriptor(const BlockDescriptor& run) {
+    return AppendRun(run.disk, run.first_fragment, run.contiguous_count,
+                     run.flags);
+  }
 
   // Replaces the single logical block `block_index` so it now lives at
   // (disk, fragment). This is the shadow-page commit primitive; it may
   // split a run into up to three (the paper's observation that shadow
   // paging "destroys the contiguity of data blocks" falls out of this).
+  // The side pieces inherit the donor run's flags; the replacement block
+  // itself carries `flags` (freshly allocated shadow blocks are exclusive).
   Status ReplaceBlock(std::uint64_t block_index, DiskId disk,
-                      FragmentIndex fragment);
+                      FragmentIndex fragment, std::uint16_t flags = 0);
+
+  // Rebinds logical blocks [first_block, first_block + count) — which must
+  // lie within ONE existing run — to the physically contiguous range at
+  // (disk, fragment) with the given flags. The COW-split primitive: the
+  // donor side pieces keep their flags, the new piece is typically
+  // exclusive (flags = 0).
+  Status ReplaceRange(std::uint64_t first_block, std::uint32_t count,
+                      DiskId disk, FragmentIndex fragment,
+                      std::uint16_t flags = 0);
+
+  // Marks every run shared. Used when capturing a snapshot/clone: both the
+  // source table and the image table flip all their runs to kRunShared.
+  void SetAllRunsShared();
+
+  // Clears kRunShared on logical blocks [first_block, first_block + count),
+  // splitting runs at the range boundaries when needed. Called when a COW
+  // probe finds the refcount already back at one (lazy flag clearing).
+  Status ClearSharedInRange(std::uint64_t first_block, std::uint32_t count);
+
+  // True if any run still carries kRunShared. The txn service forces the
+  // shadow-page technique for such files.
+  bool HasSharedRuns() const {
+    for (const auto& r : runs_) {
+      if (r.shared()) return true;
+    }
+    return false;
+  }
 
   // Drops every logical block at index >= new_block_count, returning the
   // freed physical runs so the caller can release them to the disk service.

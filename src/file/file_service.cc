@@ -20,6 +20,8 @@ FileService::FileService(disk::DiskRegistry* disks, SimClock* clock,
     : disks_(disks),
       clock_(clock),
       config_(config),
+      snap_journal_(disks, config.snapshot_region_fragments,
+                    config.snapshot_region_slot),
       block_pool_(kBlockSize, config.block_pool_capacity),
       fragment_pool_(kFragmentSize, config.fragment_pool_capacity) {}
 
@@ -171,6 +173,28 @@ Result<FileId> FileService::Create(ServiceType type,
 
 Status FileService::Delete(FileId id) {
   RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  if (of->table.HasSharedRuns()) {
+    // Some of this file's blocks may belong to snapshots or clones too: a
+    // block is freed exactly when its share count reaches zero, and share
+    // counts only change under the snapshot journal. One journaled release
+    // makes the scrub + decrements + frees a single all-or-nothing unit.
+    RHODOS_RETURN_IF_ERROR(snap_journal_.Ensure());
+    SnapOp op;
+    op.kind = SnapOpKind::kRelease;
+    op.file = id;
+    op.scrub_fit = true;
+    for (const auto& run : of->table.runs()) BuildRelease(run, op);
+    for (const auto& ib : of->indirect_blocks) {
+      op.frees.push_back(
+          SnapFree{ib.disk, ib.first_fragment, kFragmentsPerBlock});
+    }
+    op.frees.push_back(SnapFree{FileDisk(id), FileFitFragment(id), 1});
+    RHODOS_ASSIGN_OR_RETURN(const std::uint64_t seq, snap_journal_.LogOp(op));
+    RHODOS_RETURN_IF_ERROR(ApplySnapOp(op));
+    RHODOS_RETURN_IF_ERROR(snap_journal_.LogDone(seq));
+    ++stats_.shared_releases;
+    return OkStatus();
+  }
   // Scrub the index table (both copies) so the stale bytes can never be
   // parsed back into a live file after the fragment is reused.
   {
@@ -194,15 +218,7 @@ Status FileService::Delete(FileId id) {
   RHODOS_RETURN_IF_ERROR(disks_->Free(FileDisk(id), FileFitFragment(id), 1));
 
   // Purge the block cache of this file's entries.
-  for (auto it = cache_.begin(); it != cache_.end();) {
-    if (it->first.file == id) {
-      NoteDropped(it->second);
-      lru_.erase(it->second.lru_pos);
-      it = cache_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  PurgeCache(id, 0);
   open_files_.erase(id);
   BumpVersion(id);
   return OkStatus();
@@ -582,6 +598,9 @@ Result<std::uint64_t> FileService::Write(FileId id, std::uint64_t offset,
                                          std::span<const std::uint8_t> in) {
   obs::SpanScope span(obs::TracerOf(obs_), "file", "write");
   RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  if (of->table.attributes().immutable()) {
+    return Error{ErrorCode::kPermissionDenied, "write to immutable snapshot"};
+  }
   ++stats_.writes;
   const std::uint64_t len = in.size();
   if (len == 0) return std::uint64_t{0};
@@ -593,6 +612,12 @@ Result<std::uint64_t> FileService::Write(FileId id, std::uint64_t offset,
     RHODOS_RETURN_IF_ERROR(
         Grow(id, *of, needed_blocks - of->table.BlockCount()));
   }
+
+  // Copy-on-write: any block about to be overwritten must be exclusively
+  // ours BEFORE it can be dirtied — snapshots sharing it keep the old copy.
+  RHODOS_RETURN_IF_ERROR(EnsureExclusive(
+      id, *of, offset / kBlockSize,
+      (offset + len - 1) / kBlockSize - offset / kBlockSize + 1));
 
   const WritePolicy policy = PolicyFor(*of);
   // Assemble every block first (whole aligned blocks write straight from
@@ -692,27 +717,58 @@ Result<std::uint64_t> FileService::Write(FileId id, std::uint64_t offset,
 
 Status FileService::Resize(FileId id, std::uint64_t size) {
   RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  if (of->table.attributes().immutable()) {
+    return {ErrorCode::kPermissionDenied, "resize of immutable snapshot"};
+  }
   const std::uint64_t old_size = of->table.attributes().size;
   const std::uint64_t new_blocks = (size + kBlockSize - 1) / kBlockSize;
   if (new_blocks > of->table.BlockCount()) {
     RHODOS_RETURN_IF_ERROR(Grow(id, *of, new_blocks - of->table.BlockCount()));
   } else if (new_blocks < of->table.BlockCount()) {
-    for (const auto& run : of->table.TruncateBlocks(new_blocks)) {
-      RHODOS_RETURN_IF_ERROR(disks_->Free(
-          run.disk, run.first_fragment,
-          static_cast<std::uint32_t>(run.contiguous_count) *
-              kFragmentsPerBlock));
+    // Shared runs beyond the cut: truncation, decrements, and frees must be
+    // one journaled all-or-nothing unit (a crash after freeing but before
+    // the table persisted would leave the table claiming freed blocks).
+    bool shared_cut = false;
+    std::uint64_t seen = 0;
+    for (const auto& run : of->table.runs()) {
+      if (seen + run.contiguous_count > new_blocks && run.shared()) {
+        shared_cut = true;
+      }
+      seen += run.contiguous_count;
     }
-    // Drop now-stale cache entries beyond the cut.
-    for (auto it = cache_.begin(); it != cache_.end();) {
-      if (it->first.file == id && it->first.block >= new_blocks) {
-        NoteDropped(it->second);
-        lru_.erase(it->second.lru_pos);
-        it = cache_.erase(it);
-      } else {
-        ++it;
+    if (shared_cut) {
+      RHODOS_RETURN_IF_ERROR(snap_journal_.Ensure());
+      SnapOp op;
+      op.kind = SnapOpKind::kRelease;
+      op.file = id;
+      op.truncate = true;
+      op.first_block = new_blocks;
+      // Probe the cut without mutating, to record the releases.
+      FileIndexTable probe = of->table;
+      for (const auto& run : probe.TruncateBlocks(new_blocks)) {
+        BuildRelease(run, op);
+      }
+      RHODOS_ASSIGN_OR_RETURN(const std::uint64_t seq,
+                              snap_journal_.LogOp(op));
+      RHODOS_RETURN_IF_ERROR(ApplySnapOp(op));
+      RHODOS_RETURN_IF_ERROR(snap_journal_.LogDone(seq));
+      ++stats_.shared_releases;
+      RHODOS_ASSIGN_OR_RETURN(of, LoadTable(id));  // apply may invalidate
+    } else {
+      for (const auto& run : of->table.TruncateBlocks(new_blocks)) {
+        RHODOS_RETURN_IF_ERROR(disks_->Free(
+            run.disk, run.first_fragment,
+            static_cast<std::uint32_t>(run.contiguous_count) *
+                kFragmentsPerBlock));
       }
     }
+    // Drop now-stale cache entries beyond the cut.
+    PurgeCache(id, new_blocks);
+  }
+  // A kept tail block about to be partially zeroed must be exclusive: the
+  // snapshot sharing it keeps the full-length bytes.
+  if (size < old_size && size % kBlockSize != 0 && new_blocks > 0) {
+    RHODOS_RETURN_IF_ERROR(EnsureExclusive(id, *of, size / kBlockSize, 1));
   }
   // Shrinking to a mid-block size leaves old bytes in the kept block's
   // tail; zero them now so a later grow re-exposes zeros, not stale data.
@@ -853,9 +909,13 @@ Status FileService::WriteBlock(FileId id, std::uint64_t block_index,
                                std::span<const std::uint8_t> in,
                                bool force_write_through) {
   RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  if (of->table.attributes().immutable()) {
+    return {ErrorCode::kPermissionDenied, "write to immutable snapshot"};
+  }
   if (block_index >= of->table.BlockCount()) {
     return {ErrorCode::kBadAddress, "write beyond mapped blocks"};
   }
+  RHODOS_RETURN_IF_ERROR(EnsureExclusive(id, *of, block_index, 1));
   RHODOS_ASSIGN_OR_RETURN(CacheEntry * entry,
                           CacheInsert(id, block_index, in, /*dirty=*/true));
   if (force_write_through || PolicyFor(*of) == WritePolicy::kWriteThrough ||
@@ -901,7 +961,38 @@ Result<std::vector<BlockDescriptor>> FileService::IndirectBlockLocations(
 Status FileService::ReplaceBlock(FileId id, std::uint64_t block_index,
                                  DiskId disk, FragmentIndex fragment) {
   RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  if (of->table.attributes().immutable()) {
+    return {ErrorCode::kPermissionDenied, "rebind in immutable snapshot"};
+  }
   RHODOS_ASSIGN_OR_RETURN(BlockLocation old, of->table.Locate(block_index));
+  if ((old.flags & kRunShared) != 0) {
+    RHODOS_RETURN_IF_ERROR(snap_journal_.Ensure());
+    const std::uint32_t share =
+        snap_journal_.map().CountOf(old.disk, old.first_fragment);
+    if (share >= 2) {
+      // The donor block also belongs to a snapshot/clone: rebinding must
+      // decrement, not free, and the decrement + rebind must be one
+      // journaled unit so a crash never half-applies the shadow commit.
+      SnapOp op;
+      op.kind = SnapOpKind::kRelease;
+      op.file = id;
+      op.rebind = true;
+      op.first_block = block_index;
+      op.block_count = 1;
+      op.new_disk = disk;
+      op.new_fragment = fragment;
+      op.ref_edits.push_back(
+          SnapRefEdit{old.disk, old.first_fragment, 1, share - 1});
+      RHODOS_ASSIGN_OR_RETURN(const std::uint64_t seq,
+                              snap_journal_.LogOp(op));
+      RHODOS_RETURN_IF_ERROR(ApplySnapOp(op));
+      RHODOS_RETURN_IF_ERROR(snap_journal_.LogDone(seq));
+      ++stats_.shared_releases;
+      return OkStatus();
+    }
+    // Stale flag (last owner): clear it lazily and free as usual.
+    RHODOS_RETURN_IF_ERROR(of->table.ClearSharedInRange(block_index, 1));
+  }
   RHODOS_RETURN_IF_ERROR(of->table.ReplaceBlock(block_index, disk, fragment));
   RHODOS_RETURN_IF_ERROR(
       disks_->Free(old.disk, old.first_fragment, kFragmentsPerBlock));
@@ -927,6 +1018,434 @@ Result<disk::DiskRegistry::Placement> FileService::AllocateShadowBlock(
   return disks_->Allocate(kFragmentsPerBlock);
 }
 
+// --- snapshots and clones (E23) -----------------------------------------------
+
+void FileService::PurgeCache(FileId id, std::uint64_t from) {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->first.file == id && it->first.block >= from) {
+      NoteDropped(it->second);
+      lru_.erase(it->second.lru_pos);
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FileService::BuildRelease(const BlockDescriptor& run, SnapOp& op) {
+  if (!run.shared()) {
+    op.frees.push_back(SnapFree{
+        run.disk, run.first_fragment,
+        static_cast<std::uint32_t>(run.contiguous_count) *
+            kFragmentsPerBlock});
+    return;
+  }
+  for (const SharePiece& piece : snap_journal_.map().Pieces(
+           run.disk, run.first_fragment, run.contiguous_count)) {
+    if (piece.count <= 1) {
+      op.frees.push_back(SnapFree{piece.disk, piece.first_fragment,
+                                  piece.block_count * kFragmentsPerBlock});
+    } else {
+      op.ref_edits.push_back(SnapRefEdit{piece.disk, piece.first_fragment,
+                                         piece.block_count, piece.count - 1});
+    }
+  }
+}
+
+Result<FileId> FileService::Snapshot(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(const FileId image,
+                          CaptureImage(id, kImageSnapshot));
+  ++stats_.snapshots;
+  return image;
+}
+
+Result<FileId> FileService::Clone(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(const FileId image, CaptureImage(id, kImageClone));
+  ++stats_.clones;
+  return image;
+}
+
+Result<FileId> FileService::CaptureImage(FileId id,
+                                         std::uint8_t image_flags) {
+  obs::SpanScope span(obs::TracerOf(obs_), "file",
+                      (image_flags & kImageSnapshot) != 0 ? "snapshot"
+                                                          : "clone");
+  RHODOS_RETURN_IF_ERROR(snap_journal_.Ensure());
+  // The capture point is the file AS DURABLE NOW: dirty delayed-write
+  // blocks and the table reach the platter first, so the image never
+  // references data that only ever lived in the cache.
+  RHODOS_RETURN_IF_ERROR(Flush(id));
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+
+  // The image's index-table fragment, preferably on the source's home disk
+  // (the image is pinned to the source's shard either way).
+  DiskId img_disk = FileDisk(id);
+  FragmentIndex img_frag = 0;
+  bool placed = false;
+  if (auto server = disks_->Get(img_disk); server.ok()) {
+    if (auto frag = (*server)->AllocateFragments(1); frag.ok()) {
+      img_frag = *frag;
+      placed = true;
+    }
+  }
+  if (!placed) {
+    RHODOS_ASSIGN_OR_RETURN(auto placement, disks_->Allocate(1));
+    img_disk = placement.disk;
+    img_frag = placement.first;
+  }
+  const FileId image_id = MakeFileId(img_disk, img_frag);
+
+  // One journaled op captures the whole image: every piece of every source
+  // run gains one holder (absolute counts — idempotent to replay). A
+  // contiguous never-shared file costs exactly one ref edit, which is what
+  // keeps snapshot cost independent of file size.
+  SnapOp op;
+  op.kind = SnapOpKind::kImage;
+  op.file = image_id;
+  op.source = id;
+  op.image_flags = image_flags;
+  for (const auto& run : of->table.runs()) {
+    for (const SharePiece& piece : snap_journal_.map().Pieces(
+             run.disk, run.first_fragment, run.contiguous_count)) {
+      op.ref_edits.push_back(SnapRefEdit{piece.disk, piece.first_fragment,
+                                         piece.block_count,
+                                         piece.count + 1});
+    }
+  }
+  RHODOS_ASSIGN_OR_RETURN(const std::uint64_t seq, snap_journal_.LogOp(op));
+  RHODOS_RETURN_IF_ERROR(ApplySnapOp(op));
+  RHODOS_RETURN_IF_ERROR(snap_journal_.LogDone(seq));
+  return image_id;
+}
+
+Status FileService::EnsureExclusive(FileId id, OpenFile& of,
+                                    std::uint64_t first_block,
+                                    std::uint64_t count) {
+  if (count == 0 || of.table.BlockCount() == 0) return OkStatus();
+  const std::uint64_t end =
+      std::min(first_block + count, of.table.BlockCount());
+  // Cheap pre-scan: files that never snapshotted carry no shared runs and
+  // pay only this walk of the in-memory table.
+  bool any_shared = false;
+  for (std::uint64_t b = first_block; b < end;) {
+    RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of.table.Locate(b));
+    if ((loc.flags & kRunShared) != 0) {
+      any_shared = true;
+      break;
+    }
+    b += std::min<std::uint64_t>(loc.contiguous_blocks, end - b);
+  }
+  if (!any_shared) return OkStatus();
+
+  RHODOS_RETURN_IF_ERROR(snap_journal_.Ensure());
+  for (std::uint64_t b = first_block; b < end;) {
+    RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of.table.Locate(b));
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(loc.contiguous_blocks, end - b));
+    if ((loc.flags & kRunShared) == 0) {
+      b += n;
+      continue;
+    }
+    // Handle the first uniformly-counted piece, then re-Locate: both the
+    // lazy flag clear and the split mutate the run list under us.
+    const SharePiece piece =
+        snap_journal_.map().Pieces(loc.disk, loc.first_fragment, n).front();
+    if (piece.count <= 1) {
+      // The other holders are gone; the flag is stale. Clear it lazily —
+      // no journal entry needed, the share map already says "exclusive".
+      RHODOS_RETURN_IF_ERROR(
+          of.table.ClearSharedInRange(b, piece.block_count));
+      of.table_dirty = true;
+      b += piece.block_count;
+    } else {
+      RHODOS_ASSIGN_OR_RETURN(
+          const std::uint32_t split,
+          CowSplit(id, of, b, piece.block_count, piece.count));
+      b += split;
+    }
+  }
+  return OkStatus();
+}
+
+Result<std::uint32_t> FileService::CowSplit(FileId id, OpenFile& of,
+                                            std::uint64_t first_block,
+                                            std::uint32_t count,
+                                            std::uint32_t share) {
+  obs::SpanScope span(obs::TracerOf(obs_), "file", "cow_split");
+  RHODOS_ASSIGN_OR_RETURN(BlockLocation donor, of.table.Locate(first_block));
+
+  // Allocate the private copy, preferring the donor's spindle, halving the
+  // chunk as the disks fill (smaller splits, never failure-by-fragmentation).
+  std::uint32_t chunk = count;
+  DiskId tgt_disk{};
+  FragmentIndex tgt_frag = 0;
+  while (true) {
+    bool placed = false;
+    if (auto server = disks_->Get(donor.disk); server.ok()) {
+      if (auto frag = (*server)->AllocateBlocks(chunk); frag.ok()) {
+        tgt_disk = donor.disk;
+        tgt_frag = *frag;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      if (auto placement = disks_->Allocate(chunk * kFragmentsPerBlock);
+          placement.ok()) {
+        tgt_disk = placement->disk;
+        tgt_frag = placement->first;
+        placed = true;
+      }
+    }
+    if (placed) break;
+    if (chunk == 1) {
+      return Error{ErrorCode::kNoSpace, "no space for copy-on-write split"};
+    }
+    chunk /= 2;
+  }
+
+  // Copy the shared bytes to the private location BEFORE the commit point:
+  // if we crash here the allocation was volatile and nothing changed; after
+  // the force, redo finds the data already in place.
+  std::vector<std::uint8_t> data(
+      static_cast<std::size_t>(chunk) * kBlockSize);
+  RHODOS_RETURN_IF_ERROR(ReadBlocks(id, of, first_block, chunk, data));
+  RHODOS_ASSIGN_OR_RETURN(DiskServer * tgt_server, disks_->Get(tgt_disk));
+  RHODOS_RETURN_IF_ERROR(
+      tgt_server->PutBlock(tgt_frag, chunk * kFragmentsPerBlock, data));
+
+  SnapOp op;
+  op.kind = SnapOpKind::kCowSplit;
+  op.file = id;
+  op.first_block = first_block;
+  op.block_count = chunk;
+  op.new_disk = tgt_disk;
+  op.new_fragment = tgt_frag;
+  op.ref_edits.push_back(
+      SnapRefEdit{donor.disk, donor.first_fragment, chunk, share - 1});
+  RHODOS_ASSIGN_OR_RETURN(const std::uint64_t seq, snap_journal_.LogOp(op));
+  RHODOS_RETURN_IF_ERROR(ApplySnapOp(op));
+  RHODOS_RETURN_IF_ERROR(snap_journal_.LogDone(seq));
+  ++stats_.cow_splits;
+  stats_.cow_blocks_copied += chunk;
+  return chunk;
+}
+
+Status FileService::ApplySnapOp(const SnapOp& op) {
+  // Re-install the absolute counts first: inline they are already in the
+  // map (LogOp applied them), at recovery this is the redo.
+  for (const SnapRefEdit& e : op.ref_edits) {
+    snap_journal_.map().SetCount(e.disk, e.first_fragment, e.block_count,
+                                 e.count);
+  }
+  std::vector<DiskServer*> touched;
+  auto touch = [&touched](DiskServer* s) {
+    if (std::find(touched.begin(), touched.end(), s) == touched.end()) {
+      touched.push_back(s);
+    }
+  };
+
+  switch (op.kind) {
+    case SnapOpKind::kImage: {
+      // The source's runs all become shared; persist so the COW trigger
+      // survives restarts even before the next ordinary table store.
+      RHODOS_ASSIGN_OR_RETURN(OpenFile * src, LoadTable(op.source));
+      src->table.SetAllRunsShared();
+      src->table_dirty = true;
+      RHODOS_RETURN_IF_ERROR(StoreTable(op.source, *src));
+
+      // Claim the image's table fragment (volatile allocation at first
+      // apply; re-claim at redo if the bitmap persisted without it).
+      RHODOS_ASSIGN_OR_RETURN(DiskServer * server,
+                              disks_->Get(FileDisk(op.file)));
+      if (!server->IsFragmentAllocated(FileFitFragment(op.file))) {
+        RHODOS_RETURN_IF_ERROR(
+            server->AllocateSpecific(FileFitFragment(op.file), 1));
+      }
+      touch(server);
+
+      // Materialize the image deterministically from the source: same runs,
+      // all shared. A redo that finds a half-stored image from the crashed
+      // first attempt adopts its indirect blocks instead of leaking them.
+      open_files_.erase(op.file);
+      OpenFile image;
+      image.table.attributes() = src->table.attributes();
+      FileAttributes& attrs = image.table.attributes();
+      attrs.ref_count = 0;
+      attrs.created_time = clock_ ? clock_->Now() : 0;
+      attrs.image_flags = op.image_flags;
+      attrs.origin = op.source.value;
+      for (const auto& run : src->table.runs()) {
+        RHODOS_RETURN_IF_ERROR(image.table.AppendDescriptor(run));
+      }
+      {
+        std::vector<std::uint8_t> fragment(kFragmentSize);
+        if (server->GetBlock(FileFitFragment(op.file), 1, fragment).ok()) {
+          auto parsed = ParseFitFragment(fragment);
+          if (parsed.ok() &&
+              parsed->table.attributes().origin == op.source.value &&
+              parsed->table.attributes().image_flags == op.image_flags) {
+            image.indirect_blocks = std::move(parsed->indirect_blocks);
+            for (const auto& ib : image.indirect_blocks) {
+              RHODOS_ASSIGN_OR_RETURN(DiskServer * ib_server,
+                                      disks_->Get(ib.disk));
+              if (!ib_server->IsFragmentAllocated(ib.first_fragment)) {
+                RHODOS_RETURN_IF_ERROR(ib_server->AllocateSpecific(
+                    ib.first_fragment, kFragmentsPerBlock));
+              }
+              touch(ib_server);
+            }
+          }
+        }
+      }
+      RHODOS_RETURN_IF_ERROR(StoreTable(op.file, image));
+      for (const auto& ib : image.indirect_blocks) {
+        RHODOS_ASSIGN_OR_RETURN(DiskServer * ib_server, disks_->Get(ib.disk));
+        touch(ib_server);
+      }
+      break;
+    }
+
+    case SnapOpKind::kCowSplit: {
+      RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(op.new_disk));
+      if (!server->IsFragmentAllocated(op.new_fragment)) {
+        RHODOS_RETURN_IF_ERROR(server->AllocateSpecific(
+            op.new_fragment, op.block_count * kFragmentsPerBlock));
+      }
+      touch(server);
+      RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(op.file));
+      RHODOS_ASSIGN_OR_RETURN(BlockLocation cur,
+                              of->table.Locate(op.first_block));
+      if (cur.disk != op.new_disk || cur.first_fragment != op.new_fragment) {
+        RHODOS_RETURN_IF_ERROR(of->table.ReplaceRange(
+            op.first_block, op.block_count, op.new_disk, op.new_fragment,
+            /*flags=*/0));
+      }
+      of->table_dirty = true;
+      RHODOS_RETURN_IF_ERROR(StoreTable(op.file, *of));
+      RHODOS_ASSIGN_OR_RETURN(DiskServer * home,
+                              disks_->Get(FileDisk(op.file)));
+      touch(home);
+      break;
+    }
+
+    case SnapOpKind::kRelease: {
+      if (op.scrub_fit) {
+        // Delete: scrub the table (both copies) before the frees, exactly
+        // like the unshared delete path.
+        RHODOS_ASSIGN_OR_RETURN(DiskServer * server,
+                                disks_->Get(FileDisk(op.file)));
+        const std::vector<std::uint8_t> zeros(kFragmentSize, 0);
+        RHODOS_RETURN_IF_ERROR(server->PutBlock(
+            FileFitFragment(op.file), 1, zeros,
+            StableMode::kOriginalAndStable, WriteSync::kSynchronous));
+        touch(server);
+        PurgeCache(op.file, 0);
+        open_files_.erase(op.file);
+      }
+      if (op.truncate) {
+        RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(op.file));
+        // The freed runs were computed at LogOp time and ride in op.frees /
+        // op.ref_edits; the cut itself is redone here. The size attribute
+        // is clamped in the SAME stable write: a crash between this commit
+        // and the resize's final StoreTable must never leave the table
+        // claiming a size beyond its mapped blocks.
+        (void)of->table.TruncateBlocks(op.first_block);
+        auto& attrs = of->table.attributes();
+        if (attrs.size > op.first_block * kBlockSize) {
+          attrs.size = op.first_block * kBlockSize;
+        }
+        of->table_dirty = true;
+        RHODOS_RETURN_IF_ERROR(StoreTable(op.file, *of));
+        RHODOS_ASSIGN_OR_RETURN(DiskServer * home,
+                                disks_->Get(FileDisk(op.file)));
+        touch(home);
+      }
+      if (op.rebind) {
+        RHODOS_ASSIGN_OR_RETURN(DiskServer * server,
+                                disks_->Get(op.new_disk));
+        if (!server->IsFragmentAllocated(op.new_fragment)) {
+          RHODOS_RETURN_IF_ERROR(server->AllocateSpecific(
+              op.new_fragment, op.block_count * kFragmentsPerBlock));
+        }
+        touch(server);
+        RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(op.file));
+        RHODOS_ASSIGN_OR_RETURN(BlockLocation cur,
+                                of->table.Locate(op.first_block));
+        if (cur.disk != op.new_disk ||
+            cur.first_fragment != op.new_fragment) {
+          RHODOS_RETURN_IF_ERROR(of->table.ReplaceRange(
+              op.first_block, op.block_count, op.new_disk, op.new_fragment,
+              /*flags=*/0));
+        }
+        of->table_dirty = true;
+        RHODOS_RETURN_IF_ERROR(StoreTable(op.file, *of));
+        // The logical blocks now hold the shadow data: cached copies of the
+        // pre-commit content are stale.
+        PurgeCache(op.file, op.first_block);
+        RHODOS_ASSIGN_OR_RETURN(DiskServer * home,
+                                disks_->Get(FileDisk(op.file)));
+        touch(home);
+      }
+      // Frees last, tolerant of redo (a fragment already freed — or already
+      // reused after Done — is left alone; the allocation check makes the
+      // free idempotent for the crash-redo window before Done).
+      for (const SnapFree& f : op.frees) {
+        RHODOS_ASSIGN_OR_RETURN(DiskServer * server, disks_->Get(f.disk));
+        if (server->IsFragmentAllocated(f.first_fragment)) {
+          RHODOS_RETURN_IF_ERROR(
+              server->FreeFragments(f.first_fragment, f.fragment_count));
+        }
+        touch(server);
+      }
+      BumpVersion(op.file);
+      break;
+    }
+  }
+
+  // Allocation-visible commit point: the bitmaps of every touched disk.
+  for (DiskServer* server : touched) {
+    RHODOS_RETURN_IF_ERROR(server->PersistMetadata());
+  }
+  return OkStatus();
+}
+
+Status FileService::RecoverSnapshots() {
+  RHODOS_ASSIGN_OR_RETURN(const bool present, snap_journal_.Probe());
+  if (!present) return OkStatus();
+  RHODOS_RETURN_IF_ERROR(snap_journal_.Ensure());
+  for (const SnapOp& op : snap_journal_.TakePending()) {
+    RHODOS_RETURN_IF_ERROR(ApplySnapOp(op));
+    RHODOS_RETURN_IF_ERROR(snap_journal_.LogDone(op.seq));
+  }
+  return OkStatus();
+}
+
+Result<std::uint32_t> FileService::ShareCountOf(FileId id,
+                                                std::uint64_t block_index) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  RHODOS_ASSIGN_OR_RETURN(BlockLocation loc, of->table.Locate(block_index));
+  if (!snap_journal_.loaded()) {
+    // Never claim the region just to answer a query.
+    RHODOS_ASSIGN_OR_RETURN(const bool present, snap_journal_.Probe());
+    if (!present) return std::uint32_t{1};
+    RHODOS_RETURN_IF_ERROR(snap_journal_.Ensure());
+  }
+  return snap_journal_.map().CountOf(loc.disk, loc.first_fragment);
+}
+
+Result<bool> FileService::HasSharedRuns(FileId id) {
+  RHODOS_ASSIGN_OR_RETURN(OpenFile * of, LoadTable(id));
+  return of->table.HasSharedRuns();
+}
+
+Status FileService::TestSetShareCount(DiskId disk, FragmentIndex first_fragment,
+                                      std::uint32_t block_count,
+                                      std::uint32_t count) {
+  RHODOS_RETURN_IF_ERROR(snap_journal_.Ensure());
+  snap_journal_.map().SetCount(disk, first_fragment, block_count, count);
+  return OkStatus();
+}
+
 // --- failure model --------------------------------------------------------------
 
 void FileService::Crash() {
@@ -938,6 +1457,9 @@ void FileService::Crash() {
   cache_.clear();
   lru_.clear();
   open_files_.clear();
+  // The share map and journal head are volatile; RecoverSnapshots rebuilds
+  // them from the stable region.
+  snap_journal_.Reset();
   // Dirty delayed-write data died with the volatile state, so any file a
   // client cached before the crash may have silently reverted to older
   // contents. Bump every version so those caches revalidate.

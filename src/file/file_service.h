@@ -39,6 +39,7 @@
 #include "file/buffer_pool.h"
 #include "file/file_index_table.h"
 #include "file/file_types.h"
+#include "file/snap_journal.h"
 #include "obs/observability.h"
 
 namespace rhodos::file {
@@ -70,6 +71,13 @@ struct FileServiceConfig {
   // file, the first reply from the new shard is guaranteed to look like a
   // foreign write to the client agent, which drops its clean cached blocks.
   std::uint64_t version_base = 0;
+  // Snapshot journal region reserved at the tail of disk 0 (checkpoints +
+  // op log for share-count durability), and which tail slot this service
+  // owns — the sharded facility gives each shard its own slot so shards
+  // sharing the substrate never collide. The region is only claimed on
+  // first snapshot/clone use.
+  std::uint64_t snapshot_region_fragments = 256;
+  std::uint32_t snapshot_region_slot = 0;
 };
 
 struct FileServiceStats {
@@ -84,6 +92,11 @@ struct FileServiceStats {
   std::uint64_t readahead_issued = 0;  // blocks prefetched speculatively
   std::uint64_t readahead_hits = 0;    // prefetched blocks later read
   std::uint64_t readahead_wasted = 0;  // prefetched blocks dropped unread
+  std::uint64_t snapshots = 0;         // Snapshot() captures
+  std::uint64_t clones = 0;            // Clone() captures
+  std::uint64_t cow_splits = 0;        // journaled copy-on-write splits
+  std::uint64_t cow_blocks_copied = 0; // blocks copied by COW splits
+  std::uint64_t shared_releases = 0;   // journaled refcounted releases
 };
 
 class FileService {
@@ -120,6 +133,45 @@ class FileService {
 
   // Truncates or extends the file to `size` bytes.
   Status Resize(FileId id, std::uint64_t size);
+
+  // --- Snapshots and clones (E23) ------------------------------------------
+
+  // Captures the file's current content as a new immutable image. O(1) in
+  // file size: the image's index table references the SAME block runs as
+  // the source (share counts bumped under the snapshot journal); no data
+  // moves. Writes to the snapshot are refused (kPermissionDenied); writes
+  // to the source copy-on-write split the shared runs.
+  Result<FileId> Snapshot(FileId id);
+
+  // As Snapshot, but the image is writable: a clone diverges from the
+  // source block by block as either side is written.
+  Result<FileId> Clone(FileId id);
+
+  // Re-applies journaled snapshot operations missing their Done marker,
+  // restoring the share map. Must run after disk recovery and BEFORE
+  // transaction recovery (the intention log's shadow rebinds consult share
+  // counts). A facility that never snapshotted pays one bitmap probe.
+  Status RecoverSnapshots();
+
+  // Share count of the block at `block_index` (1 = exclusively owned).
+  Result<std::uint32_t> ShareCountOf(FileId id, std::uint64_t block_index);
+
+  // True if any of the file's runs is marked shared (the txn service
+  // forces the shadow-page technique for such files).
+  Result<bool> HasSharedRuns(FileId id);
+
+  // Blocks currently shared between two or more files (gauge).
+  std::uint64_t SharedBlockCount() const {
+    return snap_journal_.map().SharedBlockCount();
+  }
+
+  SnapJournal& snap_journal() { return snap_journal_; }
+
+  // Test hook (fsck regressions): overwrites the STORED share count of a
+  // run without journaling — i.e. manufactures exactly the corruption fsck
+  // must catch. Never use outside tests.
+  Status TestSetShareCount(DiskId disk, FragmentIndex first_fragment,
+                           std::uint32_t block_count, std::uint32_t count);
 
   // Writes back all dirty cached blocks and the index table of `id`.
   Status Flush(FileId id);
@@ -245,6 +297,36 @@ class FileService {
 
   // Loads (or returns the already-loaded) index table of `id`.
   Result<OpenFile*> LoadTable(FileId id);
+
+  // Shared Snapshot/Clone body: one kImage journal op.
+  Result<FileId> CaptureImage(FileId id, std::uint8_t image_flags);
+
+  // Copy-on-write: guarantees logical blocks [first_block, +count) of the
+  // file are exclusively owned before they are overwritten, splitting
+  // shared pieces (allocate + copy + journaled rebind) and lazily clearing
+  // stale shared flags whose count already dropped back to one.
+  Status EnsureExclusive(FileId id, OpenFile& of, std::uint64_t first_block,
+                         std::uint64_t count);
+
+  // One journaled COW split of a uniformly-shared piece; allocates the
+  // copy target (falling back to smaller chunks), copies via the block
+  // path, and rebinds. Returns the number of blocks handled (>= 1).
+  Result<std::uint32_t> CowSplit(FileId id, OpenFile& of,
+                                 std::uint64_t first_block,
+                                 std::uint32_t count, std::uint32_t share);
+
+  // Idempotent redo half of every journaled snapshot operation: bitmap
+  // claims, index-table rewrites, share-count installs, frees. Called
+  // once inline after LogOp and again from RecoverSnapshots for ops whose
+  // Done marker is missing. May invalidate OpenFile pointers.
+  Status ApplySnapOp(const SnapOp& op);
+
+  // Builds the ref_edits (count - 1) and frees (count hit zero) for
+  // releasing `run`, appending to `op`.
+  void BuildRelease(const BlockDescriptor& run, SnapOp& op);
+
+  // Drops every cache entry of `id` at logical block >= `from`.
+  void PurgeCache(FileId id, std::uint64_t from);
   // Persists the table of `id` (fragment + indirect blocks) to original and
   // stable storage.
   Status StoreTable(FileId id, OpenFile& of);
@@ -288,6 +370,7 @@ class FileService {
   disk::DiskRegistry* disks_;
   SimClock* clock_;
   FileServiceConfig config_;
+  SnapJournal snap_journal_;
   BufferPool block_pool_;
   BufferPool fragment_pool_;
   std::unordered_map<FileId, OpenFile> open_files_;

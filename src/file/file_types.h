@@ -21,6 +21,13 @@ enum class LockLevel : std::uint8_t { kRecord = 0, kPage = 1, kFile = 2 };
 // date and time of file creation; last read access; a reference count ...;
 // service type ...; locking level ...; and space ... for storing the
 // file-specific attributes."
+// Image lineage of a file (attribute bits). A snapshot is an immutable
+// point-in-time image sharing its blocks with the origin under refcounted
+// copy-on-write; a clone is a writable file whose index initially aliases
+// the origin the same way.
+inline constexpr std::uint8_t kImageSnapshot = 0x01;
+inline constexpr std::uint8_t kImageClone = 0x02;
+
 struct FileAttributes {
   std::uint64_t size = 0;          // bytes
   SimTime created_time = 0;
@@ -33,6 +40,12 @@ struct FileAttributes {
   ServiceType service_type = ServiceType::kBasic;
   LockLevel locking_level = LockLevel::kPage;
   std::uint32_t extra_space = 0;   // extension attribute bytes reserved
+  // Snapshot/clone lineage: kImage* bits and the FileId of the file this
+  // image was captured from (0 = not an image). Snapshots are immutable.
+  std::uint8_t image_flags = 0;
+  std::uint64_t origin = 0;
+
+  bool immutable() const { return (image_flags & kImageSnapshot) != 0; }
 
   friend bool operator==(const FileAttributes&,
                          const FileAttributes&) = default;

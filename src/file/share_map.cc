@@ -1,0 +1,78 @@
+#include "file/share_map.h"
+
+#include <array>
+
+namespace rhodos::file {
+
+std::uint32_t ShareMap::CountOf(DiskId disk,
+                                FragmentIndex block_fragment) const {
+  const auto it = counts_.find(Key(disk, block_fragment));
+  return it == counts_.end() ? 1 : it->second;
+}
+
+std::vector<SharePiece> ShareMap::Pieces(DiskId disk,
+                                         FragmentIndex first_fragment,
+                                         std::uint32_t block_count) const {
+  std::vector<SharePiece> pieces;
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    const FragmentIndex frag = first_fragment + b * kFragmentsPerBlock;
+    const std::uint32_t count = CountOf(disk, frag);
+    if (!pieces.empty() && pieces.back().count == count) {
+      ++pieces.back().block_count;
+    } else {
+      pieces.push_back(SharePiece{disk, frag, 1, count});
+    }
+  }
+  return pieces;
+}
+
+void ShareMap::SetCount(DiskId disk, FragmentIndex first_fragment,
+                        std::uint32_t block_count, std::uint32_t count) {
+  for (std::uint32_t b = 0; b < block_count; ++b) {
+    const std::uint64_t key =
+        Key(disk, first_fragment + b * kFragmentsPerBlock);
+    if (count <= 1) {
+      counts_.erase(key);
+    } else {
+      counts_[key] = count;
+    }
+  }
+}
+
+void ShareMap::Serialize(Serializer& out) const {
+  // Coalesce adjacent blocks with equal counts into (key, blocks, count)
+  // triples. The map is ordered by packed key, so physical adjacency on
+  // one disk is textual adjacency here.
+  std::vector<std::array<std::uint64_t, 3>> entries;
+  for (const auto& [key, count] : counts_) {
+    if (!entries.empty() &&
+        entries.back()[0] + entries.back()[1] * kFragmentsPerBlock == key &&
+        entries.back()[2] == count) {
+      ++entries.back()[1];
+    } else {
+      entries.push_back({key, 1, count});
+    }
+  }
+  out.U32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    out.U64(e[0]);
+    out.U32(static_cast<std::uint32_t>(e[1]));
+    out.U32(static_cast<std::uint32_t>(e[2]));
+  }
+}
+
+ShareMap ShareMap::Deserialize(Deserializer& in) {
+  ShareMap map;
+  const std::uint32_t n = in.U32();
+  for (std::uint32_t i = 0; i < n && in.ok(); ++i) {
+    const std::uint64_t key = in.U64();
+    const std::uint32_t blocks = in.U32();
+    const std::uint32_t count = in.U32();
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+      map.counts_[key + b * kFragmentsPerBlock] = count;
+    }
+  }
+  return map;
+}
+
+}  // namespace rhodos::file

@@ -1,0 +1,89 @@
+// Share counts for copy-on-write block sharing (snapshots and clones).
+//
+// A block's share count is the number of file index tables whose run list
+// references it. The map stores an entry ONLY for blocks with count >= 2:
+// an allocated block absent from the map is exclusively owned (count 1),
+// so the map's size is proportional to the amount of *sharing*, not to the
+// amount of data. The invariant threaded through the facility is:
+//
+//   a block is freed exactly when its share count reaches zero, and share
+//   counts are only ever changed under the snapshot journal.
+//
+// The map itself is volatile; durability comes from the SnapJournal, which
+// logs absolute piece counts (idempotent to replay) and checkpoints the
+// whole map when its log region fills.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/serializer.h"
+#include "common/types.h"
+
+namespace rhodos::file {
+
+// A maximal sub-range of a probed run over which the share count is
+// uniform. `first_fragment` is the first fragment of the piece's first
+// block; `block_count` the number of blocks; `count` the share count
+// (1 = exclusive).
+struct SharePiece {
+  DiskId disk;
+  FragmentIndex first_fragment;
+  std::uint32_t block_count;
+  std::uint32_t count;
+};
+
+class ShareMap {
+ public:
+  // Share count of the single block whose first fragment is
+  // `block_fragment` (1 if absent — exclusively owned or unallocated).
+  std::uint32_t CountOf(DiskId disk, FragmentIndex block_fragment) const;
+
+  // Decomposes the run of `block_count` blocks starting at
+  // (disk, first_fragment) into maximal pieces of uniform share count.
+  std::vector<SharePiece> Pieces(DiskId disk, FragmentIndex first_fragment,
+                                 std::uint32_t block_count) const;
+
+  // Sets the absolute share count of every block in the run. count <= 1
+  // erases the entries (exclusive ownership is represented by absence).
+  // Absolute, hence idempotent — the journal replays these at recovery.
+  void SetCount(DiskId disk, FragmentIndex first_fragment,
+                std::uint32_t block_count, std::uint32_t count);
+
+  // Number of distinct blocks currently shared (count >= 2). Feeds the
+  // file.shared_blocks gauge and fsck's expected-refcount computation.
+  std::uint64_t SharedBlockCount() const { return counts_.size(); }
+
+  // Iterates every shared block as single-block pieces (count >= 2 only).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [key, count] : counts_) {
+      fn(DiskOf(key), FragmentOf(key), count);
+    }
+  }
+
+  void Clear() { counts_.clear(); }
+
+  // Checkpoint image: runs of adjacent blocks with equal counts are
+  // coalesced, so the serialized size is O(shared runs), not O(blocks).
+  void Serialize(Serializer& out) const;
+  static ShareMap Deserialize(Deserializer& in);
+
+ private:
+  static std::uint64_t Key(DiskId disk, FragmentIndex fragment) {
+    return (static_cast<std::uint64_t>(disk.value) << 40) |
+           (fragment & ((1ULL << 40) - 1));
+  }
+  static DiskId DiskOf(std::uint64_t key) {
+    return DiskId{static_cast<std::uint32_t>(key >> 40)};
+  }
+  static FragmentIndex FragmentOf(std::uint64_t key) {
+    return key & ((1ULL << 40) - 1);
+  }
+
+  // Ordered so Serialize can coalesce physically adjacent blocks.
+  std::map<std::uint64_t, std::uint32_t> counts_;
+};
+
+}  // namespace rhodos::file

@@ -1,0 +1,403 @@
+#include "file/snap_journal.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+namespace rhodos::file {
+
+namespace {
+
+constexpr std::uint32_t kLogMagic = 0x52534E4C;   // "RSNL"
+constexpr std::uint32_t kCkptMagic = 0x52534E43;  // "RSNC"
+constexpr std::uint8_t kPayloadOp = 1;
+constexpr std::uint8_t kPayloadDone = 2;
+
+std::uint64_t Fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint32_t GetU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t GetU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+}  // namespace
+
+void SerializeSnapOp(Serializer& out, const SnapOp& op) {
+  out.U64(op.seq);
+  out.U8(static_cast<std::uint8_t>(op.kind));
+  out.U64(op.file.value);
+  out.U64(op.source.value);
+  out.U8(op.image_flags);
+  out.U64(op.first_block);
+  out.U32(op.block_count);
+  out.U32(op.new_disk.value);
+  out.U64(op.new_fragment);
+  out.U8(op.rebind ? 1 : 0);
+  out.U8(op.scrub_fit ? 1 : 0);
+  out.U8(op.truncate ? 1 : 0);
+  out.U32(static_cast<std::uint32_t>(op.ref_edits.size()));
+  for (const auto& e : op.ref_edits) {
+    out.U32(e.disk.value);
+    out.U64(e.first_fragment);
+    out.U32(e.block_count);
+    out.U32(e.count);
+  }
+  out.U32(static_cast<std::uint32_t>(op.frees.size()));
+  for (const auto& f : op.frees) {
+    out.U32(f.disk.value);
+    out.U64(f.first_fragment);
+    out.U32(f.fragment_count);
+  }
+}
+
+Result<SnapOp> DeserializeSnapOp(Deserializer& in) {
+  SnapOp op;
+  op.seq = in.U64();
+  op.kind = static_cast<SnapOpKind>(in.U8());
+  op.file = FileId{in.U64()};
+  op.source = FileId{in.U64()};
+  op.image_flags = in.U8();
+  op.first_block = in.U64();
+  op.block_count = in.U32();
+  op.new_disk = DiskId{in.U32()};
+  op.new_fragment = in.U64();
+  op.rebind = in.U8() != 0;
+  op.scrub_fit = in.U8() != 0;
+  op.truncate = in.U8() != 0;
+  const std::uint32_t n_edits = in.U32();
+  if (!in.ok() || n_edits > 1u << 20) {
+    return Error{ErrorCode::kMediaError, "corrupt snap op"};
+  }
+  for (std::uint32_t i = 0; i < n_edits; ++i) {
+    SnapRefEdit e;
+    e.disk = DiskId{in.U32()};
+    e.first_fragment = in.U64();
+    e.block_count = in.U32();
+    e.count = in.U32();
+    op.ref_edits.push_back(e);
+  }
+  const std::uint32_t n_frees = in.U32();
+  if (!in.ok() || n_frees > 1u << 20) {
+    return Error{ErrorCode::kMediaError, "corrupt snap op"};
+  }
+  for (std::uint32_t i = 0; i < n_frees; ++i) {
+    SnapFree f;
+    f.disk = DiskId{in.U32()};
+    f.first_fragment = in.U64();
+    f.fragment_count = in.U32();
+    op.frees.push_back(f);
+  }
+  if (!in.ok()) return Error{ErrorCode::kMediaError, "truncated snap op"};
+  return op;
+}
+
+SnapJournal::SnapJournal(disk::DiskRegistry* disks,
+                         std::uint64_t region_fragments, std::uint32_t slot)
+    : disks_(disks), region_fragments_(region_fragments), slot_(slot) {}
+
+Result<bool> SnapJournal::Probe() {
+  if (loaded_) return true;
+  RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server,
+                          disks_->Get(RegionDisk()));
+  const std::uint64_t total = server->TotalFragmentCount();
+  const std::uint64_t span = region_fragments_ * (slot_ + 1);
+  if (span + server->MetadataFragments() >= total) return false;
+  const FragmentIndex first = total - span;
+  if (!server->IsFragmentAllocated(first)) return false;
+  const std::uint64_t slot_frags = region_fragments_ / 8;
+  std::vector<std::uint8_t> buf(slot_frags * kFragmentSize);
+  for (std::uint8_t s = 0; s < 2; ++s) {
+    if (!server
+             ->GetBlock(first + s * slot_frags,
+                        static_cast<std::uint32_t>(slot_frags), buf,
+                        disk::ReadSource::kStable)
+             .ok()) {
+      continue;
+    }
+    if (GetU32(buf.data()) != kCkptMagic) continue;
+    const std::uint32_t len = GetU32(buf.data() + 4);
+    if (8 + len + 8 > buf.size()) continue;
+    if (GetU64(buf.data() + 8 + len) ==
+        Fnv1a({buf.data() + 8, len})) {
+      return true;
+    }
+  }
+  return false;
+}
+
+Status SnapJournal::Ensure() {
+  if (loaded_) return OkStatus();
+  RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server,
+                          disks_->Get(RegionDisk()));
+  const std::uint64_t total = server->TotalFragmentCount();
+  const std::uint64_t span = region_fragments_ * (slot_ + 1);
+  if (span + server->MetadataFragments() >= total) {
+    return {ErrorCode::kNoSpace, "disk too small for snapshot journal"};
+  }
+  region_first_ = total - span;
+  ckpt_slot_fragments_ = region_fragments_ / 8;
+  log_first_ = region_first_ + 2 * ckpt_slot_fragments_;
+  log_bytes_ =
+      (region_fragments_ - 2 * ckpt_slot_fragments_) * kFragmentSize;
+
+  map_.Clear();
+  log_image_.assign(log_bytes_, 0);
+  head_ = 0;
+  next_seq_ = 1;
+  ckpt_seq_ = 0;
+  ckpt_slot_ = 0;
+  pending_seqs_.clear();
+  pending_ops_.clear();
+
+  if (server->AllocateSpecific(region_first_, static_cast<std::uint32_t>(
+                                                  region_fragments_))
+          .ok()) {
+    // Fresh claim. Make the claim itself durable immediately: apply-side
+    // PersistMetadata calls hit the mutated file's disk, which need not be
+    // this one, and a recovered bitmap without this range would let file
+    // data pave over the journal.
+    RHODOS_RETURN_IF_ERROR(server->PersistMetadata());
+    RHODOS_RETURN_IF_ERROR(WriteCheckpoint());
+    loaded_ = true;
+    return OkStatus();
+  }
+
+  // Adopt: the region is already allocated (survived a restart). Load the
+  // freshest valid checkpoint of the two slots, then replay the log over it.
+  std::uint64_t best_gen = 0;
+  bool have_ckpt = false;
+  std::vector<std::uint8_t> slot_buf(ckpt_slot_fragments_ * kFragmentSize);
+  for (std::uint8_t s = 0; s < 2; ++s) {
+    const Status st = server->GetBlock(
+        region_first_ + s * ckpt_slot_fragments_,
+        static_cast<std::uint32_t>(ckpt_slot_fragments_), slot_buf,
+        disk::ReadSource::kStable);
+    if (!st.ok()) continue;
+    if (GetU32(slot_buf.data()) != kCkptMagic) continue;
+    const std::uint32_t len = GetU32(slot_buf.data() + 4);
+    if (8 + len + 8 > slot_buf.size()) continue;
+    const std::span<const std::uint8_t> payload{slot_buf.data() + 8, len};
+    if (GetU64(slot_buf.data() + 8 + len) != Fnv1a(payload)) continue;
+    Deserializer in{payload};
+    const std::uint64_t gen = in.U64();
+    ShareMap map = ShareMap::Deserialize(in);
+    if (!in.ok()) continue;
+    if (!have_ckpt || gen > best_gen) {
+      best_gen = gen;
+      map_ = std::move(map);
+      ckpt_slot_ = static_cast<std::uint8_t>((s + 1) % 2);
+      have_ckpt = true;
+    }
+  }
+  if (!have_ckpt) {
+    // Claimed but never initialized (crash in the claim window): start
+    // empty. Committed ops always live behind a valid checkpoint, so an
+    // unreadable checkpoint here can only mean nothing was ever logged.
+    RHODOS_RETURN_IF_ERROR(WriteCheckpoint());
+    loaded_ = true;
+    return OkStatus();
+  }
+  ckpt_seq_ = best_gen;
+
+  RHODOS_RETURN_IF_ERROR(server->GetBlock(
+      log_first_, static_cast<std::uint32_t>(log_bytes_ / kFragmentSize),
+      log_image_, disk::ReadSource::kStable));
+  std::uint64_t pos = 0;
+  std::map<std::uint64_t, SnapOp> ops;
+  while (pos + 16 <= log_bytes_) {
+    if (GetU32(log_image_.data() + pos) != kLogMagic) break;
+    const std::uint32_t len = GetU32(log_image_.data() + pos + 4);
+    if (len == 0 || pos + 16 + len > log_bytes_) {
+      ++stats_.torn_records_skipped;
+      break;
+    }
+    const std::span<const std::uint8_t> payload{log_image_.data() + pos + 8,
+                                                len};
+    if (GetU64(log_image_.data() + pos + 8 + len) != Fnv1a(payload)) {
+      // A torn tail force: the op never committed (LogOp returns only
+      // after a clean force), so stopping here is all-or-nothing.
+      ++stats_.torn_records_skipped;
+      break;
+    }
+    Deserializer in{payload};
+    const std::uint8_t type = in.U8();
+    if (type == kPayloadOp) {
+      auto op = DeserializeSnapOp(in);
+      if (!op.ok()) {
+        ++stats_.torn_records_skipped;
+        break;
+      }
+      // Absolute piece counts: replaying the whole log in order (even ops
+      // already folded into the checkpoint) converges to the final state.
+      for (const auto& e : op->ref_edits) {
+        map_.SetCount(e.disk, e.first_fragment, e.block_count, e.count);
+      }
+      next_seq_ = std::max(next_seq_, op->seq + 1);
+      ops.emplace(op->seq, std::move(*op));
+      ++stats_.replayed_ops;
+    } else if (type == kPayloadDone) {
+      const std::uint64_t seq = in.U64();
+      ops.erase(seq);
+      next_seq_ = std::max(next_seq_, seq + 1);
+    } else {
+      ++stats_.torn_records_skipped;
+      break;
+    }
+    pos += 16 + len;
+  }
+  head_ = pos;
+  std::memset(log_image_.data() + head_, 0, log_bytes_ - head_);
+  for (auto& [seq, op] : ops) {
+    pending_seqs_.insert(seq);
+    pending_ops_.push_back(std::move(op));
+  }
+  loaded_ = true;
+  return OkStatus();
+}
+
+Status SnapJournal::ForceLog(std::uint64_t begin_byte,
+                             std::uint64_t end_byte) {
+  RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server,
+                          disks_->Get(RegionDisk()));
+  const std::uint64_t first_frag = begin_byte / kFragmentSize;
+  const std::uint64_t last_frag = (end_byte - 1) / kFragmentSize;
+  const std::uint64_t frags = last_frag - first_frag + 1;
+  ++stats_.forces;
+  return server->PutBlock(
+      log_first_ + first_frag, static_cast<std::uint32_t>(frags),
+      std::span<const std::uint8_t>{
+          log_image_.data() + first_frag * kFragmentSize,
+          frags * kFragmentSize},
+      disk::StableMode::kStableOnly, disk::WriteSync::kSynchronous);
+}
+
+Status SnapJournal::AppendRecord(std::span<const std::uint8_t> payload) {
+  const std::uint64_t frame_bytes = 16 + payload.size();
+  if (head_ + frame_bytes > log_bytes_) {
+    if (!pending_seqs_.empty()) {
+      return {ErrorCode::kNoSpace,
+              "snapshot journal full with operations in flight"};
+    }
+    RHODOS_RETURN_IF_ERROR(WriteCheckpoint());
+    if (head_ + frame_bytes > log_bytes_) {
+      return {ErrorCode::kNoSpace, "snapshot op larger than journal"};
+    }
+  }
+  Serializer frame;
+  frame.U32(kLogMagic);
+  frame.U32(static_cast<std::uint32_t>(payload.size()));
+  std::uint8_t* at = log_image_.data() + head_;
+  std::memcpy(at, frame.buffer().data(), 8);
+  std::memcpy(at + 8, payload.data(), payload.size());
+  Serializer sum;
+  sum.U64(Fnv1a(payload));
+  std::memcpy(at + 8 + payload.size(), sum.buffer().data(), 8);
+  const std::uint64_t begin = head_;
+  head_ += frame_bytes;
+  return ForceLog(begin, head_);
+}
+
+Result<std::uint64_t> SnapJournal::LogOp(SnapOp& op) {
+  RHODOS_RETURN_IF_ERROR(Ensure());
+  op.seq = next_seq_++;
+  Serializer payload;
+  payload.U8(kPayloadOp);
+  SerializeSnapOp(payload, op);
+  RHODOS_RETURN_IF_ERROR(AppendRecord(payload.buffer()));
+  // The force above is the commit point; the map reflects it immediately.
+  for (const auto& e : op.ref_edits) {
+    map_.SetCount(e.disk, e.first_fragment, e.block_count, e.count);
+  }
+  pending_seqs_.insert(op.seq);
+  ++stats_.ops_logged;
+  return op.seq;
+}
+
+Status SnapJournal::LogDone(std::uint64_t seq) {
+  RHODOS_RETURN_IF_ERROR(Ensure());
+  Serializer payload;
+  payload.U8(kPayloadDone);
+  payload.U64(seq);
+  RHODOS_RETURN_IF_ERROR(AppendRecord(payload.buffer()));
+  pending_seqs_.erase(seq);
+  ++stats_.dones_logged;
+  // Fold the log into a checkpoint at quiescence, before it fills.
+  if (pending_seqs_.empty() && head_ > (log_bytes_ / 4) * 3) {
+    RHODOS_RETURN_IF_ERROR(WriteCheckpoint());
+  }
+  return OkStatus();
+}
+
+Status SnapJournal::WriteCheckpoint() {
+  RHODOS_ASSIGN_OR_RETURN(disk::DiskServer * server,
+                          disks_->Get(RegionDisk()));
+  Serializer payload;
+  payload.U64(next_seq_);  // strictly grows: freshest slot wins at adopt
+  map_.Serialize(payload);
+  const std::uint64_t slot_bytes = ckpt_slot_fragments_ * kFragmentSize;
+  if (8 + payload.size() + 8 > slot_bytes) {
+    return {ErrorCode::kNoSpace, "share map exceeds checkpoint slot"};
+  }
+  std::vector<std::uint8_t> buf(slot_bytes, 0);
+  Serializer header;
+  header.U32(kCkptMagic);
+  header.U32(static_cast<std::uint32_t>(payload.size()));
+  std::memcpy(buf.data(), header.buffer().data(), 8);
+  std::memcpy(buf.data() + 8, payload.buffer().data(), payload.size());
+  Serializer sum;
+  sum.U64(Fnv1a(payload.buffer()));
+  std::memcpy(buf.data() + 8 + payload.size(), sum.buffer().data(), 8);
+  ++stats_.forces;
+  RHODOS_RETURN_IF_ERROR(server->PutBlock(
+      region_first_ + ckpt_slot_ * ckpt_slot_fragments_,
+      static_cast<std::uint32_t>(ckpt_slot_fragments_), buf,
+      disk::StableMode::kStableOnly, disk::WriteSync::kSynchronous));
+  ckpt_slot_ = static_cast<std::uint8_t>((ckpt_slot_ + 1) % 2);
+  ckpt_seq_ = next_seq_;
+  ++stats_.checkpoints;
+  // Reset the log: head to zero, and invalidate the old first record on
+  // stable storage so an adopt after crash does not replay the stale log
+  // over the new checkpoint's generation... which would still converge
+  // (absolute counts), but pending detection must not resurrect old ops.
+  head_ = 0;
+  std::fill(log_image_.begin(), log_image_.end(), 0);
+  ++stats_.forces;
+  return server->PutBlock(
+      log_first_, 1,
+      std::span<const std::uint8_t>{log_image_.data(), kFragmentSize},
+      disk::StableMode::kStableOnly, disk::WriteSync::kSynchronous);
+}
+
+std::vector<SnapOp> SnapJournal::TakePending() {
+  std::vector<SnapOp> out = std::move(pending_ops_);
+  pending_ops_.clear();
+  return out;
+}
+
+void SnapJournal::Reset() {
+  loaded_ = false;
+  map_.Clear();
+  log_image_.clear();
+  head_ = 0;
+  next_seq_ = 1;
+  ckpt_seq_ = 0;
+  ckpt_slot_ = 0;
+  pending_seqs_.clear();
+  pending_ops_.clear();
+}
+
+}  // namespace rhodos::file

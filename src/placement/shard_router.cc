@@ -34,7 +34,24 @@ ShardRouter::Route ShardRouter::Pick(std::uint64_t point) {
 }
 
 ShardRouter::Route ShardRouter::RouteFile(FileId id) {
-  return Pick(Mix64(id.value));
+  return Pick(Mix64(Resolve(id).value));
+}
+
+FileId ShardRouter::Resolve(FileId id) const {
+  // Follow the pin chain (clone of a clone of a snapshot...) to the root
+  // origin. Cycles cannot form — a pin is registered at capture time and
+  // points at a file that already existed — but cap the walk defensively.
+  for (std::size_t hops = 0; hops < pins_.size(); ++hops) {
+    const auto it = pins_.find(id.value);
+    if (it == pins_.end()) break;
+    id = FileId{it->second};
+  }
+  return id;
+}
+
+void ShardRouter::PinFileTo(FileId child, FileId origin) {
+  if (child.value == origin.value) return;
+  pins_[child.value] = origin.value;
 }
 
 ShardRouter::Route ShardRouter::RouteToken(std::uint64_t token) {

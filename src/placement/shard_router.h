@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.h"
@@ -62,7 +63,9 @@ class ShardRouter {
   }
 
   // Pure placement (no liveness, no stats): the owning shard.
-  std::uint32_t HomeShard(FileId id) const { return map_.ShardForFile(id); }
+  std::uint32_t HomeShard(FileId id) const {
+    return map_.ShardForFile(Resolve(id));
+  }
   std::uint32_t HomeShardForToken(std::uint64_t token) const {
     return map_.ShardForToken(token);
   }
@@ -92,15 +95,27 @@ class ShardRouter {
     fence_ = std::move(hook);
   }
 
+  // Snapshots and clones live on their ORIGIN's shard: the image is
+  // captured by the source's file service and shares its blocks, so the
+  // consistent-hash ring (which would scatter `child` anywhere) must be
+  // overridden. Routing for a pinned file resolves through its origin —
+  // chains (clone of a clone) resolve to the root — so failover and
+  // fencing behave exactly as they do for the origin itself.
+  void PinFileTo(FileId child, FileId origin);
+  std::size_t PinnedCount() const { return pins_.size(); }
+
   const ShardRouterStats& stats() const { return stats_; }
   const PlacementMap& map() const { return map_; }
 
  private:
   Route Pick(std::uint64_t point);
   void BumpEpoch();
+  FileId Resolve(FileId id) const;
 
   PlacementMap map_;
   std::vector<std::string> addresses_;
+  // child -> origin placement pins (snapshot/clone lineage).
+  std::unordered_map<std::uint64_t, std::uint64_t> pins_;
   std::vector<bool> suspected_;
   std::uint64_t epoch_ = 0;
   std::function<void(std::uint32_t)> fence_;

@@ -305,6 +305,12 @@ Result<CommitTechnique> TransactionService::TechniqueFor(FileId file) {
     case TxnServiceConfig::TechniqueOverride::kAuto:
       break;
   }
+  // A file with shared (snapshot/clone) runs must not be written in place:
+  // shadow paging stages a fresh block and commits through the file
+  // service's journaled rebind, which decrements the donor's share count
+  // instead of overwriting bytes the snapshot still references.
+  RHODOS_ASSIGN_OR_RETURN(bool shared, files_->HasSharedRuns(file));
+  if (shared) return CommitTechnique::kShadowPage;
   // "use the shadow page technique when the data blocks are not contiguous
   // and the wal technique when the data blocks are contiguous. Whether data
   // blocks are contiguous or not is very easy to determine by using the
@@ -423,6 +429,16 @@ Status TransactionService::StageCommit(TxnId id, Txn& t, CommitPlan* plan) {
         IntentionKind::kRedoRange, id, FileId{fval}, 0, w.offset, {}, 0,
         TxnStatus::kTentative, w.data}));
     ++stats_.ranges_logged;
+  }
+
+  // Deletes ride the intentions list too: once the commit record lands, a
+  // crash before the apply must still release the file — which for a file
+  // sharing blocks with snapshots means a refcounted release, not a blind
+  // free. Recovery redoes these through FileService::Delete.
+  for (FileId file : t.to_delete) {
+    RHODOS_RETURN_IF_ERROR(append(IntentionRecord{
+        IntentionKind::kDeleteFile, id, file, 0, 0, {}, 0,
+        TxnStatus::kTentative, {}}));
   }
 
   // THE COMMIT POINT record: the transaction is durable once the batch
@@ -669,6 +685,11 @@ Status TransactionService::Recover() {
             }
             break;
           }
+          case IntentionKind::kDeleteFile:
+            // Tolerant redo: the apply may have deleted the file already
+            // (its table then reads as unparseable/scrubbed).
+            (void)files_->Delete(r.file);
+            break;
           default:
             break;
         }

@@ -52,6 +52,7 @@ enum class IntentionKind : std::uint8_t {
   kRedoRange = 3,  // WAL: byte-range image (record-level locking)
   kShadowMap = 4,  // shadow page: logical block -> new physical block
   kStatus = 5,     // intention flag transition (commit / abort / completed)
+  kDeleteFile = 6, // committed delete: redo releases the file's blocks
 };
 
 // One record of the intentions list. Only the fields relevant to `kind`

@@ -176,6 +176,63 @@ TEST(ChaosTest, SurvivesCrashDuringRepairStorm) {
   EXPECT_GE(report->disk_failures_seen, 1u);
 }
 
+TEST(ChaosTest, SurvivesSnapshotStormWithMidRunServiceCrash) {
+  // E23 storm: snapshots and clones are captured, the clones rewritten and
+  // every image re-read, while a replica disk dies and returns — and at
+  // the half-way mark every service and every disk crashes and recovers
+  // mid-storm (snapshot-journal redo first, then the intention log).
+  // Write-through makes every acked write a durable promise, so the
+  // oracles hold across the crash; snapshots must present their capture
+  // image forever (invariant I5), and the final audit reconciles every
+  // shared block's refcount.
+  FacilityConfig cfg = SmallConfig();
+  cfg.file.basic_write_policy = disk::WritePolicy::kWriteThrough;
+  DistributedFileFacility f(cfg);
+  ChaosWorkloadConfig wl;
+  wl.seed = 66;
+  wl.operations = 300;
+  wl.max_images = 8;
+  wl.service_crash_at_op = 150;
+  ChaosRunner runner(&f, wl);
+  sim::FaultPlan plan;
+  plan.DiskCrash(200 * kSimMillisecond, 1)
+      .DiskRecover(500 * kSimMillisecond, 1);
+  auto report = runner.Run(std::move(plan));
+  ASSERT_TRUE(report.ok()) << report.error().message;
+  EXPECT_TRUE(report->ok()) << report->Summary();
+  // The storm exercised the machinery it claims to cover.
+  EXPECT_GT(report->snapshots_taken, 0u) << report->Summary();
+  EXPECT_GT(report->clones_taken, 0u) << report->Summary();
+  EXPECT_GT(report->clone_writes, 0u) << report->Summary();
+  EXPECT_GT(report->image_reads, 0u) << report->Summary();
+  EXPECT_GT(report->fsck_refcounts_checked, 0u) << report->Summary();
+  EXPECT_GE(report->disk_failures_seen, 1u);
+}
+
+TEST(ChaosTest, SnapshotStormDeterministicGivenSeedAndPlan) {
+  auto run = [] {
+    FacilityConfig cfg = SmallConfig();
+    cfg.file.basic_write_policy = disk::WritePolicy::kWriteThrough;
+    DistributedFileFacility f(cfg);
+    ChaosWorkloadConfig wl;
+    wl.seed = 66;
+    wl.operations = 300;
+    wl.max_images = 8;
+    wl.service_crash_at_op = 150;
+    sim::FaultPlan plan;
+    plan.DiskCrash(200 * kSimMillisecond, 1)
+        .DiskRecover(500 * kSimMillisecond, 1);
+    ChaosRunner runner(&f, wl);
+    auto report = runner.Run(std::move(plan));
+    EXPECT_TRUE(report.ok());
+    return report.ok() ? report->Summary() : std::string("setup failed");
+  };
+  const std::string first = run();
+  const std::string second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first, "setup failed");
+}
+
 TEST(ChaosTest, PartitionStormDeterministicGivenSeedAndPlan) {
   auto run = [] {
     DistributedFileFacility f(SmallConfig());

@@ -169,8 +169,36 @@ TEST_F(FsckTest, DetectsDoubleAllocation) {
   const std::vector<FileId> ids{*a, *b};
   const auto report = file::AuditFiles(*files_, ids);
   EXPECT_FALSE(report.clean());
-  EXPECT_GE(report.CountOf(file::AuditIssue::Kind::kDoubleAllocation),
-            kFragmentsPerBlock);
+  // The share-aware audit classifies a data-block multi-claim by its
+  // refcount: two claimants against a stored count of one is a future
+  // double-free (kRefcountLow), and neither claiming run carries the
+  // shared flag (kSharedFlagMissing). kDoubleAllocation remains for
+  // control fragments, which may never be multiply claimed.
+  EXPECT_GE(report.CountOf(file::AuditIssue::Kind::kRefcountLow), 1u);
+  EXPECT_GE(report.CountOf(file::AuditIssue::Kind::kSharedFlagMissing), 1u);
+}
+
+TEST_F(FsckTest, SnapshotSharingIsNotDoubleAllocation) {
+  // Sharing changed what "double allocation" means: a snapshot's claim on
+  // its source's blocks is legal because the stored share count says so.
+  // The same multi-claim WITHOUT a share count (previous test) stays an
+  // issue.
+  auto f = files_->Create(file::ServiceType::kBasic, 2 * kBlockSize);
+  ASSERT_TRUE(files_->Write(*f, 0, Pattern(2 * kBlockSize, 3)).ok());
+  auto snap = files_->Snapshot(*f);
+  ASSERT_TRUE(snap.ok());
+  const std::vector<FileId> ids{*f, *snap};
+  std::vector<file::ReservedRegion> reserved;
+  file::SnapJournal& j = files_->snap_journal();
+  ASSERT_TRUE(j.loaded());
+  reserved.push_back({j.RegionDisk(), j.RegionFirst(), j.RegionFragments()});
+  const auto report = file::AuditFiles(
+      *files_, ids, std::span<const file::ReservedRegion>(reserved));
+  EXPECT_TRUE(report.clean())
+      << (report.issues.empty() ? "" : report.issues.front().detail);
+  EXPECT_EQ(report.CountOf(file::AuditIssue::Kind::kDoubleAllocation), 0u);
+  EXPECT_EQ(report.shared_blocks, 2u);
+  EXPECT_GE(report.refcounts_checked, 2u);
 }
 
 TEST_F(FsckTest, DetectsUnreadableTable) {
