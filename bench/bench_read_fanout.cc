@@ -1,0 +1,145 @@
+// E24 — cache-tier read fan-out: a million-reader hot file served from the
+// agents' caches instead of the origin's spindles.
+//
+// The cache-tier bet (DESIGN.md §5) is that a redirect costs the reader ONE
+// extra exchange on its first miss, and buys the origin a read it never
+// performs: agents holding valid callback promises peer-serve immutable,
+// version-token-stamped clean blocks, so the origin's disk-reference count
+// stays ~O(1) per file block (the warm-up fills) no matter how many readers
+// arrive. This bench sweeps simulated readers 10^4 → 10^6 against the
+// serving-tier size and measures both sides of that trade:
+//
+//   * reads_per_sim_sec     — aggregate cold-read throughput (overlapped
+//                             reader lanes via sim::ParallelSection)
+//   * origin_refs_per_read  — origin disk reads per cold read; GATED < 0.1
+//                             with a tier (vs ~1.0 at tier 0: the 8-buffer
+//                             origin block pool thrashes on a 64-block file)
+//   * peer_serve_rate       — fraction of cold reads a peer answered
+//   * msgs_per_read         — exchange cost of the redirect detour
+#include <cstdint>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "sim/parallel.h"
+
+namespace rhodos::bench {
+namespace {
+
+constexpr std::size_t kBlock = 8 * 1024;
+constexpr std::uint64_t kFileBlocks = 64;  // 512 KiB hot file
+constexpr int kPoolMachines = 64;          // overlapped cold-reader lanes
+
+std::uint64_t BusCalls(core::DistributedFileFacility& f) {
+  return f.bus().stats().calls;
+}
+
+void BM_ReadFanout(benchmark::State& state) {
+  const std::int64_t readers = state.range(0);
+  const int tier = static_cast<int>(state.range(1));
+  core::FacilityConfig cfg = DefaultFacility();
+  cfg.agent.delayed_write = true;
+  cfg.agent.cache_blocks = 128;  // a tier agent can hold the whole file
+  // The origin's caches are far smaller than the file, so every read the
+  // tier does NOT absorb descends to the platters — the row's cost signal.
+  // (The strided read pattern below defeats track locality too.)
+  cfg.file.block_pool_capacity = 8;
+  cfg.disk_cache_tracks = 2;
+  cfg.track_readahead = false;
+  cfg.callback.lease_ns = 600 * kSimSecond;  // leases outlive the run
+  cfg.cache_tier.enabled = tier > 0;
+  core::DistributedFileFacility f(cfg);
+
+  core::Machine& writer = f.AddMachine();
+  auto wd = *writer.file_agent->Create(naming::ByName("fanout"),
+                                       file::ServiceType::kBasic);
+  (void)writer.file_agent->Pwrite(wd, 0, Pattern(kFileBlocks * kBlock));
+  (void)writer.file_agent->Flush(wd);
+
+  // Warm the serving tier: each agent reads the whole file, registering its
+  // held block ranges with the read router. Once the file trips the hot
+  // threshold the later tier agents warm up from the EARLIER ones — the
+  // tier builds itself peer-to-peer.
+  std::vector<std::uint8_t> out(kBlock);
+  for (int i = 0; i < tier; ++i) {
+    core::Machine& m = f.AddMachine();
+    auto rd = *m.file_agent->Open(naming::ByName("fanout"));
+    for (std::uint64_t b = 0; b < kFileBlocks; ++b) {
+      if (!m.file_agent->Pread(rd, b * kBlock, out).ok()) {
+        state.SkipWithError("tier warmup read failed");
+        return;
+      }
+    }
+  }
+
+  // The reader crowd: a bounded pool of machines, crash-cycled so every
+  // simulated reader arrives with a cold cache and no promise — kPool
+  // readers in flight at once, `readers` of them in total.
+  std::vector<core::Machine*> pool;
+  pool.reserve(kPoolMachines);
+  for (int i = 0; i < kPoolMachines; ++i) pool.push_back(&f.AddMachine());
+
+  const std::uint64_t refs0 = TotalReadRefs(f);
+  const std::uint64_t calls0 = BusCalls(f);
+  const SimTime t0 = f.clock().Now();
+  std::int64_t done = 0;
+  for (auto _ : state) {
+    while (done < readers) {
+      sim::ParallelSection section(&f.clock());
+      for (core::Machine* m : pool) {
+        if (done >= readers) break;
+        section.BeginLane();
+        m->file_agent->Crash();
+        auto rd = m->file_agent->Open(naming::ByName("fanout"));
+        // Stride 29 (coprime to 64) spreads successive readers across the
+        // file, so the origin's tiny caches get no sequential-locality help.
+        const std::uint64_t block =
+            (static_cast<std::uint64_t>(done) * 29) % kFileBlocks;
+        if (!rd.ok() ||
+            !m->file_agent->Pread(*rd, block * kBlock, out).ok()) {
+          state.SkipWithError("cold read failed");
+          return;
+        }
+        ++done;
+        section.EndLane();
+      }
+      section.Commit();
+    }
+  }
+
+  const double reads = static_cast<double>(done);
+  const double refs = static_cast<double>(TotalReadRefs(f) - refs0);
+  const double sim_s = SimMillis(f.clock().Now() - t0) / 1e3;
+  std::uint64_t fetches = 0;
+  for (core::Machine* m : pool) {
+    fetches += m->file_agent->stats().peer_fetches;
+  }
+  state.counters["reads_per_sim_sec"] = sim_s == 0.0 ? 0.0 : reads / sim_s;
+  state.counters["origin_refs_per_read"] = refs / reads;
+  state.counters["msgs_per_read"] =
+      static_cast<double>(BusCalls(f) - calls0) / reads;
+  state.counters["peer_serve_rate"] = static_cast<double>(fetches) / reads;
+  state.SetItemsProcessed(done);
+
+  // The tentpole's perf claim, gated: with a serving tier the origin's
+  // disks are out of the read path — refs stay at warm-up noise while the
+  // tier-less row pays ~one reference per read.
+  if (tier > 0 && refs / reads >= 0.1) {
+    state.SkipWithError("cache tier failed to absorb origin disk reads");
+  }
+  if (tier > 0 && static_cast<double>(fetches) / reads < 0.5) {
+    state.SkipWithError("peers served under half of the cold reads");
+  }
+}
+BENCHMARK(BM_ReadFanout)
+    ->Args({10000, 0})
+    ->Args({10000, 2})
+    ->Args({10000, 8})
+    ->Args({100000, 8})
+    ->Args({1000000, 32})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace rhodos::bench
+
+RHODOS_BENCH_MAIN();

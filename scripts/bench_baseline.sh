@@ -19,8 +19,8 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-BENCHES=(bench_contiguous_read bench_fault_recovery bench_striping bench_group_commit bench_messages_per_op bench_client_cache bench_replica_faults bench_shard_scaling bench_callback_storm bench_snapshot)
-KEYS=(disk.read_references disk.write_references disk.tracks_seeked txn.log.forces bus.calls agent.writeback_batches replication.degraded_writes replication.hints_queued replication.read_repairs placement.lookups placement.reroutes file.callback_breaks agent.callback_renewals file.cow_blocks_copied)
+BENCHES=(bench_contiguous_read bench_fault_recovery bench_striping bench_group_commit bench_messages_per_op bench_client_cache bench_replica_faults bench_shard_scaling bench_callback_storm bench_snapshot bench_read_fanout)
+KEYS=(disk.read_references disk.write_references disk.tracks_seeked txn.log.forces bus.calls agent.writeback_batches replication.degraded_writes replication.hints_queued replication.read_repairs placement.lookups placement.reroutes file.callback_breaks agent.callback_renewals file.cow_blocks_copied agent.peer_serves file.redirects_issued)
 BUILD=build
 BASELINES=bench/baselines
 TOLERANCE=1.10
@@ -46,7 +46,8 @@ keys = ("disk.read_references", "disk.write_references",
         "replication.degraded_writes", "replication.hints_queued",
         "replication.read_repairs", "placement.lookups",
         "placement.reroutes", "file.callback_breaks",
-        "agent.callback_renewals", "file.cow_blocks_copied")
+        "agent.callback_renewals", "file.cow_blocks_copied",
+        "agent.peer_serves", "file.redirects_issued")
 with open(sys.argv[1]) as f:
     snap = json.load(f)
 counters = snap.get("counters", {})

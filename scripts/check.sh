@@ -42,6 +42,11 @@ run_suite() {
   # changes to the capture, copy-on-write, and shared-release paths.
   echo "== $dir: snapshot matrix (ctest -L snap) =="
   ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L snap
+  # The cache-tier matrix (redirects, peer serving, busy shedding, fallback
+  # bounds, the zero-stale-read storm) gates changes to the read fan-out
+  # path.
+  echo "== $dir: cache-tier matrix (ctest -L cachetier) =="
+  ctest --test-dir "$dir" --output-on-failure -j "$jobs" -L cachetier
 }
 
 if [[ "$mode" != "--sanitize-only" ]]; then

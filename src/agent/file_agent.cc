@@ -70,6 +70,9 @@ void FileAgent::RegisterCallbackService() {
 
 sim::Payload FileAgent::HandleCallbackMessage(
     std::uint32_t opcode, std::span<const std::uint8_t> request) {
+  if (static_cast<FsOp>(opcode) == FsOp::kPeerRead) {
+    return HandlePeerRead(request);
+  }
   Serializer out;
   if (static_cast<FsOp>(opcode) != FsOp::kCallbackBreak) {
     EncodeError(out, {ErrorCode::kNotSupported, "unexpected agent opcode"});
@@ -88,6 +91,120 @@ sim::Payload FileAgent::HandleCallbackMessage(
   NoteVersion(brk->file, brk->version);
   EncodeStatus(out, OkStatus());
   return std::move(out).Take();
+}
+
+sim::Payload FileAgent::HandlePeerRead(std::span<const std::uint8_t> request) {
+  Serializer out;
+  auto req = PeerReadRequest::Decode(request);
+  if (!req.ok()) {
+    EncodeError(out, req.error());
+    return std::move(out).Take();
+  }
+  // Load shedding comes first: an overloaded peer must refuse before it
+  // pays for the cache walk. kBusy tells the reader to try the next
+  // candidate, then the origin.
+  if (config_.peer_serve_budget > 0) {
+    const SimTime now = bus_->clock()->Now();
+    if (now - serve_window_start_ >= config_.peer_serve_window_ns) {
+      serve_window_start_ = now;
+      serves_in_window_ = 0;
+    }
+    if (serves_in_window_ >= config_.peer_serve_budget) {
+      ++stats_.peer_serve_rejects;
+      EncodeError(out, {ErrorCode::kBusy, "peer over serve budget"});
+      return std::move(out).Take();
+    }
+  }
+  // Only an unbroken, unexpired promise at EXACTLY the expected version
+  // token vouches for the cached bytes. A break that raced the redirect, a
+  // lapsed lease, or a moved shard epoch all land here — the reader falls
+  // back to the origin and can never observe a stale image through a peer.
+  const auto vit = versions_.find(req->file);
+  if (!HoldsCallback(req->file) || vit == versions_.end() ||
+      vit->second != req->expected_version) {
+    ++stats_.peer_serve_rejects;
+    EncodeError(out, {ErrorCode::kStaleHandle,
+                      "promise broken or version token moved"});
+    return std::move(out).Take();
+  }
+  // Copy the range out of clean cached blocks under the cache mutex (the
+  // flush path shares these structures); encode the reply outside it. Every
+  // byte must come from a clean block — a dirty block holds OUR un-flushed
+  // writes, which the expected token does not cover.
+  std::vector<std::uint8_t> data;
+  data.reserve(req->length);
+  bool miss = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    std::uint64_t pos = req->offset;
+    const std::uint64_t end = req->offset + req->length;
+    while (pos < end) {
+      const std::uint64_t block = pos / kBlockSize;
+      const std::uint64_t in_block = pos % kBlockSize;
+      CacheEntry* entry = Lookup(req->file, block);
+      if (entry == nullptr || entry->dirty) {
+        miss = true;
+        break;
+      }
+      if (entry->valid_bytes <= in_block) break;  // EOF inside this block
+      const std::uint64_t take =
+          std::min(end - pos, entry->valid_bytes - in_block);
+      data.insert(data.end(),
+                  entry->data.begin() + static_cast<std::ptrdiff_t>(in_block),
+                  entry->data.begin() +
+                      static_cast<std::ptrdiff_t>(in_block + take));
+      pos += take;
+      // A partially valid block is the file's tail at this version: stop.
+      if (in_block + take < kBlockSize) break;
+    }
+  }
+  if (miss) {
+    ++stats_.peer_serve_rejects;
+    EncodeError(out, {ErrorCode::kNotFound, "blocks not cached clean"});
+    return std::move(out).Take();
+  }
+  ++serves_in_window_;
+  ++stats_.peer_serves;
+  EncodeStatus(out, OkStatus());
+  out.Bytes(data);
+  return std::move(out).Take();
+}
+
+Result<std::uint64_t> FileAgent::FetchFromPeers(
+    FileId file, std::uint64_t offset, std::span<std::uint8_t> out,
+    std::uint64_t expected_version, const std::vector<std::string>& peers) {
+  PeerReadRequest preq{file, offset, out.size(), expected_version};
+  const auto body = preq.Encode();
+  const std::string caller = "machine-" + std::to_string(machine_.value);
+  for (const std::string& peer : peers) {
+    if (peer == cb_address_) continue;  // never serve ourselves
+    const SimTime t0 = bus_->clock()->Now();
+    // One direct bus call per candidate — no retries: a dead or busy peer
+    // costs one exchange and the reader moves on to the next candidate.
+    auto r = bus_->Call(peer, static_cast<std::uint32_t>(FsOp::kPeerRead),
+                        body, caller);
+    if (!r.ok()) continue;
+    Deserializer in{*r};
+    if (Status st = DecodeStatus(in); !st.ok()) continue;  // kBusy/refused
+    const std::vector<std::uint8_t> data = in.Bytes();
+    if (!in.ok()) continue;
+    // Adoption check: the bytes are valid at exactly expected_version. If a
+    // break landed while we were fetching (our token moved) or our own
+    // promise lapsed, the token no longer vouches for them — and every
+    // other candidate would be equally stale, so go straight to the origin.
+    const auto vit = versions_.find(file);
+    if (vit == versions_.end() || vit->second != expected_version ||
+        !HoldsCallback(file)) {
+      return Error{ErrorCode::kStaleHandle, "token moved during peer fetch"};
+    }
+    obs::Observe(Obs(), "agent.peer_serve_latency_ns",
+                 bus_->clock()->Now() - t0);
+    ++stats_.peer_fetches;
+    std::memcpy(out.data(), data.data(),
+                std::min<std::size_t>(data.size(), out.size()));
+    return static_cast<std::uint64_t>(data.size());
+  }
+  return Error{ErrorCode::kUnavailable, "no candidate peer served the read"};
 }
 
 bool FileAgent::HoldsCallback(FileId file) const {
@@ -509,12 +626,20 @@ Status FileAgent::FlushDirtyFiles(std::span<const FileId> files) {
     PwriteVecRequest req;
     req.cb = cb_address_;
     std::vector<PerFile> flushed;
-    for (const FileId file : shard_files) {
-      PerFile pf;
-      pf.file = file;
-      pf.blocks = dirty_.at(file);
-      pf.extents = BuildExtents(file, req.extents);
-      flushed.push_back(std::move(pf));
+    {
+      // Snapshot the dirty index and copy the extent bytes under the cache
+      // mutex, then RELEASE it for the exchange below: the batch is
+      // self-contained once built, and holding the lock across the RPC
+      // would let one slow peer-serve (or slow server) stall the whole
+      // write-behind drain — the regression the cachetier suite pins.
+      std::lock_guard<std::mutex> lock(cache_mu_);
+      for (const FileId file : shard_files) {
+        PerFile pf;
+        pf.file = file;
+        pf.blocks = dirty_.at(file);
+        pf.extents = BuildExtents(file, req.extents);
+        flushed.push_back(std::move(pf));
+      }
     }
     if (req.extents.empty()) continue;
 
@@ -532,6 +657,10 @@ Status FileAgent::FlushDirtyFiles(std::span<const FileId> files) {
     }
     if (!in.ok()) return Error{ErrorCode::kInternal, "bad pwritevec reply"};
 
+    // Re-acquire for the clean-marking + token adoption; a peer-serve that
+    // slipped in during the exchange saw a consistent pre-flush cache (the
+    // blocks were still dirty, so it refused them — never torn bytes).
+    std::lock_guard<std::mutex> lock(cache_mu_);
     ++stats_.writeback_batches;
     stats_.writeback_runs += req.extents.size();
     for (const PerFile& pf : flushed) {
@@ -632,21 +761,52 @@ Status FileAgent::InsertBlock(FileId file, std::uint64_t block,
 Result<std::uint64_t> FileAgent::ServerPread(FileId file,
                                              std::uint64_t offset,
                                              std::span<std::uint8_t> out) {
-  PreadRequest req{file, offset, out.size(), cb_address_};
-  const auto body = req.Encode();
-  RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
-                          Call(RouteShard(file), FsOp::kPread, body));
-  Deserializer in{reply};
-  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
-  const std::uint64_t version = in.U64();
-  const std::vector<std::uint8_t> data = in.Bytes();
-  const SimTime expiry = in.I64();
-  if (!in.ok()) return Error{ErrorCode::kInternal, "bad pread reply"};
-  NoteVersion(file, version);
-  AdoptGrant(file, expiry, nullptr);
-  std::memcpy(out.data(), data.data(),
-              std::min<std::size_t>(data.size(), out.size()));
-  return static_cast<std::uint64_t>(data.size());
+  // At most two origin exchanges: the first may answer with a cache-tier
+  // redirect; if no candidate peer serves, the second demands bytes
+  // (no_redirect) — one extra exchange on the miss path, never a stale read.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool no_redirect = attempt > 0;
+    PreadRequest req{file, offset, out.size(), cb_address_, no_redirect};
+    const auto body = req.Encode();
+    RHODOS_ASSIGN_OR_RETURN(sim::Payload reply,
+                            Call(RouteShard(file), FsOp::kPread, body));
+    Deserializer in{reply};
+    RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+    const std::uint64_t version = in.U64();
+    const std::uint8_t kind = in.U8();
+    if (kind == kPreadReplyData) {
+      const std::vector<std::uint8_t> data = in.Bytes();
+      const SimTime expiry = in.I64();
+      if (!in.ok()) return Error{ErrorCode::kInternal, "bad pread reply"};
+      NoteVersion(file, version);
+      AdoptGrant(file, expiry, nullptr);
+      std::memcpy(out.data(), data.data(),
+                  std::min<std::size_t>(data.size(), out.size()));
+      return static_cast<std::uint64_t>(data.size());
+    }
+    if (kind != kPreadReplyRedirect || no_redirect) {
+      return Error{ErrorCode::kInternal, "bad pread reply kind"};
+    }
+    const std::uint32_t npeers = in.U32();
+    std::vector<std::string> peers;
+    peers.reserve(npeers);
+    for (std::uint32_t i = 0; i < npeers && in.ok(); ++i) {
+      peers.push_back(in.String());
+    }
+    const SimTime expiry = in.I64();
+    if (!in.ok()) return Error{ErrorCode::kInternal, "bad pread redirect"};
+    // Adopt the grant BEFORE fetching: the server now lists us as a holder
+    // (it will break us on the next write), so bytes a peer serves at the
+    // expected token are safe to cache under this promise.
+    NoteVersion(file, version);
+    AdoptGrant(file, expiry, nullptr);
+    if (auto n = FetchFromPeers(file, offset, out, version, peers); n.ok()) {
+      return *n;
+    }
+    // Every candidate refused or was unreachable: the origin must serve.
+    ++stats_.peer_fallbacks;
+  }
+  return Error{ErrorCode::kInternal, "unreachable pread state"};
 }
 
 Result<std::uint64_t> FileAgent::ServerPwrite(

@@ -36,6 +36,7 @@
 #include <list>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -71,6 +72,12 @@ struct FileAgentConfig {
   // 0 disables the respective trigger.
   std::size_t writeback_threshold = 32;
   SimTime writeback_age_ns = 200 * kSimMillisecond;
+  // Cache-tier peer serving (E24): peer-read RPCs this agent answers per
+  // `peer_serve_window_ns` of sim time before shedding load with kBusy
+  // (0 = unlimited). A shed reader walks its failover candidates, then
+  // falls back to the origin.
+  std::uint32_t peer_serve_budget = 0;
+  SimTime peer_serve_window_ns = 100 * kSimMillisecond;
 };
 
 struct FileAgentStats {
@@ -90,6 +97,11 @@ struct FileAgentStats {
   std::uint64_t callback_fast_opens = 0;  // opens served with zero exchanges
   std::uint64_t callback_renewals = 0;    // expired promises re-armed
   std::uint64_t callback_breaks = 0;      // break notifications received
+  // Cache-tier read fan-out (E24).
+  std::uint64_t peer_serves = 0;         // peer-reads this agent answered
+  std::uint64_t peer_serve_rejects = 0;  // peer-reads refused (busy/stale/miss)
+  std::uint64_t peer_fetches = 0;        // reads satisfied from a peer
+  std::uint64_t peer_fallbacks = 0;      // redirects that fell back to origin
 };
 
 class FileAgent {
@@ -276,6 +288,18 @@ class FileAgent {
   void RegisterCallbackService();
   sim::Payload HandleCallbackMessage(std::uint32_t opcode,
                                      std::span<const std::uint8_t> request);
+  // Cache-tier peer serving: answer another agent's kPeerRead with clean
+  // cached bytes — ONLY when this agent's promise is unbroken and its
+  // version token equals the request's expected token; anything else
+  // (including the serve budget being spent) is a refusal and the reader
+  // falls back. Takes cache_mu_ around the cache walk only.
+  sim::Payload HandlePeerRead(std::span<const std::uint8_t> request);
+  // Walk the redirect's candidate peers; first successful fetch wins.
+  // Errors mean "no peer served" and the caller re-reads from the origin.
+  Result<std::uint64_t> FetchFromPeers(FileId file, std::uint64_t offset,
+                                       std::span<std::uint8_t> out,
+                                       std::uint64_t expected_version,
+                                       const std::vector<std::string>& peers);
   // Adopt a grant piggybacked on a server reply (expiry 0 = no promise).
   void AdoptGrant(FileId file, SimTime expiry,
                   const file::FileAttributes* attrs);
@@ -325,6 +349,17 @@ class FileAgent {
   // Callback promises held, keyed by file.
   std::unordered_map<FileId, CallbackState> callbacks_;
   std::string cb_address_;
+  // Guards cache_/lru_ where the bus-facing peer-serve path overlaps the
+  // flush path: HandlePeerRead's cache walk, and FlushDirtyFiles' two
+  // bookkeeping sections. NEVER held across an RPC — the flush releases it
+  // around its PwriteVec exchange, so a slow peer-serve can't stall the
+  // write-behind drain (and a peer-serve arriving mid-flush can't deadlock
+  // against it). The client-facing API stays externally synchronized, as
+  // the rest of the agent always was.
+  mutable std::mutex cache_mu_;
+  // Peer-serve load shedding (budget per sim-time window).
+  SimTime serve_window_start_ = 0;
+  std::uint32_t serves_in_window_ = 0;
   // name → FileId bindings, valid while naming_generation_ is current.
   std::map<naming::AttributedName, FileId> name_cache_;
   std::uint64_t naming_generation_ = 0;

@@ -30,6 +30,7 @@ std::string_view OpName(FsOp op) {
     case FsOp::kCallbackRenew: return "cb-renew";
     case FsOp::kSnapshot: return "snapshot";
     case FsOp::kClone: return "clone";
+    case FsOp::kPeerRead: return "peer-read";
   }
   return "unknown";
 }
@@ -39,12 +40,15 @@ std::string_view OpName(FsOp op) {
 FileServiceServer::FileServiceServer(file::FileService* service,
                                      sim::MessageBus* bus, std::string address,
                                      std::size_t token_capacity,
-                                     CallbackConfig callbacks)
+                                     CallbackConfig callbacks,
+                                     CacheTierConfig cache_tier)
     : service_(service),
       bus_(bus),
       address_(std::move(address)),
       token_capacity_(token_capacity),
-      cb_config_(callbacks) {
+      cb_config_(callbacks),
+      ct_config_(cache_tier),
+      rng_state_(cache_tier.rng_seed | 1) {
   bus_->RegisterService(
       address_, [this](std::uint32_t opcode,
                        std::span<const std::uint8_t> request) {
@@ -79,6 +83,116 @@ std::size_t FileServiceServer::CallbackHolderCount() const {
     }
   }
   return n;
+}
+
+std::size_t FileServiceServer::HotFileCount() const {
+  if (!ct_config_.enabled || ct_config_.hot_read_threshold == 0) return 0;
+  const SimTime now = service_->clock()->Now();
+  std::size_t n = 0;
+  for (const auto& [file, load] : read_load_) {
+    // A stale window (no reads for over a full window) is cold regardless
+    // of its recorded counts.
+    if (now - load.window_start >= 2 * ct_config_.load_window_ns) continue;
+    if (load.count >= ct_config_.hot_read_threshold ||
+        load.prev >= ct_config_.hot_read_threshold) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::uint64_t FileServiceServer::NextRand() {
+  // xorshift64: deterministic per-seed peer sampling, independent of any
+  // global RNG state so storms replay exactly.
+  rng_state_ ^= rng_state_ << 13;
+  rng_state_ ^= rng_state_ >> 7;
+  rng_state_ ^= rng_state_ << 17;
+  return rng_state_;
+}
+
+bool FileServiceServer::NoteReadLoad(FileId file) {
+  if (!ct_config_.enabled || ct_config_.hot_read_threshold == 0) return false;
+  const SimTime now = service_->clock()->Now();
+  ReadLoad& load = read_load_[file.value];
+  const SimTime window = ct_config_.load_window_ns;
+  if (now - load.window_start >= window) {
+    // Roll forward: the just-closed window becomes `prev` when it was the
+    // immediately preceding one, else the file idled and both reset.
+    load.prev = (now - load.window_start < 2 * window) ? load.count : 0;
+    load.count = 0;
+    load.window_start = now - (now - load.window_start) % window;
+  }
+  ++load.count;
+  return load.count >= ct_config_.hot_read_threshold ||
+         load.prev >= ct_config_.hot_read_threshold;
+}
+
+void FileServiceServer::NoteHeldBlocks(FileId file, const std::string& cb,
+                                       std::uint64_t first_block,
+                                       std::uint64_t end_block) {
+  if (cb.empty() || end_block <= first_block) return;
+  auto it = callbacks_.find(file.value);
+  if (it == callbacks_.end()) return;
+  for (Holder& h : it->second) {
+    if (h.address != cb) continue;
+    // Insert then coalesce with neighbours (ranges stay disjoint+sorted).
+    auto [rit, inserted] = h.blocks.emplace(first_block, end_block);
+    if (!inserted) {
+      rit->second = std::max(rit->second, end_block);
+    }
+    if (rit != h.blocks.begin()) {
+      auto prev = std::prev(rit);
+      if (prev->second >= rit->first) {
+        prev->second = std::max(prev->second, rit->second);
+        h.blocks.erase(rit);
+        rit = prev;
+      }
+    }
+    auto next = std::next(rit);
+    while (next != h.blocks.end() && rit->second >= next->first) {
+      rit->second = std::max(rit->second, next->second);
+      next = h.blocks.erase(next);
+    }
+    return;
+  }
+}
+
+std::vector<std::string> FileServiceServer::PickPeers(
+    FileId file, const std::string& requester, std::uint64_t first_block,
+    std::uint64_t end_block) {
+  std::vector<std::string> picked;
+  auto it = callbacks_.find(file.value);
+  if (it == callbacks_.end()) return picked;
+  const SimTime now = service_->clock()->Now();
+  std::vector<Holder*> candidates;
+  for (Holder& h : it->second) {
+    if (h.expiry <= now || h.address == requester) continue;
+    // The holder must (be believed to) cache the whole requested range:
+    // one covering range, since ranges are coalesced.
+    auto rit = h.blocks.upper_bound(first_block);
+    if (rit == h.blocks.begin()) continue;
+    --rit;
+    if (rit->second < end_block) continue;
+    candidates.push_back(&h);
+  }
+  const std::size_t want =
+      std::min<std::size_t>(ct_config_.redirect_peers, candidates.size());
+  for (std::size_t i = 0; i < want; ++i) {
+    // Power-of-two-choices: sample two remaining candidates, take the one
+    // with fewer redirects assigned. With one candidate left, take it.
+    std::size_t a = NextRand() % candidates.size();
+    std::size_t b = NextRand() % candidates.size();
+    std::size_t choice =
+        candidates[a]->serves_assigned <= candidates[b]->serves_assigned ? a
+                                                                         : b;
+    Holder* peer = candidates[choice];
+    if (picked.empty()) ++peer->serves_assigned;  // the primary serves
+    picked.push_back(peer->address);
+    candidates.erase(candidates.begin() +
+                     static_cast<std::ptrdiff_t>(choice));
+    if (candidates.empty()) break;
+  }
+  return picked;
 }
 
 SimTime FileServiceServer::Grant(FileId file, const std::string& cb) {
@@ -235,6 +349,7 @@ sim::Payload FileServiceServer::Handle(std::uint32_t opcode,
     case FsOp::kClone: return HandleCapture(static_cast<FsOp>(opcode),
                                             request);
     case FsOp::kCallbackBreak: break;  // server->agent only
+    case FsOp::kPeerRead: break;       // agent->agent only
   }
   return ErrorReply({ErrorCode::kNotSupported, "unknown opcode"});
 }
@@ -312,6 +427,35 @@ sim::Payload FileServiceServer::HandlePread(
     std::span<const std::uint8_t> body) {
   auto req = PreadRequest::Decode(body);
   if (!req.ok()) return ErrorReply(req.error());
+  const bool hot = NoteReadLoad(req->file);
+  const std::uint64_t first_block = req->offset / kBlockSize;
+  const std::uint64_t end_block =
+      (req->offset + req->length + kBlockSize - 1) / kBlockSize;
+  if (ct_config_.enabled && hot && !req->no_redirect && !req->cb.empty()) {
+    // Cache-tier read routing: the file is hot, so point the reader at
+    // callback-holding peers instead of the spindles. The reply carries the
+    // expected version token (the peer serves ONLY at exactly this token)
+    // and a callback grant: the reader will cache the peer-served blocks,
+    // so the server must know to break it on the next write.
+    std::vector<std::string> peers =
+        PickPeers(req->file, req->cb, first_block, end_block);
+    if (!peers.empty()) {
+      ++stats_.redirects_issued;
+      const SimTime expiry = Grant(req->file, req->cb);
+      // Register the range optimistically: if the peer fetch fails, the
+      // fallback's no_redirect pread records the same range anyway, and a
+      // wasted future redirect just falls back too.
+      NoteHeldBlocks(req->file, req->cb, first_block, end_block);
+      Serializer out;
+      EncodeStatus(out, OkStatus());
+      out.U64(service_->Version(req->file));
+      out.U8(kPreadReplyRedirect);
+      out.U32(static_cast<std::uint32_t>(peers.size()));
+      for (const std::string& p : peers) out.String(p);
+      out.I64(expiry);
+      return std::move(out).Take();
+    }
+  }
   std::vector<std::uint8_t> buf(req->length);
   auto n = service_->Read(req->file, req->offset, buf);
   Serializer out;
@@ -321,8 +465,17 @@ sim::Payload FileServiceServer::HandlePread(
   }
   EncodeStatus(out, OkStatus());
   out.U64(service_->Version(req->file));
+  out.U8(kPreadReplyData);
   out.Bytes({buf.data(), static_cast<std::size_t>(*n)});
-  out.I64(Grant(req->file, req->cb));
+  const SimTime expiry = Grant(req->file, req->cb);
+  // The reader is about to cache the blocks this reply covers: remember the
+  // range so the read router can consider it as a serving peer. Zero bytes
+  // served (read at EOF) registers nothing.
+  const std::uint64_t served_end_block =
+      first_block + (req->offset % kBlockSize + *n + kBlockSize - 1) /
+                        kBlockSize;
+  NoteHeldBlocks(req->file, req->cb, first_block, served_end_block);
+  out.I64(expiry);
   return std::move(out).Take();
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +31,9 @@ struct FsServerStats {
   std::uint64_t callback_break_failures = 0;  // undeliverable (lease waited out)
   std::uint64_t callback_expired = 0;         // holders dropped at lease expiry
   std::uint64_t callback_grace_waits = 0;     // mutations stalled by crash grace
+  // Cache-tier read fan-out: cold preads answered with a peer redirect
+  // instead of bytes from the disks.
+  std::uint64_t redirects_issued = 0;
 };
 
 // Cache-coherence callback policy (NOT the disk-substrate DiskLease): how
@@ -44,12 +48,32 @@ struct CallbackConfig {
   SimTime sweep_interval_ns = 500 * kSimMillisecond;
 };
 
+// Cache-tier read fan-out policy (E24): a file whose pread arrival rate
+// crosses `hot_read_threshold` per `load_window_ns` is HOT, and cold reads
+// of it are redirected to callback-holding peer agents instead of the
+// disks. Off by default — it trades one extra exchange per redirected miss
+// for keeping a million-reader hot file off the origin's spindles, a trade
+// the workload has to opt into (benches that gate exact exchange counts
+// keep the paper topology).
+struct CacheTierConfig {
+  bool enabled = false;
+  // Preads inside one load window that make a file hot. 0 = never hot.
+  std::uint32_t hot_read_threshold = 64;
+  SimTime load_window_ns = 1 * kSimSecond;
+  // Candidates per redirect: the first is the power-of-two-choices pick,
+  // the rest a failover set the reader walks before the origin fallback.
+  std::uint32_t redirect_peers = 2;
+  // Deterministic seed for the power-of-two-choices sampling.
+  std::uint64_t rng_seed = 0x9E3779B97F4A7C15ull;
+};
+
 class FileServiceServer {
  public:
   // Registers the handler under `address` on the bus.
   FileServiceServer(file::FileService* service, sim::MessageBus* bus,
                     std::string address, std::size_t token_capacity = 1024,
-                    CallbackConfig callbacks = {});
+                    CallbackConfig callbacks = {},
+                    CacheTierConfig cache_tier = {});
   ~FileServiceServer();
 
   FileServiceServer(const FileServiceServer&) = delete;
@@ -59,6 +83,9 @@ class FileServiceServer {
   const FsServerStats& stats() const { return stats_; }
   // Outstanding (unexpired, unbroken) callback promises across all files.
   std::size_t CallbackHolderCount() const;
+  // Files whose pread load is at or above the hot threshold right now
+  // (the `file.hot_files` gauge).
+  std::size_t HotFileCount() const;
 
   // Epoch-fence drop: discard every promise WITHOUT opening a grace window.
   // Safe only because the router epoch bump revokes the agents' trust in
@@ -68,11 +95,18 @@ class FileServiceServer {
   void DropCallbacksFenced() { callbacks_.clear(); }
 
  private:
-  // One outstanding callback promise: the holder's bus address and the sim
-  // time its lease expires.
+  // One outstanding callback promise: the holder's bus address, the sim
+  // time its lease expires, and — for the cache-tier read router — which
+  // block ranges the holder is believed to cache plus how many redirects
+  // have been pointed at it (the power-of-two-choices load signal). The
+  // range registry is advisory: a holder that evicted a block simply
+  // refuses the peer-read and the reader falls back to the origin.
   struct Holder {
     std::string address;
     SimTime expiry = 0;
+    // Coalesced [first_block, end_block) ranges believed cached.
+    std::map<std::uint64_t, std::uint64_t> blocks;
+    std::uint64_t serves_assigned = 0;
   };
 
   sim::Payload Handle(std::uint32_t opcode,
@@ -110,6 +144,23 @@ class FileServiceServer {
   // Periodic hygiene: drop expired holders.
   void SweepExpired();
 
+  // --- Cache-tier read router ----------------------------------------------
+
+  // Rolls `file`'s sliding load window forward and counts one pread.
+  // Returns true when the file is hot (this or the previous full window met
+  // the threshold — hotness survives a window boundary).
+  bool NoteReadLoad(FileId file);
+  // Registers [first_block, end_block) as cached by holder `cb` (no-op when
+  // the holder is unknown — callbacks off, empty address).
+  void NoteHeldBlocks(FileId file, const std::string& cb,
+                      std::uint64_t first_block, std::uint64_t end_block);
+  // Picks up to redirect_peers distinct unexpired holders covering the
+  // range (excluding the requester), least-loaded-of-two-random first.
+  std::vector<std::string> PickPeers(FileId file, const std::string& requester,
+                                     std::uint64_t first_block,
+                                     std::uint64_t end_block);
+  std::uint64_t NextRand();
+
   file::FileService* service_;
   sim::MessageBus* bus_;
   std::string address_;
@@ -117,7 +168,16 @@ class FileServiceServer {
   std::unordered_map<std::uint64_t, sim::Payload> token_replies_;
   std::deque<std::uint64_t> token_order_;
   CallbackConfig cb_config_;
+  CacheTierConfig ct_config_;
   std::unordered_map<std::uint64_t, std::vector<Holder>> callbacks_;
+  // Per-file pread load, two sliding windows deep (current + previous).
+  struct ReadLoad {
+    SimTime window_start = 0;
+    std::uint64_t count = 0;
+    std::uint64_t prev = 0;  // the previous full window's count
+  };
+  std::unordered_map<std::uint64_t, ReadLoad> read_load_;
+  std::uint64_t rng_state_ = 1;
   // The callback address of the request currently being handled (empty when
   // none): excluded from break fan-out so a writer never breaks itself.
   std::string current_requester_;

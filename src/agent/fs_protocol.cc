@@ -99,6 +99,7 @@ std::vector<std::uint8_t> PreadRequest::Encode() const {
   out.U64(offset);
   out.U64(length);
   out.String(cb);
+  out.U8(no_redirect ? 1 : 0);
   return std::move(out).Take();
 }
 
@@ -110,7 +111,29 @@ Result<PreadRequest> PreadRequest::Decode(
   r.offset = in.U64();
   r.length = in.U64();
   r.cb = in.String();
+  r.no_redirect = in.U8() != 0;
   if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad pread req"};
+  return r;
+}
+
+std::vector<std::uint8_t> PeerReadRequest::Encode() const {
+  Serializer out;
+  out.U64(file.value);
+  out.U64(offset);
+  out.U64(length);
+  out.U64(expected_version);
+  return std::move(out).Take();
+}
+
+Result<PeerReadRequest> PeerReadRequest::Decode(
+    std::span<const std::uint8_t> data) {
+  Deserializer in{data};
+  PeerReadRequest r;
+  r.file = FileId{in.U64()};
+  r.offset = in.U64();
+  r.length = in.U64();
+  r.expected_version = in.U64();
+  if (!in.ok()) return Error{ErrorCode::kInvalidArgument, "bad peer read"};
   return r;
 }
 

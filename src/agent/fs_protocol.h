@@ -45,7 +45,21 @@ enum class FsOp : std::uint32_t {
   // replayed capture must return the SAME image id, not mint a second one.
   kSnapshot = 13,
   kClone = 14,
+  // Cache-tier read fan-out (E24): agent->agent block fetch. A reader that
+  // a hot file's server redirected asks a callback-holding peer for clean
+  // cached blocks. The peer answers ONLY if its promise is unbroken and its
+  // version token equals the redirect's expected token — anything else
+  // (broken promise, stale token, blocks evicted, over its serve budget) is
+  // an error and the reader falls back to the origin. Naturally idempotent:
+  // it reads immutable version-stamped bytes and mutates nothing.
+  kPeerRead = 15,
 };
+
+// Kind byte of a pread reply: the server either returns the bytes itself or
+// redirects the reader to callback-holding peer agents (cache-tier read
+// fan-out on a hot file).
+inline constexpr std::uint8_t kPreadReplyData = 0;
+inline constexpr std::uint8_t kPreadReplyRedirect = 1;
 
 // Every reply starts with a status frame.
 void EncodeStatus(Serializer& out, const Status& status);
@@ -87,9 +101,26 @@ struct PreadRequest {
   std::uint64_t offset = 0;
   std::uint64_t length = 0;
   std::string cb;
+  // True when the reader already chased (or refuses) a cache-tier redirect
+  // for this read: the server must answer with bytes, never another
+  // redirect. This is what bounds a miss at "one extra exchange".
+  bool no_redirect = false;
 
   std::vector<std::uint8_t> Encode() const;
   static Result<PreadRequest> Decode(std::span<const std::uint8_t> data);
+};
+
+// Body of a kPeerRead request (agent -> agent): the redirected reader asks a
+// callback-holding peer for `length` bytes at `offset`, valid only at
+// exactly `expected_version` (the token the origin stamped on the redirect).
+struct PeerReadRequest {
+  FileId file{};
+  std::uint64_t offset = 0;
+  std::uint64_t length = 0;
+  std::uint64_t expected_version = 0;
+
+  std::vector<std::uint8_t> Encode() const;
+  static Result<PeerReadRequest> Decode(std::span<const std::uint8_t> data);
 };
 
 struct PwriteRequest {

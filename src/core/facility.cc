@@ -89,10 +89,18 @@ DistributedFileFacility::DistributedFileFacility(FacilityConfig config)
       file_shards_[s]->Crash();
     });
   }
+  // The cache tier rides on callback promises: without them no peer can
+  // vouch for its blocks, so the router must not redirect.
+  agent::CacheTierConfig ct = config_.cache_tier;
+  ct.enabled = ct.enabled && config_.callback.enabled;
   for (std::uint32_t s = 0; s < file_shards; ++s) {
+    agent::CacheTierConfig shard_ct = ct;
+    // Distinct deterministic streams per shard so two shards never sample
+    // peers in lockstep.
+    shard_ct.rng_seed = ct.rng_seed + 0x9E37ull * (s + 1);
     file_servers_.push_back(std::make_unique<agent::FileServiceServer>(
         file_shards_[s].get(), &bus_, router_->AddressOf(s),
-        /*token_capacity=*/1024, config_.callback));
+        /*token_capacity=*/1024, config_.callback, shard_ct));
   }
   // Observability: one bundle for the whole facility. The bus carries it to
   // every RpcClient and file agent; server-side layers get it directly.
@@ -247,6 +255,11 @@ constexpr const char* kCounters[] = {
     // Callback/lease coherence, agent side (summed across machines).
     "agent.callback_fast_opens", "agent.callback_renewals",
     "agent.callback_breaks",
+    // Cache-tier read fan-out, agent side (summed across machines):
+    // peer-reads served, refused (busy shed / stale token / blocks gone),
+    // reads satisfied from a peer, and redirects that fell back to origin.
+    "agent.peer_serves", "agent.peer_serve_rejects", "agent.peer_fetches",
+    "agent.peer_fallbacks",
     // Naming service: inverted-index probes (summed over shards) and the
     // sharded layer's fan-out of registrations onto key-owning shards.
     "naming.fanout_registrations", "naming.index_probes",
@@ -309,6 +322,8 @@ constexpr const char* kCounters[] = {
     "file.callback_grants", "file.callback_breaks",
     "file.callback_break_failures", "file.callback_expired",
     "file.callback_grace_waits",
+    // Cache-tier read router, server side (summed across shards).
+    "file.redirects_issued",
     // Transaction service and the per-machine transaction agents.
     "txn.aborts_broken", "txn.aborts_explicit", "txn.begins",
     "txn.commits",
@@ -332,6 +347,7 @@ constexpr const char* kGauges[] = {
     "disk.free_fragments",
     "facility.disk_count",
     "file.callback_holders",
+    "file.hot_files",
     "file.shared_blocks",
     "facility.machine_count",
     "facility.sim_now_ns",
@@ -342,7 +358,8 @@ constexpr const char* kGauges[] = {
 };
 
 constexpr const char* kHistograms[] = {
-    "agent.op_latency_ns", "disk.reference_ns", "disk.seek_ns",
+    "agent.op_latency_ns", "agent.peer_serve_latency_ns",
+    "disk.reference_ns", "disk.seek_ns",
     "replication.hint_age_ns", "replication.staleness_ns",
     "rpc.backoff_ns", "rpc.call_latency_ns", "txn.commit_latency_ns",
     "txn.group_commit.ack_latency_ns", "txn.group_commit.batch_records",
@@ -392,6 +409,10 @@ void DistributedFileFacility::PullLayerStats() {
     fa.callback_fast_opens += s.callback_fast_opens;
     fa.callback_renewals += s.callback_renewals;
     fa.callback_breaks += s.callback_breaks;
+    fa.peer_serves += s.peer_serves;
+    fa.peer_serve_rejects += s.peer_serve_rejects;
+    fa.peer_fetches += s.peer_fetches;
+    fa.peer_fallbacks += s.peer_fallbacks;
     const sim::RpcHealth& h = machine->file_agent->rpc_health();
     rpc.calls += h.calls;
     rpc.successes += h.successes;
@@ -419,6 +440,10 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("agent.callback_fast_opens", fa.callback_fast_opens);
   m.SetCounter("agent.callback_renewals", fa.callback_renewals);
   m.SetCounter("agent.callback_breaks", fa.callback_breaks);
+  m.SetCounter("agent.peer_serves", fa.peer_serves);
+  m.SetCounter("agent.peer_serve_rejects", fa.peer_serve_rejects);
+  m.SetCounter("agent.peer_fetches", fa.peer_fetches);
+  m.SetCounter("agent.peer_fallbacks", fa.peer_fallbacks);
   m.SetCounter("naming.index_probes", naming_->stats().index_probes);
   m.SetCounter("naming.fanout_registrations",
                naming_->sharding_stats().fanout_registrations);
@@ -437,6 +462,7 @@ void DistributedFileFacility::PullLayerStats() {
 
   agent::FsServerStats srv;
   std::size_t callback_holders = 0;
+  std::size_t hot_files = 0;
   for (const auto& server : file_servers_) {
     srv.requests += server->stats().requests;
     srv.duplicate_replays += server->stats().duplicate_replays;
@@ -445,7 +471,9 @@ void DistributedFileFacility::PullLayerStats() {
     srv.callback_break_failures += server->stats().callback_break_failures;
     srv.callback_expired += server->stats().callback_expired;
     srv.callback_grace_waits += server->stats().callback_grace_waits;
+    srv.redirects_issued += server->stats().redirects_issued;
     callback_holders += server->CallbackHolderCount();
+    hot_files += server->HotFileCount();
   }
   m.SetCounter("service.requests", srv.requests);
   m.SetCounter("service.duplicate_replays", srv.duplicate_replays);
@@ -454,7 +482,9 @@ void DistributedFileFacility::PullLayerStats() {
   m.SetCounter("file.callback_break_failures", srv.callback_break_failures);
   m.SetCounter("file.callback_expired", srv.callback_expired);
   m.SetCounter("file.callback_grace_waits", srv.callback_grace_waits);
+  m.SetCounter("file.redirects_issued", srv.redirects_issued);
   m.SetGauge("file.callback_holders", static_cast<double>(callback_holders));
+  m.SetGauge("file.hot_files", static_cast<double>(hot_files));
 
   file::FileServiceStats fs;
   std::uint64_t shared_blocks = 0;

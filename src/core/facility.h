@@ -66,6 +66,12 @@ struct FacilityConfig {
   // Callback/lease coherence policy shared by every file-service shard.
   // Disabling it here also turns off the agents' callback participation.
   agent::CallbackConfig callback{};
+  // Cache-tier read fan-out (E24): load-aware redirect of cold reads on hot
+  // files to callback-holding peer agents. Off by default (opt-in trade:
+  // one extra exchange per redirected miss for origin-disk relief); it
+  // also requires callbacks to be enabled — peers can only vouch for
+  // blocks a promise covers.
+  agent::CacheTierConfig cache_tier{};
   replication::ReplicationConfig replication{};
   replication::AntiEntropyConfig anti_entropy{};
   // Metadata-plane partitioning; the default (1/1) is the paper topology.

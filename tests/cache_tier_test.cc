@@ -1,0 +1,473 @@
+// Cache-tier read fan-out (`ctest -L cachetier`, E24): load-aware redirect
+// of cold reads on hot files to callback-holding peer agents, peer-serving
+// of version-token-stamped clean blocks, power-of-two-choices peer
+// selection with kBusy load shedding, and the fallback path that bounds a
+// failed redirect at one extra origin exchange. The storm oracle pins the
+// tentpole guarantee: under concurrent writes, callback breaks, lease
+// expiries, and peer crashes, a peer-served read is NEVER stale.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "agent/fs_protocol.h"
+#include "core/facility.h"
+
+namespace rhodos::agent {
+namespace {
+
+using core::DistributedFileFacility;
+using core::FacilityConfig;
+using core::Machine;
+
+std::vector<std::uint8_t> Pattern(std::size_t n, std::uint8_t seed = 1) {
+  std::vector<std::uint8_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<std::uint8_t>(seed + i * 13);
+  }
+  return v;
+}
+
+FacilityConfig TierFacility() {
+  FacilityConfig c;
+  c.geometry.total_fragments = 16 * 1024;
+  c.geometry.fragments_per_track = 32;
+  c.agent.delayed_write = true;
+  c.agent.cache_blocks = 64;
+  c.agent.writeback_threshold = 0;  // flushes happen when the test says so
+  c.agent.writeback_age_ns = 0;
+  c.cache_tier.enabled = true;
+  c.cache_tier.hot_read_threshold = 4;
+  return c;
+}
+
+std::uint64_t BusCalls(DistributedFileFacility& f) {
+  return f.bus().stats().calls;
+}
+
+// Direct agent->agent peer read, as FetchFromPeers would issue it. Returns
+// the served bytes, or the refusal error.
+Result<std::vector<std::uint8_t>> PeerRead(DistributedFileFacility& f,
+                                           const std::string& peer, FileId id,
+                                           std::uint64_t offset,
+                                           std::uint64_t length,
+                                           std::uint64_t expected_version) {
+  PeerReadRequest req{id, offset, length, expected_version};
+  auto r = f.bus().Call(peer, static_cast<std::uint32_t>(FsOp::kPeerRead),
+                        req.Encode(), "cb-test-caller");
+  if (!r.ok()) return r.error();
+  Deserializer in{*r};
+  RHODOS_RETURN_IF_ERROR(DecodeStatus(in));
+  std::vector<std::uint8_t> data = in.Bytes();
+  if (!in.ok()) return Error{ErrorCode::kInternal, "bad peer-read reply"};
+  return data;
+}
+
+// --- redirect and peer-serve happy path --------------------------------------
+
+TEST(CacheTierTest, HotFileColdReadsArePeerServed) {
+  DistributedFileFacility f(TierFacility());
+  Machine& w = f.AddMachine();
+  const auto bytes = Pattern(kBlockSize, 3);
+  auto wd = *w.file_agent->Create(naming::ByName("hot"),
+                                  file::ServiceType::kBasic);
+  ASSERT_TRUE(w.file_agent->Pwrite(wd, 0, bytes).ok());
+  ASSERT_TRUE(w.file_agent->Flush(wd).ok());
+
+  // Each fresh machine contributes one cold origin pread; once the per-file
+  // load crosses the threshold, later readers are redirected to the earlier
+  // ones instead of the spindles.
+  std::vector<Machine*> readers;
+  std::vector<std::uint8_t> out(kBlockSize);
+  for (int i = 0; i < 8; ++i) {
+    Machine& r = f.AddMachine();
+    readers.push_back(&r);
+    auto rd = *r.file_agent->Open(naming::ByName("hot"));
+    ASSERT_TRUE(r.file_agent->Pread(rd, 0, out).ok());
+    EXPECT_EQ(out, bytes) << "reader " << i;
+    ASSERT_TRUE(r.file_agent->Close(rd).ok());
+  }
+
+  EXPECT_GE(f.file_server().stats().redirects_issued, 1u)
+      << "the hot file must have redirected at least one cold read";
+  EXPECT_GE(f.file_server().HotFileCount(), 1u);
+  std::uint64_t fetches = 0, serves = 0;
+  for (Machine* r : readers) {
+    fetches += r->file_agent->stats().peer_fetches;
+    serves += r->file_agent->stats().peer_serves;
+  }
+  EXPECT_GE(fetches, 1u) << "a redirected reader must have fetched from a peer";
+  EXPECT_EQ(fetches, serves)
+      << "every successful fetch is some peer's successful serve";
+  // A peer-served reader holds a callback like any other reader: the origin
+  // granted it on the redirect reply, so the next write still breaks it.
+  EXPECT_GE(f.file_server().CallbackHolderCount(), readers.size());
+}
+
+TEST(CacheTierTest, DisabledTierNeverRedirects) {
+  FacilityConfig cfg = TierFacility();
+  cfg.cache_tier.enabled = false;  // the default, restated for the test
+  DistributedFileFacility f(cfg);
+  Machine& w = f.AddMachine();
+  auto wd = *w.file_agent->Create(naming::ByName("cold"),
+                                  file::ServiceType::kBasic);
+  ASSERT_TRUE(w.file_agent->Pwrite(wd, 0, Pattern(kBlockSize)).ok());
+  ASSERT_TRUE(w.file_agent->Flush(wd).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  for (int i = 0; i < 10; ++i) {
+    Machine& r = f.AddMachine();
+    auto rd = *r.file_agent->Open(naming::ByName("cold"));
+    ASSERT_TRUE(r.file_agent->Pread(rd, 0, out).ok());
+  }
+  EXPECT_EQ(f.file_server().stats().redirects_issued, 0u);
+  EXPECT_EQ(f.file_server().HotFileCount(), 0u);
+}
+
+// --- fallback bounds the miss at one extra exchange --------------------------
+
+TEST(CacheTierTest, CrashedPeersForceFallbackToOrigin) {
+  FacilityConfig cfg = TierFacility();
+  cfg.cache_tier.hot_read_threshold = 2;
+  DistributedFileFacility f(cfg);
+  Machine& w = f.AddMachine();
+  const auto bytes = Pattern(kBlockSize, 9);
+  auto wd = *w.file_agent->Create(naming::ByName("fragile"),
+                                  file::ServiceType::kBasic);
+  ASSERT_TRUE(w.file_agent->Pwrite(wd, 0, bytes).ok());
+  ASSERT_TRUE(w.file_agent->Flush(wd).ok());
+
+  // Two peers warm up and register as holders, then lose everything. The
+  // server's holder registry is advisory — it still lists them until their
+  // leases lapse, so the next redirect points at agents that can no longer
+  // vouch for the bytes.
+  Machine& p1 = f.AddMachine();
+  Machine& p2 = f.AddMachine();
+  std::vector<std::uint8_t> out(kBlockSize);
+  for (Machine* p : {&p1, &p2}) {
+    auto rd = *p->file_agent->Open(naming::ByName("fragile"));
+    ASSERT_TRUE(p->file_agent->Pread(rd, 0, out).ok());
+  }
+  p1.file_agent->Crash();
+  p2.file_agent->Crash();
+
+  Machine& r = f.AddMachine();
+  auto rd = *r.file_agent->Open(naming::ByName("fragile"));
+  const std::uint64_t before = BusCalls(f);
+  ASSERT_TRUE(r.file_agent->Pread(rd, 0, out).ok());
+  EXPECT_EQ(out, bytes) << "the fallback must serve the true bytes";
+  // Cost ceiling: redirect (1) + at most redirect_peers refusals (2) +
+  // no_redirect fallback (1). The floor proves the redirect actually fired.
+  EXPECT_GE(BusCalls(f) - before, 3u);
+  EXPECT_LE(BusCalls(f) - before, 4u);
+  EXPECT_GE(r.file_agent->stats().peer_fallbacks, 1u);
+  EXPECT_EQ(r.file_agent->stats().peer_fetches, 0u);
+  const std::uint64_t rejects = p1.file_agent->stats().peer_serve_rejects +
+                                p2.file_agent->stats().peer_serve_rejects;
+  EXPECT_GE(rejects, 1u) << "a crashed peer must refuse, not serve";
+}
+
+// --- load shedding -----------------------------------------------------------
+
+TEST(CacheTierTest, PeerOverServeBudgetRepliesBusyUntilTheWindowRolls) {
+  FacilityConfig cfg = TierFacility();
+  cfg.agent.peer_serve_budget = 1;
+  cfg.agent.peer_serve_window_ns = 10 * kSimSecond;
+  DistributedFileFacility f(cfg);
+  Machine& w = f.AddMachine();
+  const auto bytes = Pattern(kBlockSize, 5);
+  auto wd = *w.file_agent->Create(naming::ByName("budgeted"),
+                                  file::ServiceType::kBasic);
+  ASSERT_TRUE(w.file_agent->Pwrite(wd, 0, bytes).ok());
+  ASSERT_TRUE(w.file_agent->Flush(wd).ok());
+
+  Machine& p = f.AddMachine();
+  auto rd = *p.file_agent->Open(naming::ByName("budgeted"));
+  const FileId id = *p.file_agent->FileOf(rd);
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(p.file_agent->Pread(rd, 0, out).ok());
+  const std::uint64_t version = f.files().Version(id);
+  const std::string peer = p.file_agent->callback_address();
+
+  // First serve spends the window's whole budget; the second is shed with
+  // kBusy BEFORE the cache walk. A rolled window re-arms the budget.
+  auto first = PeerRead(f, peer, id, 0, kBlockSize, version);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, bytes);
+  auto second = PeerRead(f, peer, id, 0, kBlockSize, version);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.error().code, ErrorCode::kBusy);
+  EXPECT_EQ(p.file_agent->stats().peer_serve_rejects, 1u);
+
+  f.clock().Advance(cfg.agent.peer_serve_window_ns + kSimMillisecond);
+  // The lease lapsed with the window; renew it so only the budget differs.
+  ASSERT_TRUE(p.file_agent->Pread(rd, 0, out).ok());
+  auto third = PeerRead(f, peer, id, 0, kBlockSize, f.files().Version(id));
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, bytes);
+  EXPECT_EQ(p.file_agent->stats().peer_serves, 2u);
+}
+
+// --- the peer vouches only for what the token covers -------------------------
+
+TEST(CacheTierTest, PeerRefusesStaleTokenBrokenPromiseAndUncachedBlocks) {
+  DistributedFileFacility f(TierFacility());
+  Machine& w = f.AddMachine();
+  const auto bytes = Pattern(kBlockSize, 7);
+  auto wd = *w.file_agent->Create(naming::ByName("vouched"),
+                                  file::ServiceType::kBasic);
+  ASSERT_TRUE(w.file_agent->Pwrite(wd, 0, bytes).ok());
+  ASSERT_TRUE(w.file_agent->Flush(wd).ok());
+
+  Machine& p = f.AddMachine();
+  auto rd = *p.file_agent->Open(naming::ByName("vouched"));
+  const FileId id = *p.file_agent->FileOf(rd);
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(p.file_agent->Pread(rd, 0, out).ok());
+  const std::uint64_t version = f.files().Version(id);
+  const std::string peer = p.file_agent->callback_address();
+
+  // Wrong expected token: the bytes may be current, but the peer cannot
+  // prove it — refuse.
+  auto stale = PeerRead(f, peer, id, 0, kBlockSize, version + 1);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error().code, ErrorCode::kStaleHandle);
+
+  // Blocks the peer never cached: refuse, never invent.
+  auto uncached = PeerRead(f, peer, id, 8 * kBlockSize, kBlockSize, version);
+  ASSERT_FALSE(uncached.ok());
+
+  // A delivered break revokes the promise; the same request that served
+  // before must now refuse even though the cached bytes were dropped anyway.
+  ASSERT_TRUE(w.file_agent->Pwrite(wd, 0, Pattern(kBlockSize, 8)).ok());
+  ASSERT_TRUE(w.file_agent->Flush(wd).ok());
+  EXPECT_GE(p.file_agent->stats().callback_breaks, 1u);
+  auto broken = PeerRead(f, peer, id, 0, kBlockSize, version);
+  ASSERT_FALSE(broken.ok());
+  EXPECT_EQ(broken.error().code, ErrorCode::kStaleHandle);
+  EXPECT_EQ(p.file_agent->stats().peer_serves, 0u);
+}
+
+// --- shard epochs fence the redirect plane -----------------------------------
+
+TEST(CacheTierTest, ShardFailoverFencesRedirectsAndServesFreshBytes) {
+  FacilityConfig cfg = TierFacility();
+  cfg.cache_tier.hot_read_threshold = 2;
+  cfg.disk_count = 3;
+  cfg.sharding.file_shards = 3;
+  cfg.sharding.naming_shards = 2;
+  DistributedFileFacility f(cfg);
+  Machine& w = f.AddMachine();
+  const auto v1 = Pattern(kBlockSize, 11);
+  auto wd = *w.file_agent->Create(naming::ByName("fenced-hot"),
+                                  file::ServiceType::kBasic);
+  const FileId id = *w.file_agent->FileOf(wd);
+  ASSERT_TRUE(w.file_agent->Pwrite(wd, 0, v1).ok());
+  ASSERT_TRUE(w.file_agent->Flush(wd).ok());
+
+  std::vector<std::uint8_t> out(kBlockSize);
+  std::vector<Machine*> readers;
+  for (int i = 0; i < 5; ++i) {
+    Machine& r = f.AddMachine();
+    readers.push_back(&r);
+    auto rd = *r.file_agent->Open(naming::ByName("fenced-hot"));
+    ASSERT_TRUE(r.file_agent->Pread(rd, 0, out).ok());
+    EXPECT_EQ(out, v1);
+  }
+  const std::uint32_t home = f.placement().map().ShardForFile(id);
+  ASSERT_GE(f.file_server(home).stats().redirects_issued, 1u)
+      << "the hot file must have been redirecting before the failover";
+
+  // Kill the home shard. The epoch edge empties every holder table, so the
+  // failover shard has no one to redirect to — and the stale registrations
+  // can never leak across the fence.
+  f.bus().SetServiceDown(f.placement().AddressOf(home));
+  f.recovery().Tick();
+  for (std::uint32_t s = 0; s < f.file_shard_count(); ++s) {
+    EXPECT_EQ(f.file_server(s).CallbackHolderCount(), 0u);
+  }
+
+  // Rerouted reads revalidate at the new epoch and still agree on bytes.
+  // Any post-fence peer fetch is served under a NEW-epoch promise
+  // (HoldsCallback rejects the old one on both sides), so it cannot be
+  // vouched for by pre-fence state.
+  for (Machine* r : readers) {
+    auto rd = *r->file_agent->Open(naming::ByName("fenced-hot"));
+    ASSERT_TRUE(r->file_agent->Pread(rd, 0, out).ok());
+    EXPECT_EQ(out, v1) << "failover must not change file contents";
+  }
+  // The re-reads re-registered holders under the new epoch: the serving
+  // tier rebuilds itself on the failover shard.
+  std::size_t holders = 0;
+  for (std::uint32_t s = 0; s < f.file_shard_count(); ++s) {
+    holders += f.file_server(s).CallbackHolderCount();
+  }
+  EXPECT_GE(holders, readers.size());
+}
+
+// --- flush-drain progress under concurrent peer-serving ----------------------
+
+// Regression for the lock-scope satellite: FlushDirtyFiles and HandlePeerRead
+// share the agent cache under cache_mu_, but the flush must RELEASE it
+// around its PwriteVec exchange. This test interposes a wrapper service
+// between a standalone agent and the file service; when the flush's
+// PwriteVec passes through, the wrapper issues a peer-read back into the
+// SAME agent. If the flush held the (non-recursive) mutex across the RPC,
+// the re-entrant lock would deadlock and the test would hang; with the
+// tightened scope the peer-read is answered mid-flush — and answered with a
+// refusal, because the blocks are still dirty and a dirty block must never
+// be peer-served (torn-write protection).
+TEST(CacheTierTest, PeerServeDuringFlushDrainMakesProgress) {
+  DistributedFileFacility f(TierFacility());
+  FileAgentConfig ac = f.config().agent;
+  ac.callbacks = true;
+  FileAgent agent(MachineId{77}, &f.bus(), "tier-wrapper", &f.naming(), ac);
+
+  struct Probe {
+    bool armed = false;
+    bool fired = false;
+    FileId file{};
+    std::uint64_t version = 0;
+    Status reply_status = OkStatus();
+  } probe;
+  f.bus().RegisterService(
+      "tier-wrapper",
+      [&](std::uint32_t opcode, std::span<const std::uint8_t> request) {
+        if (probe.armed && !probe.fired &&
+            static_cast<FsOp>(opcode) == FsOp::kPwriteVec) {
+          probe.fired = true;
+          PeerReadRequest preq{probe.file, 0, kBlockSize, probe.version};
+          auto r = f.bus().Call(
+              agent.callback_address(),
+              static_cast<std::uint32_t>(FsOp::kPeerRead), preq.Encode(),
+              "tier-wrapper");
+          Deserializer in{*r};
+          probe.reply_status = DecodeStatus(in);
+        }
+        return *f.bus().Call(core::kFileServiceAddress, opcode, request,
+                             "tier-wrapper");
+      });
+
+  const auto bytes = Pattern(kBlockSize, 31);
+  auto od = *agent.Create(naming::ByName("drained"),
+                          file::ServiceType::kBasic);
+  const FileId id = *agent.FileOf(od);
+  ASSERT_TRUE(agent.Pwrite(od, 0, bytes).ok());
+  ASSERT_TRUE(agent.Flush(od).ok());
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(agent.Pread(od, 0, out).ok());  // arm the callback promise
+
+  // Dirty the block again and flush with the probe armed: the peer-read
+  // lands while the PwriteVec is in flight.
+  ASSERT_TRUE(agent.Pwrite(od, 0, Pattern(kBlockSize, 32)).ok());
+  probe = {true, false, id, f.files().Version(id), OkStatus()};
+  ASSERT_TRUE(agent.Flush(od).ok());
+  ASSERT_TRUE(probe.fired) << "the probe must have interposed the flush";
+  EXPECT_FALSE(probe.reply_status.ok())
+      << "a dirty block must never be peer-served";
+  EXPECT_EQ(agent.stats().peer_serve_rejects, 1u);
+
+  // After the drain the same blocks are clean at the new token: the agent
+  // serves them.
+  ASSERT_TRUE(agent.Pread(od, 0, out).ok());  // re-arm post-write promise
+  auto served = PeerRead(f, agent.callback_address(), id, 0, kBlockSize,
+                         f.files().Version(id));
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(*served, Pattern(kBlockSize, 32));
+  EXPECT_EQ(agent.stats().peer_serves, 1u);
+  f.bus().UnregisterService("tier-wrapper");
+}
+
+// --- the storm oracle --------------------------------------------------------
+
+// The tentpole guarantee, stress-tested: one writer mutating a hot file
+// under a crowd of cache-tier readers, with lease-expiring clock lurches
+// and reader crashes thrown in. Every read that returns must carry the
+// bytes of the writer's last completed flush — a peer-served stale image is
+// the failure this suite exists to catch. Deterministic per seed.
+std::string RunTierStorm(std::uint64_t seed) {
+  FacilityConfig cfg = TierFacility();
+  cfg.cache_tier.hot_read_threshold = 2;
+  cfg.agent.peer_serve_budget = 3;
+  cfg.agent.peer_serve_window_ns = 100 * kSimMillisecond;
+  DistributedFileFacility f(cfg);
+  Machine& w = f.AddMachine();
+  constexpr int kReaders = 6;
+  std::vector<Machine*> readers;
+  for (int i = 0; i < kReaders; ++i) readers.push_back(&f.AddMachine());
+
+  auto oracle = Pattern(kBlockSize, 0);
+  auto wd = *w.file_agent->Create(naming::ByName("storm"),
+                                  file::ServiceType::kBasic);
+  EXPECT_TRUE(w.file_agent->Pwrite(wd, 0, oracle).ok());
+  EXPECT_TRUE(w.file_agent->Flush(wd).ok());
+
+  std::vector<ObjectDescriptor> rds;
+  std::vector<std::uint8_t> out(kBlockSize);
+  for (Machine* r : readers) {
+    auto rd = *r->file_agent->Open(naming::ByName("storm"));
+    EXPECT_TRUE(r->file_agent->Pread(rd, 0, out).ok());
+    EXPECT_EQ(out, oracle);
+    rds.push_back(rd);
+  }
+
+  std::mt19937_64 rng(seed);
+  for (int round = 0; round < 250; ++round) {
+    const std::uint64_t kind = rng() % 12;
+    if (kind < 3) {
+      oracle = Pattern(kBlockSize, static_cast<std::uint8_t>(round + 1));
+      EXPECT_TRUE(w.file_agent->Pwrite(wd, 0, oracle).ok());
+      EXPECT_TRUE(w.file_agent->Flush(wd).ok());
+    } else if (kind < 10) {
+      const std::size_t r = rng() % readers.size();
+      EXPECT_TRUE(readers[r]->file_agent->Pread(rds[r], 0, out).ok());
+      EXPECT_EQ(out, oracle) << "STALE READ at round " << round;
+    } else if (kind < 11) {
+      // A cache-tier peer dies with its registrations still in the server's
+      // advisory table: redirects at it must refuse and fall back.
+      const std::size_t r = rng() % readers.size();
+      readers[r]->file_agent->Crash();
+      rds[r] = *readers[r]->file_agent->Open(naming::ByName("storm"));
+    } else {
+      f.clock().Advance(rng() % 2 == 0
+                            ? 50 * kSimMillisecond
+                            : f.config().callback.lease_ns + kSimSecond);
+    }
+  }
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    EXPECT_TRUE(readers[i]->file_agent->Close(rds[i]).ok());
+  }
+  EXPECT_TRUE(w.file_agent->Close(wd).ok());
+
+  const auto& ss = f.file_server().stats();
+  EXPECT_GT(ss.redirects_issued, 0u) << "the storm must have redirected";
+  EXPECT_GT(ss.callback_breaks, 0u) << "writes must have broken promises";
+  std::uint64_t fetches = 0, serves = 0, fallbacks = 0, rejects = 0;
+  for (Machine* r : readers) {
+    fetches += r->file_agent->stats().peer_fetches;
+    serves += r->file_agent->stats().peer_serves;
+    fallbacks += r->file_agent->stats().peer_fallbacks;
+    rejects += r->file_agent->stats().peer_serve_rejects;
+  }
+  EXPECT_GT(fetches, 0u) << "some redirects must have been peer-served";
+  EXPECT_GT(fallbacks, 0u)
+      << "crashes and breaks must have forced some origin fallbacks";
+  EXPECT_EQ(fetches, serves);
+
+  return "redirects=" + std::to_string(ss.redirects_issued) +
+         " breaks=" + std::to_string(ss.callback_breaks) +
+         " fetches=" + std::to_string(fetches) +
+         " fallbacks=" + std::to_string(fallbacks) +
+         " rejects=" + std::to_string(rejects) +
+         " calls=" + std::to_string(f.bus().stats().calls);
+}
+
+TEST(CacheTierTest, SeededPeerServingStormHasZeroStaleReads) {
+  const std::string first = RunTierStorm(4242);
+  const std::string second = RunTierStorm(4242);
+  EXPECT_EQ(first, second) << "the storm must be deterministic per seed";
+  EXPECT_NE(RunTierStorm(7), first) << "different seed, different schedule";
+}
+
+}  // namespace
+}  // namespace rhodos::agent

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "agent/fs_protocol.h"
 #include "core/facility.h"
 
 namespace rhodos::agent {
@@ -296,6 +297,82 @@ TEST(LeaseCoherenceTest, ShardFenceDropsPromisesWithoutGrace) {
   EXPECT_TRUE(m.file_agent->HoldsCallback(id))
       << "the revalidating read re-arms the promise at the new epoch";
   ASSERT_TRUE(m.file_agent->Close(od).ok());
+}
+
+// --- redirect racing a break -------------------------------------------------
+
+// Cache-tier interleaving: a writer's flush lands BETWEEN the server's
+// redirect reply and the reader's peer fetch. The break-before-reply
+// ordering has already revoked the serving peer's promise by then, so the
+// peer must refuse the fetch (its token no longer vouches for the bytes)
+// and the reader must fall back to the origin for the POST-write image —
+// a pre-break token match or fresh bytes, never a torn or stale read.
+TEST(LeaseCoherenceTest, RedirectDuringBreakFallsBackToFreshBytes) {
+  FacilityConfig cfg = LeaseFacility();
+  cfg.cache_tier.enabled = true;
+  cfg.cache_tier.hot_read_threshold = 1;  // every read is hot
+  DistributedFileFacility f(cfg);
+  Machine& w = f.AddMachine();
+  Machine& p = f.AddMachine();
+  const auto v1 = Pattern(kBlockSize, 51);
+  const auto v2 = Pattern(kBlockSize, 52);
+
+  auto wd = *w.file_agent->Create(naming::ByName("racy"),
+                                  file::ServiceType::kBasic);
+  ASSERT_TRUE(w.file_agent->Pwrite(wd, 0, v1).ok());
+  ASSERT_TRUE(w.file_agent->Flush(wd).ok());
+
+  // The peer warms up and registers as the file's only redirect candidate.
+  auto pd = *p.file_agent->Open(naming::ByName("racy"));
+  std::vector<std::uint8_t> out(kBlockSize);
+  ASSERT_TRUE(p.file_agent->Pread(pd, 0, out).ok());
+  ASSERT_EQ(out, v1);
+
+  // The reader runs behind a wrapper service that injects the writer's
+  // flush right after the server's (redirect) reply is formed — the
+  // single-threaded sim's way of interleaving "write completes while the
+  // redirect is in flight".
+  agent::FileAgentConfig ac = f.config().agent;
+  ac.callbacks = true;
+  agent::FileAgent reader(MachineId{88}, &f.bus(), "brk-wrapper",
+                          &f.naming(), ac);
+  bool armed = false;
+  bool fired = false;
+  f.bus().RegisterService(
+      "brk-wrapper",
+      [&](std::uint32_t opcode, std::span<const std::uint8_t> request) {
+        auto reply = *f.bus().Call(core::kFileServiceAddress, opcode, request,
+                                   "brk-wrapper");
+        if (armed && !fired &&
+            static_cast<agent::FsOp>(opcode) == agent::FsOp::kPread) {
+          fired = true;
+          EXPECT_TRUE(w.file_agent->Pwrite(wd, 0, v2).ok());
+          EXPECT_TRUE(w.file_agent->Flush(wd).ok());
+        }
+        return reply;
+      });
+
+  auto rd = *reader.Open(naming::ByName("racy"));
+  const FileId id = *reader.FileOf(rd);
+  armed = true;
+  ASSERT_TRUE(reader.Pread(rd, 0, out).ok());
+  ASSERT_TRUE(fired) << "the interleaved flush must have run";
+  EXPECT_EQ(out, v2) << "the raced read must carry the post-flush bytes";
+  EXPECT_GE(reader.stats().peer_fallbacks, 1u)
+      << "the broken peer must have refused the redirected fetch";
+  EXPECT_EQ(reader.stats().peer_fetches, 0u);
+  EXPECT_GE(p.file_agent->stats().peer_serve_rejects, 1u);
+  EXPECT_GE(p.file_agent->stats().callback_breaks, 1u);
+
+  // The fallback's reply re-armed the reader's promise at the new token:
+  // the next read is warm and still the new bytes.
+  EXPECT_TRUE(reader.HoldsCallback(id));
+  const std::uint64_t before = BusCalls(f);
+  ASSERT_TRUE(reader.Pread(rd, 0, out).ok());
+  EXPECT_EQ(out, v2);
+  EXPECT_EQ(BusCalls(f) - before, 0u);
+  ASSERT_TRUE(reader.Close(rd).ok());
+  f.bus().UnregisterService("brk-wrapper");
 }
 
 // --- the invalidation storm --------------------------------------------------
